@@ -1,0 +1,71 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench regenerates one evaluation artifact of the paper (see
+DESIGN.md's per-experiment index) and prints the measured rows next to
+the published ones.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import audio_core, compile_application
+from repro.apps import audio_application, audio_io_binding
+from repro.core import ClassTable, InstructionSet, impose_instruction_set
+from repro.rtgen import generate_rts
+from repro.sched import build_dependence_graph
+
+#: The published figure-9 rows: display name -> (percent, operation count).
+FIGURE9_PAPER = {
+    "PRG_CNST": (92, 58),
+    "ROM": (92, 58),
+    "MULT": (92, 58),
+    "ALU": (92, 58),
+    "ACU": (93, 59),
+    "RAM": (92, 58),
+    "IPB": (3, 2),
+    "OPB_1": (6, 4),
+    "OPB_2": (6, 4),
+}
+
+#: OPU name -> figure-9 display name.
+FIGURE9_NAMES = {
+    "prg_c": "PRG_CNST", "rom": "ROM", "mult": "MULT", "alu": "ALU",
+    "acu": "ACU", "ram": "RAM", "ipb": "IPB", "opb_1": "OPB_1",
+    "opb_2": "OPB_2",
+}
+
+FIGURE9_ORDER = ["prg_c", "rom", "mult", "alu", "acu", "ram",
+                 "ipb", "opb_1", "opb_2"]
+
+
+@pytest.fixture(scope="session")
+def audio_compiled():
+    """The section-7 compilation, shared by the audio benches."""
+    return compile_application(
+        audio_application(),
+        audio_core(),
+        budget=64,
+        io_binding=audio_io_binding(),
+    )
+
+
+@pytest.fixture(scope="session")
+def audio_rt_program():
+    """Unmodified RTs of the audio application (before imposition)."""
+    return generate_rts(audio_application(), audio_core(), audio_io_binding())
+
+
+def imposed_graph(cover_algorithm: str = "greedy"):
+    """RT program with instruction-set conflicts plus dependence graph."""
+    core = audio_core()
+    program = generate_rts(audio_application(), core, audio_io_binding())
+    table = ClassTable.from_core(core)
+    iset = InstructionSet.from_desired(table.names, core.instruction_types)
+    model = impose_instruction_set(
+        program.rts, table, iset, cover_algorithm=cover_algorithm
+    )
+    program.rts = model.rts
+    return program, build_dependence_graph(program), model

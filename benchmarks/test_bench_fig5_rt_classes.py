@@ -1,0 +1,45 @@
+"""Experiments fig5 + sec7-classes: RT class identification.
+
+Figure 5 shows classification by (OPU, usage); the section-7 table
+identifies 13 classes on the audio core, reduced to 9 by grouping
+RAM {read, write} → X and the four ALU usages → Y.
+"""
+
+from __future__ import annotations
+
+from repro.arch import AUDIO_CLASS_TABLE_13, audio_core
+from repro.core import ClassTable
+from repro.report import class_table_report
+
+
+def classify_everything(program):
+    core = audio_core()
+    auto = ClassTable.auto(core)
+    reduced = ClassTable.from_core(core)
+    by_class = reduced.classify_program(program.rts)
+    return auto, reduced, by_class
+
+
+def test_bench_classification(benchmark, audio_rt_program):
+    auto, reduced, by_class = benchmark(
+        classify_everything, audio_rt_program
+    )
+
+    # "The available register transfers result in 13 RT classes."
+    assert len(auto) == 13
+    pairs = {(c.opu, u) for c in auto for u in c.usages}
+    expected = {(d.opu, u) for d in AUDIO_CLASS_TABLE_13 for u in d.usages}
+    assert pairs == expected
+
+    # "... the number of classes is reduced to 9."
+    assert len(reduced) == 9
+    assert set(reduced.names) == {"A", "B", "C", "D", "X", "G", "Y", "L", "M"}
+
+    # Every audio-application RT classifies into exactly one class.
+    total = sum(len(rts) for rts in by_class.values())
+    assert total == len(audio_rt_program.rts)
+
+    print("\nfig5/sec7: " + class_table_report(reduced))
+    print("\nRTs per class (audio application):")
+    for name, rts in sorted(by_class.items()):
+        print(f"  {name}: {len(rts)}")

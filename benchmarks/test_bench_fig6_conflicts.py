@@ -1,0 +1,63 @@
+"""Experiments sec6.2 + fig6 + sec6.3: the paper's worked ISA example.
+
+Section 6.2: classes S,T,U,V,X,Y with desired types {S,T}, {S,U,V},
+{X,Y} close (rules 1-4) to the 13-type instruction set I.
+Figure 6: the conflict graph of I has the ten edges
+SX SY TU TV TX TY UX UY VX VY.
+Section 6.3: a valid clique cover is {S,X},{S,Y},{T,U,Y},{T,V,X},
+{U,X},{V,Y} — six cliques; artificial resources make S- and X-class
+RTs conflict (SX = S vs SX = X).
+"""
+
+from __future__ import annotations
+
+from repro.core import (
+    ConflictGraph,
+    InstructionSet,
+    closure,
+    edge_per_clique_cover,
+    exact_cover,
+    greedy_cover,
+    verify_cover,
+)
+
+CLASSES = ["S", "T", "U", "V", "X", "Y"]
+DESIRED = [frozenset("ST"), frozenset("SUV"), frozenset("XY")]
+PAPER_EDGES = {frozenset(e) for e in
+               ("SX", "SY", "TU", "TV", "TX", "TY", "UX", "UY", "VX", "VY")}
+PAPER_COVER = [frozenset("SX"), frozenset("SY"), frozenset("TUY"),
+               frozenset("TVX"), frozenset("UX"), frozenset("VY")]
+
+
+def build_model():
+    iset = InstructionSet.from_desired(CLASSES, DESIRED)
+    graph = ConflictGraph.from_instruction_set(iset)
+    cover = greedy_cover(graph)
+    return iset, graph, cover
+
+
+def test_bench_closure_and_cover(benchmark):
+    iset, graph, cover = benchmark(build_model)
+
+    # --- section 6.2: the closed instruction set I ---------------------
+    assert len(iset) == 13
+    print("\nsec6.2:", iset.pretty())
+
+    # --- figure 6: the ten conflict edges ------------------------------
+    assert graph.edges == PAPER_EDGES
+    print(f"fig6: {len(graph.edges)} conflict edges "
+          f"(paper: {len(PAPER_EDGES)})")
+    for edge in sorted(graph.edges, key=sorted):
+        a, b = sorted(edge)
+        print(f"  {a} -- {b}")
+
+    # --- section 6.3: clique covers ------------------------------------
+    verify_cover(graph, PAPER_COVER)       # the paper's cover is valid
+    verify_cover(graph, cover)             # ours is valid
+    assert len(cover) <= len(PAPER_COVER)  # and no larger
+    minimal = exact_cover(graph)
+    trivial = edge_per_clique_cover(graph)
+    print(f"sec6.3 cover sizes: paper 6, greedy {len(cover)}, "
+          f"exact {len(minimal)}, edge-per-clique {len(trivial)}")
+    pretty = ", ".join("{" + ",".join(sorted(c)) + "}" for c in cover)
+    print(f"greedy cover: {pretty}")

@@ -1,0 +1,47 @@
+"""Experiment scale: compiler runtime vs application size.
+
+Not a paper figure, but the retargetable-compiler claim implies the
+flow stays interactive as applications grow ("the design time may not
+be increased significantly", section 3).  We sweep synthetic filter
+networks from 4 to 32 sections through the full pipeline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import audio_core, compile_application
+from repro.apps import stress_application
+
+
+@pytest.mark.parametrize("n_sections", [4, 8, 16, 32])
+def test_bench_pipeline_scaling(benchmark, n_sections):
+    dfg = stress_application(n_sections, seed=1)
+    # A larger in-house core variant: big applications need a deeper
+    # ROM, more state RAM and wider register files.
+    core = audio_core(ram_size=256, rom_size=128, rf_scale=4,
+                      program_size=512)
+    compiled = benchmark(lambda: compile_application(dfg, core))
+    # 3 multiplies per section + 2 gain taps, all on one multiplier.
+    expected_mults = 3 * n_sections + 2
+    assert compiled.rt_program.opu_histogram()["mult"] == expected_mults
+    assert compiled.n_cycles >= expected_mults
+    print(f"\nscale[{n_sections} sections]: {len(compiled.rt_program.rts)} "
+          f"RTs -> {compiled.n_cycles} cycles")
+
+
+def test_bench_simulator_throughput(benchmark):
+    from repro import Q15
+    from repro.apps import audio_application, audio_io_binding
+
+    compiled = compile_application(
+        audio_application(), audio_core(), budget=64,
+        io_binding=audio_io_binding(),
+    )
+    n = 32
+    stimulus = {
+        "IN_L": [Q15.from_float(0.01 * (i % 50 - 25)) for i in range(n)],
+        "IN_R": [Q15.from_float(0.02 * (i % 25 - 12)) for i in range(n)],
+    }
+    outputs = benchmark(lambda: compiled.run(stimulus))
+    assert all(len(stream) == n for stream in outputs.values())

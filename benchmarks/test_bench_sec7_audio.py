@@ -1,0 +1,66 @@
+"""Experiment sec7 + fig9: the paper's headline result.
+
+Paper (section 7): "The total application is scheduled in 63 cycles"
+within the 64-cycle budget (2.8 MHz / 44 kHz); figure 9 shows the
+occupation distribution: RAM, MULT and ALU "all more than 90% which is
+extremely high taking the irregularities in the dataflow of the
+application into account.  This also clearly proves the quality of the
+code!"
+
+This bench compiles the synthesized figure-7 application end to end and
+checks every published number: the 13→9 RT classes, the single 'ABC'
+artificial resource, the cycle count and all nine occupation rows.
+"""
+
+from __future__ import annotations
+
+from conftest import FIGURE9_NAMES, FIGURE9_ORDER, FIGURE9_PAPER
+
+from repro import audio_core, compile_application
+from repro.apps import audio_application, audio_io_binding
+from repro.core import ClassTable
+from repro.report import occupation_chart, occupation_rows
+
+PAPER_CYCLES = 63
+PAPER_BUDGET = 64
+
+
+def test_bench_full_compilation(benchmark, audio_compiled):
+    compiled = benchmark(
+        lambda: compile_application(
+            audio_application(), audio_core(), budget=PAPER_BUDGET,
+            io_binding=audio_io_binding(),
+        )
+    )
+    # --- "scheduled in 63 cycles" ------------------------------------
+    assert compiled.n_cycles <= PAPER_BUDGET
+    assert compiled.n_cycles == PAPER_CYCLES, (
+        f"paper: {PAPER_CYCLES} cycles, measured: {compiled.n_cycles}"
+    )
+
+    # --- "13 RT classes ... reduced to 9" -----------------------------
+    assert len(ClassTable.auto(compiled.core)) == 13
+    assert len(compiled.conflict_model.table) == 9
+
+    # --- "A single artificial resource 'ABC'" -------------------------
+    assert compiled.conflict_model.cover == [frozenset("ABC")]
+
+    # --- figure 9, row by row -----------------------------------------
+    rows = occupation_rows(compiled.schedule, FIGURE9_ORDER, FIGURE9_NAMES)
+    print("\nfig9: occupation distribution (paper vs measured)")
+    print(f"{'unit':<10} {'paper%':>7} {'ours%':>7} {'paper ops':>10} {'ours ops':>9}")
+    for row in rows:
+        paper_pct, paper_ops = FIGURE9_PAPER[row.name]
+        print(f"{row.name:<10} {paper_pct:>6}% {row.percent:>6}% "
+              f"{paper_ops:>10} {row.busy:>9}")
+        assert row.percent == paper_pct, f"{row.name}: {row.percent}% vs paper {paper_pct}%"
+        assert row.busy == paper_ops, f"{row.name}: {row.busy} ops vs paper {paper_ops}"
+
+    # --- "occupation of the RAM, MULT and ALU are all more than 90%" --
+    by_name = {row.name: row for row in rows}
+    for unit in ("RAM", "MULT", "ALU"):
+        assert by_name[unit].percent > 90
+
+    print(f"\nschedule: {compiled.n_cycles} cycles "
+          f"(paper: {PAPER_CYCLES}, budget {PAPER_BUDGET})")
+    print(occupation_chart(compiled.schedule, FIGURE9_ORDER, FIGURE9_NAMES))

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Phase 1 of the paper's methodology: design-space exploration.
+
+"During phase 1 a representative set of applications within the target
+application domain is implemented using existing ASIC synthesis tools
+for the design space exploration.  Based on this quantitative feedback
+a core architecture including the instruction set is defined."
+
+This example plays core designer: a representative application set
+(two filter networks and an 8-tap FIR) is compiled onto intermediate
+architectures with varying multiplier/ALU/RAM allocations, and the
+schedule lengths guide the allocation choice against a 48-cycle domain
+budget.
+
+Run:  python examples/design_space_exploration.py
+"""
+
+from repro.apps import fir_application, stress_application
+from repro.arch import Allocation, explore
+
+BUDGET = 48
+
+
+def main() -> None:
+    applications = [
+        stress_application(8, seed=3, name="network_a"),
+        stress_application(12, seed=7, name="network_b"),
+        fir_application([0.05 * (k + 1) for k in range(8)], name="fir8"),
+    ]
+    print("representative application set:")
+    for dfg in applications:
+        histogram = dfg.op_histogram()
+        print(f"  {dfg.name:<10} ops: {dict(sorted(histogram.items()))}")
+    print()
+
+    candidates = [
+        Allocation(n_mult=m, n_alu=a, n_ram=r)
+        for m in (1, 2)
+        for a in (1, 2)
+        for r in (1, 2)
+    ]
+    points = explore(applications, candidates)
+
+    print(f"{'mult':>4} {'alu':>4} {'ram':>4} {'OPUs':>5}  "
+          + "".join(f"{dfg.name:>11}" for dfg in applications)
+          + f"  {'fits ' + str(BUDGET):>9}")
+    best = None
+    for point in points:
+        lengths = "".join(
+            f"{point.schedule_lengths[dfg.name]:>11}" for dfg in applications
+        )
+        fits = point.worst_length <= BUDGET
+        marker = "yes" if fits else "no"
+        a = point.allocation
+        print(f"{a.n_mult:>4} {a.n_alu:>4} {a.n_ram:>4} {point.n_opus:>5}  "
+              f"{lengths}  {marker:>9}")
+        if fits and (best is None or point.n_opus < best.n_opus):
+            best = point
+
+    print()
+    if best is None:
+        print(f"no candidate meets the {BUDGET}-cycle budget — enlarge the "
+              f"allocation space or rewrite the applications")
+    else:
+        a = best.allocation
+        print(f"chosen core: {a.n_mult} MULT, {a.n_alu} ALU, {a.n_ram} RAM "
+              f"({best.n_opus} OPUs) — the smallest allocation meeting the "
+              f"budget on every application.")
+        print("phase 2 would now freeze this datapath and its instruction "
+              "set, and program production applications onto it.")
+
+
+if __name__ == "__main__":
+    main()

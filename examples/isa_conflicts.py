@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Walkthrough of the paper's section 6: instruction-set conflict
+modelling on the worked S..Y example and on the real audio core.
+
+Shows, step by step:
+
+* closure of desired instruction types under construction rules 1-4
+  (section 6.2's 13-type instruction set I),
+* the conflict graph of figure 6,
+* clique covers (the paper's, greedy, exact, one-per-edge),
+* artificial resources and the RT_1/RT_3 conflict of section 6.3,
+* the same machinery on the audio core: one clique, 'ABC'.
+
+Run:  python examples/isa_conflicts.py
+"""
+
+from repro import audio_core
+from repro.core import (
+    ClassTable,
+    ConflictGraph,
+    InstructionSet,
+    edge_per_clique_cover,
+    exact_cover,
+    greedy_cover,
+    impose_instruction_set,
+    verify_cover,
+)
+from repro.lang import parse_source
+from repro.report import conflict_report
+from repro.rtgen import conflict_same_cycle, generate_rts
+
+
+def section_62() -> None:
+    print("=== section 6.2: construction rules ===")
+    classes = ["S", "T", "U", "V", "X", "Y"]
+    desired = [frozenset("ST"), frozenset("SUV"), frozenset("XY")]
+    print("desired instruction types: {S,T}, {S,U,V}, {X,Y}")
+    iset = InstructionSet.from_desired(classes, desired)
+    print(f"closure under rules 1-4 ({len(iset)} types):")
+    print("  " + iset.pretty())
+    print()
+
+    print("=== figure 6: conflict graph, and section 6.3: covers ===")
+    graph = ConflictGraph.from_instruction_set(iset)
+    paper_cover = [frozenset("SX"), frozenset("SY"), frozenset("TUY"),
+                   frozenset("TVX"), frozenset("UX"), frozenset("VY")]
+    verify_cover(graph, paper_cover)
+    print(conflict_report(graph, greedy_cover(graph)))
+    print(f"paper's cover: 6 cliques (valid); "
+          f"exact minimum: {len(exact_cover(graph))}; "
+          f"one-per-edge: {len(edge_per_clique_cover(graph))}")
+    print()
+
+
+def section_63_on_audio_core() -> None:
+    print("=== section 7: the audio core needs one artificial "
+          "resource, 'ABC' ===")
+    core = audio_core()
+    source = """
+    app io; input i; output o0, o1;
+    loop {
+      a := pass_clip(i);
+      o0 = a;
+      o1 = a;
+    }
+    """
+    program = generate_rts(parse_source(source), core)
+    table = ClassTable.from_core(core)
+    iset = InstructionSet.from_desired(table.names, core.instruction_types)
+    model = impose_instruction_set(program.rts, table, iset)
+    print(conflict_report(model.graph, model.cover))
+    print()
+
+    io_rts = [rt for rt in model.rts if rt.opu in ("ipb", "opb_1", "opb_2")]
+    print("pairwise IO conflicts through iset:ABC "
+          "(SX = S vs SX = X, section 6.3):")
+    for i, a in enumerate(io_rts):
+        for b in io_rts[i + 1:]:
+            state = "conflict" if conflict_same_cycle(a, b) else "parallel"
+            print(f"  {a.opu}.{a.operation} ({a.rt_class}) vs "
+                  f"{b.opu}.{b.operation} ({b.rt_class}): {state}")
+    print()
+    print("one RT with its artificial resource, in the paper's syntax:")
+    print(io_rts[0].pretty())
+
+
+def main() -> None:
+    section_62()
+    section_63_on_audio_core()
+
+
+if __name__ == "__main__":
+    main()

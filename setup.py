@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e .`` on this machine lacks ``bdist_wheel`` (offline,
+no ``wheel`` distribution), so editable installs fall back to the
+legacy path: ``pip install -e . --no-build-isolation --no-use-pep517``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,41 @@
+"""repro — reproduction of *Efficient Code Generation for In-House
+DSP-Cores* (Strik, van Meerbergen, Timmer, Jess, Note; DATE 1995).
+
+A retargetable code generator for small in-house VLIW DSP cores:
+register-transfer-based compilation with static instruction-set
+conflict modelling, plus every substrate the paper relies on (target
+architecture model, application frontend, schedulers, instruction
+encoding, cycle-accurate simulation) and the benchmark harness
+regenerating the paper's evaluation.
+
+Quick start::
+
+    from repro import audio_core, compile_application
+
+    program = compile_application(source_text, audio_core(), budget=64)
+    outputs = program.run({"IN_L": samples_l, "IN_R": samples_r})
+"""
+
+from .arch import CoreSpec, audio_core, fir_core, tiny_core
+from .errors import ReproError
+from .fixed import Q15, FixedFormat
+from .lang import DfgBuilder, parse_source, run_reference
+from .pipeline import CompiledProgram, compile_application
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CompiledProgram",
+    "CoreSpec",
+    "DfgBuilder",
+    "FixedFormat",
+    "Q15",
+    "ReproError",
+    "audio_core",
+    "compile_application",
+    "fir_core",
+    "parse_source",
+    "run_reference",
+    "tiny_core",
+    "__version__",
+]

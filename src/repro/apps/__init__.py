@@ -1,0 +1,37 @@
+"""Workload library: the paper's audio application (tuned to the
+published figure-9 profile) plus filter, adaptive and synthetic
+workloads for the examples and benches."""
+
+from .audio import (
+    AudioAppSpec,
+    audio_application,
+    audio_io_binding,
+    expected_opu_counts,
+)
+from .channel import channel_frontend_application
+from .filters import biquad_cascade_application, fir_application, reference_fir
+from .lms import (
+    ADAPTIVE_CLASS_TABLE,
+    ADAPTIVE_INSTRUCTION_TYPES,
+    adaptive_core,
+    adaptive_datapath,
+    lms_application,
+)
+from .stress import stress_application
+
+__all__ = [
+    "ADAPTIVE_CLASS_TABLE",
+    "ADAPTIVE_INSTRUCTION_TYPES",
+    "AudioAppSpec",
+    "adaptive_core",
+    "adaptive_datapath",
+    "audio_application",
+    "audio_io_binding",
+    "biquad_cascade_application",
+    "channel_frontend_application",
+    "expected_opu_counts",
+    "fir_application",
+    "lms_application",
+    "reference_fir",
+    "stress_application",
+]

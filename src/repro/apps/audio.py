@@ -1,0 +1,188 @@
+"""The digital-audio application of the paper's section 7 (figure 7).
+
+The paper prints only the treble section's source and the resource
+profile of the whole application (figure 9).  The full source was never
+published, but figure 9 pins the operation counts exactly: over the
+63-cycle schedule, occupations of 92% (RAM, MULT, ALU, ROM, PRG_CNST),
+93% (ACU), 3% (IPB) and 6% (OPB_1, OPB_2) mean
+
+    58 RAM accesses, 58 multiplies, 58 ALU operations,
+    58 coefficient fetches, 58 program constants, 59 ACU address
+    computations, 2 input reads and 4 + 4 output writes
+
+per time-loop iteration.  This module synthesises a stereo tone-control
+/ crossover network with *exactly* that profile (29 RAM / 29 MULT /
+29 ALU per channel), built from the published treble-section template:
+
+========================  ====  ====  ===
+per channel               RAM   MULT  ALU
+========================  ====  ====  ===
+volume premultiply + store  1     1    0
+treble section (paper)      4     3    3
+bass section                4     3    3
+presence section            4     3    3
+tone mix                    0     0    1
+3-tap feedback echo         4     3    3
+4 crossover band biquads   12    12   12
+4 output gain taps          0     4    4
+                           --    --   --
+total                      29    29   29
+========================  ====  ====  ===
+
+Left and right channels use separate coefficient sets (the paper's ROM
+count equals its MULT count, i.e. no coefficient sharing), delivering
+58 distinct ROM words — within the audio core's 64-word ROM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..lang.builder import DfgBuilder, Ref, StateRef
+from ..lang.dfg import Dfg
+
+#: Default coefficient values (floats, quantised to Q15 by the flow).
+#: Slightly different per channel so every ROM word is distinct.
+_SECTION_COEFS = {"treble": (0.40, -0.20, 0.30),
+                  "bass": (0.15, 0.05, 0.55),
+                  "presence": (0.22, -0.12, 0.41)}
+_ECHO_COEFS = (0.31, -0.17, 0.09)
+_BAND_COEFS = ((0.45, 0.21, -0.11), (0.38, 0.16, -0.07),
+               (0.29, 0.12, -0.05), (0.24, 0.08, -0.03))
+_GAINS = (0.9, 0.8, 0.7, 0.6)
+_VOLUME = 0.77
+
+
+@dataclass(frozen=True)
+class AudioAppSpec:
+    """Tunable structure of the synthesized application."""
+
+    n_bands: int = 4
+    echo_taps: int = 3
+    stereo: bool = True
+
+    @property
+    def channels(self) -> tuple[str, ...]:
+        return ("l", "r") if self.stereo else ("l",)
+
+
+def _section(b: DfgBuilder, tag: str, x_state: StateRef, y_state: StateRef,
+             coefs: tuple[float, float, float]) -> Ref:
+    """The paper's treble-section template (printed source, section 7)::
+
+        x0 := u@2;  m := mlt(d2, x0);  a := pass(m);
+        x2 := v@1;  m := mlt(e1, x2);  a := add(m, a);
+        x1 := u@1;  m := mlt(d1, x1);  rd := add_clip(m, a);
+        v  = rd;
+
+    4 RAM accesses, 3 multiplies, 3 ALU operations.
+    """
+    d1, d2, e1 = coefs
+    x0 = b.delay(x_state, 2)
+    m = b.op("mult", b.param(f"d2_{tag}", d2), x0)
+    a = b.op("pass", m)
+    x2 = b.delay(y_state, 1)
+    m = b.op("mult", b.param(f"e1_{tag}", e1), x2)
+    a = b.op("add", m, a)
+    x1 = b.delay(x_state, 1)
+    m = b.op("mult", b.param(f"d1_{tag}", d1), x1)
+    rd = b.op("add_clip", m, a)
+    b.write(y_state, rd)
+    return rd
+
+
+def _channel(b: DfgBuilder, channel: str, spec: AudioAppSpec) -> None:
+    tag = channel
+    # Volume premultiply straight into the delay-line store (1 RAM, 1 MULT).
+    sample = b.input(f"IN_{channel.upper()}")
+    xin = b.op("mult", b.param(f"vol_{tag}", _VOLUME), sample)
+    u = b.state(f"u_{tag}", depth=2)
+    b.write(u, xin)
+
+    # Three tone sections sharing the input delay line u (paper template).
+    v = b.state(f"v_{tag}", depth=1)
+    w = b.state(f"w_{tag}", depth=1)
+    p = b.state(f"p_{tag}", depth=1)
+    treble = _section(b, f"tr_{tag}", u, v, _SECTION_COEFS["treble"])
+    bass = _section(b, f"ba_{tag}", u, w, _SECTION_COEFS["bass"])
+    presence = _section(b, f"pr_{tag}", u, p, _SECTION_COEFS["presence"])
+
+    # Tone mix (1 ALU).
+    t = b.op("add", treble, bass)
+
+    # Feedback echo over `echo_taps` delayed copies (taps RAM reads +
+    # 1 write, taps MULTs, taps ALU ops).
+    e = b.state(f"e_{tag}", depth=spec.echo_taps)
+    acc = t
+    for k in range(1, spec.echo_taps + 1):
+        m = b.op("mult", b.param(f"fb{k}_{tag}", _ECHO_COEFS[(k - 1) % 3]),
+                 b.delay(e, k))
+        operation = "add_clip" if k == spec.echo_taps else "add"
+        acc = b.op(operation, m, acc)
+    t2 = acc
+    b.write(e, t2)
+
+    # Crossover bands: biquad feedback sections on the mixed signal;
+    # the last band taps the presence section instead (3 RAM, 3 MULT,
+    # 3 ALU each).
+    band_outputs = []
+    for band in range(spec.n_bands):
+        b0, a1, a2 = _BAND_COEFS[band % len(_BAND_COEFS)]
+        source = presence if band == spec.n_bands - 1 else t2
+        y = b.state(f"y{band}_{tag}", depth=2)
+        m = b.op("mult", b.param(f"b0_{band}_{tag}", b0), source)
+        acc = b.op("pass", m)
+        m = b.op("mult", b.param(f"a1_{band}_{tag}", a1), b.delay(y, 1))
+        acc = b.op("add", m, acc)
+        m = b.op("mult", b.param(f"a2_{band}_{tag}", a2), b.delay(y, 2))
+        rd = b.op("add_clip", m, acc)
+        b.write(y, rd)
+        band_outputs.append(rd)
+
+    # Output gain taps (1 MULT + 1 ALU each).
+    for band, rd in enumerate(band_outputs):
+        m = b.op("mult", b.param(f"g{band}_{tag}", _GAINS[band % len(_GAINS)]), rd)
+        b.output(f"out{band}_{channel}", b.op("pass_clip", m))
+
+
+def audio_application(spec: AudioAppSpec | None = None) -> Dfg:
+    """Build the figure-7 application with the figure-9 profile."""
+    spec = spec or AudioAppSpec()
+    b = DfgBuilder("audio_tone_control")
+    for channel in spec.channels:
+        _channel(b, channel, spec)
+    return b.build()
+
+
+def expected_opu_counts(spec: AudioAppSpec | None = None) -> dict[str, int]:
+    """The figure-9 operation counts the default spec must produce."""
+    spec = spec or AudioAppSpec()
+    channels = len(spec.channels)
+    ram = (1 + 4 * 3 + (spec.echo_taps + 1) + 3 * spec.n_bands) * channels
+    mult = (1 + 3 * 3 + spec.echo_taps + 3 * spec.n_bands + spec.n_bands) * channels
+    alu = (3 * 3 + 1 + spec.echo_taps + 3 * spec.n_bands + spec.n_bands) * channels
+    return {
+        "ram": ram,
+        "mult": mult,
+        "alu": alu,
+        "acu": ram + 1,
+        "rom": mult,
+        "prg_c": mult,
+        "ipb": channels,
+        "opb_1": (spec.n_bands * channels + 1) // 2,
+        "opb_2": (spec.n_bands * channels) // 2,
+    }
+
+
+def audio_io_binding(spec: AudioAppSpec | None = None) -> dict[str, str]:
+    """Alternate the band outputs over OPB_1 and OPB_2 (4 + 4)."""
+    spec = spec or AudioAppSpec()
+    binding: dict[str, str] = {}
+    index = 0
+    for channel in spec.channels:
+        for band in range(spec.n_bands):
+            binding[f"out{band}_{channel}"] = (
+                "opb_1" if index % 2 == 0 else "opb_2"
+            )
+            index += 1
+    return binding

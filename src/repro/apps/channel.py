@@ -1,0 +1,73 @@
+"""A DECT/GSM-flavoured channel front-end workload.
+
+The paper names "Digital audio, DECT, GSM" as typical in-house-core
+application domains.  This workload models a burst-mode receiver
+front-end: DC-offset removal, a matched filter (small FIR), a
+two-symbol correlator against a stored sync pattern, and an energy
+tracker — all inside one time-loop, mixing the multiply/accumulate and
+delay-line patterns such codes are made of.
+
+Used by the tests as a second realistic end-to-end application and as
+an exploration workload for a DECT-domain core.
+"""
+
+from __future__ import annotations
+
+from ..lang.builder import DfgBuilder
+from ..lang.dfg import Dfg
+
+#: Matched-filter taps (half-sine-ish pulse shape).
+_MF_TAPS = (0.18, 0.44, 0.44, 0.18)
+#: Two-symbol sync pattern the correlator looks for.
+_SYNC = (0.65, -0.65)
+_DC_POLE = 0.9921875            # 1 - 1/128: slow DC tracker
+_ENERGY_POLE = 0.96875          # 1 - 1/32: fast RSSI tracker
+
+
+def channel_frontend_application(name: str = "dect_frontend") -> Dfg:
+    """Build the receiver front-end DFG.
+
+    Outputs per sample: the filtered symbol stream (``sym``), the sync
+    correlation (``corr``) and the tracked signal energy (``rssi``).
+    """
+    b = DfgBuilder(name)
+    x = b.input("rf_in")
+
+    # DC-offset removal: dc += (1-p)*(x - dc); y = x - dc.
+    dc = b.state("dc", depth=1)
+    dc_old = b.delay(dc, 1)
+    error = b.op("sub", x, dc_old)
+    step = b.op("mult", b.param("dc_mu", 1.0 - _DC_POLE), error)
+    b.write(dc, b.op("add_clip", step, dc_old))
+    y = b.op("sub", x, dc_old)
+
+    # Matched filter over the DC-free signal.
+    d = b.state("mfline", depth=len(_MF_TAPS) - 1)
+    b.write(d, y)
+    accumulator = None
+    for k, h in enumerate(_MF_TAPS):
+        tap = y if k == 0 else b.delay(d, k)
+        product = b.op("mult", b.param(f"mf{k}", h), tap)
+        accumulator = (
+            b.op("pass", product) if accumulator is None
+            else b.op("add", product, accumulator)
+        )
+    symbol = b.op("pass_clip", accumulator)
+    b.output("sym", symbol)
+
+    # Correlation against the stored sync pattern (two symbol delays).
+    s = b.state("symline", depth=2)
+    b.write(s, symbol)
+    c0 = b.op("mult", b.param("sync0", _SYNC[0]), b.delay(s, 1))
+    c1 = b.op("mult", b.param("sync1", _SYNC[1]), b.delay(s, 2))
+    b.output("corr", b.op("add_clip", c1, b.op("pass", c0)))
+
+    # Energy/RSSI tracking: e += (1-p)*(|sym|^2-ish - e); |.|^2 is
+    # approximated by sym*sym through the signal-times-signal multiply
+    # when available, else by a scaled pass (core-portable variant).
+    e = b.state("energy", depth=1)
+    e_old = b.delay(e, 1)
+    scaled = b.op("mult", b.param("rssi_g", 1.0 - _ENERGY_POLE), symbol)
+    b.write(e, b.op("add_clip", scaled, b.op("mult", b.param("rssi_p", _ENERGY_POLE), e_old)))
+    b.output("rssi", e_old)
+    return b.build()

@@ -1,0 +1,110 @@
+"""Classic filter workloads: FIR and IIR biquad cascades.
+
+These are the bread-and-butter programs of the paper's application
+domains (digital audio, DECT, GSM front-ends).  They are generated
+through the builder so tap counts and coefficients are parameters;
+the examples and benches sweep them.
+"""
+
+from __future__ import annotations
+
+from ..errors import SemanticError
+from ..lang.builder import DfgBuilder
+from ..lang.dfg import Dfg
+
+
+def fir_application(
+    coefficients: list[float],
+    name: str = "fir",
+    clip_output: bool = True,
+) -> Dfg:
+    """An N-tap transversal FIR filter, fully unrolled.
+
+    ``y[n] = sum(h[k] * x[n-k])`` — one multiply per tap, accumulated
+    in the paper's chained style (``pass`` then ``add`` ... ``add_clip``).
+    """
+    if not coefficients:
+        raise SemanticError("FIR needs at least one coefficient")
+    b = DfgBuilder(name)
+    x = b.input("x")
+    taps = len(coefficients)
+    delay = b.state("d", depth=max(taps - 1, 1)) if taps > 1 else None
+    if delay is not None:
+        b.write(delay, x)
+
+    accumulator = None
+    for k, h in enumerate(coefficients):
+        coefficient = b.param(f"h{k}", h)
+        source = x if k == 0 else b.delay(delay, k)
+        product = b.op("mult", coefficient, source)
+        if accumulator is None:
+            accumulator = b.op("pass", product)
+        elif k == taps - 1 and clip_output:
+            accumulator = b.op("add_clip", product, accumulator)
+        else:
+            accumulator = b.op("add", product, accumulator)
+    b.output("y", accumulator)
+    return b.build()
+
+
+def biquad_cascade_application(
+    sections: list[tuple[float, float, float, float, float]],
+    name: str = "iir_cascade",
+) -> Dfg:
+    """A cascade of direct-form-II-ish biquads.
+
+    Each section is ``(b0, b1, b2, a1, a2)`` computing::
+
+        w[n] = clip(b0*x + b1*x1 + b2*x2 + a1*y1 + a2*y2)
+
+    with ``x1/x2`` the section input history and ``y1/y2`` its output
+    history, both RAM-resident delay lines.
+    """
+    if not sections:
+        raise SemanticError("cascade needs at least one section")
+    b = DfgBuilder(name)
+    signal = b.input("x")
+    for index, (b0, b1, b2, a1, a2) in enumerate(sections):
+        tag = f"s{index}"
+        x_state = b.state(f"x_{tag}", depth=2)
+        y_state = b.state(f"y_{tag}", depth=2)
+        b.write(x_state, signal)
+        product = b.op("mult", b.param(f"b0_{tag}", b0), signal)
+        accumulator = b.op("pass", product)
+        terms = [
+            (f"b1_{tag}", b1, b.delay(x_state, 1)),
+            (f"b2_{tag}", b2, b.delay(x_state, 2)),
+            (f"a1_{tag}", a1, b.delay(y_state, 1)),
+        ]
+        for coef_name, coef_value, operand in terms:
+            product = b.op("mult", b.param(coef_name, coef_value), operand)
+            accumulator = b.op("add", product, accumulator)
+        product = b.op("mult", b.param(f"a2_{tag}", a2), b.delay(y_state, 2))
+        result = b.op("add_clip", product, accumulator)
+        b.write(y_state, result)
+        signal = result
+    b.output("y", signal)
+    return b.build()
+
+
+def reference_fir(coefficients: list[float], fmt, xs: list[int]) -> list[int]:
+    """Direct fixed-point FIR computation (oracle for tests/benches).
+
+    Matches :func:`fir_application`'s chained accumulation exactly:
+    taps accumulate with wrap-around adds, the last with saturation.
+    """
+    quantised = [fmt.from_float(h) for h in coefficients]
+    history: list[int] = []
+    outputs: list[int] = []
+    for x in xs:
+        history.insert(0, x)
+        accumulator = 0
+        for k, h in enumerate(quantised):
+            sample = history[k] if k < len(history) else 0
+            product = fmt.mult(h, sample)
+            if k == len(quantised) - 1 and len(quantised) > 1:
+                accumulator = fmt.add_clip(product, accumulator)
+            else:
+                accumulator = fmt.add(product, accumulator)
+        outputs.append(accumulator)
+    return outputs

@@ -1,0 +1,169 @@
+"""LMS adaptive filter — and the in-house core it motivates.
+
+The audio and FIR cores cannot multiply two *signals*: their multiplier
+coefficient port is fed only by the ROM / constant unit.  An adaptive
+filter needs exactly that (``mu * e[n] * x[n-k]``), so following the
+paper's methodology we define a new in-house core for the adaptive
+domain — same datapath style, one extra interconnect route
+(RAM and ALU results can reach the coefficient port) and a second RAM
+port file sized for coefficient storage.
+
+This demonstrates the retargetability claim: the *same* compiler, fed a
+different :class:`~repro.arch.library.CoreSpec`, programs the new core
+with zero code changes.
+"""
+
+from __future__ import annotations
+
+from ..arch.controller import ControllerSpec
+from ..arch.datapath import Datapath
+from ..arch.library import ClassDef, CoreSpec
+from ..arch.opu import Operation, OpuKind
+from ..lang.builder import DfgBuilder
+from ..lang.dfg import Dfg
+
+
+def adaptive_datapath(ram_size: int = 256) -> Datapath:
+    """The FIR core plus signal-to-coefficient-port routing."""
+    dp = Datapath("adaptive")
+
+    ram = dp.add_opu("ram", OpuKind.RAM, [
+        Operation("read", arity=1, reads_memory=True),
+        Operation("write", arity=2, writes_memory=True),
+    ], memory_size=ram_size)
+    mult = dp.add_opu("mult", OpuKind.MULT, [
+        Operation("mult", arity=2, commutative=True),
+    ])
+    alu = dp.add_opu("alu", OpuKind.ALU, [
+        Operation("add", arity=2, commutative=True),
+        Operation("sub", arity=2),
+        Operation("add_clip", arity=2, commutative=True),
+        Operation("pass", arity=1),
+        Operation("pass_clip", arity=1),
+    ])
+    acu = dp.add_opu("acu", OpuKind.ACU, [
+        Operation("addmod", arity=2),
+    ])
+    prg = dp.add_opu("prg_c", OpuKind.CONST, [Operation("const", arity=1)])
+    ipb = dp.add_opu("ipb", OpuKind.INPUT, [Operation("read", arity=0)])
+    dp.add_opu("opb", OpuKind.OUTPUT, [Operation("write", arity=1)])
+
+    rf_ram_addr = dp.add_register_file("rf_ram_addr", 4)
+    rf_ram_data = dp.add_register_file("rf_ram_data", 8)
+    rf_mult_data = dp.add_register_file("rf_mult_data", 8)
+    rf_mult_coef = dp.add_register_file("rf_mult_coef", 8)
+    rf_alu_p0 = dp.add_register_file("rf_alu_p0", 8)
+    rf_alu_p1 = dp.add_register_file("rf_alu_p1", 8)
+    rf_acu = dp.add_register_file("rf_acu", 2)
+    rf_opb = dp.add_register_file("rf_opb", 2)
+
+    dp.connect_port(ram, 0, rf_ram_addr)
+    dp.connect_port(ram, 1, rf_ram_data)
+    dp.connect_port(mult, 0, rf_mult_data)
+    dp.connect_port(mult, 1, rf_mult_coef)
+    dp.connect_port(alu, 0, rf_alu_p0)
+    dp.connect_port(alu, 1, rf_alu_p1)
+    dp.connect_port(acu, 0, rf_acu)
+    dp.make_immediate_port(acu, 1)
+    dp.make_immediate_port(prg, 0)
+    dp.connect_port("opb", 0, rf_opb)
+
+    bus_ram = dp.attach_bus(ram)
+    bus_mult = dp.attach_bus(mult)
+    bus_alu = dp.attach_bus(alu)
+    bus_acu = dp.attach_bus(acu)
+    bus_prg = dp.attach_bus(prg)
+    bus_ipb = dp.attach_bus(ipb)
+
+    dp.route_bus(bus_acu, rf_ram_addr)
+    dp.route_bus(bus_acu, rf_acu)
+    dp.route_bus(bus_ipb, rf_ram_data)
+    dp.route_bus(bus_alu, rf_ram_data)
+    dp.route_bus(bus_mult, rf_ram_data)
+    dp.route_bus(bus_ram, rf_mult_data)
+    dp.route_bus(bus_alu, rf_mult_data)
+    dp.route_bus(bus_ipb, rf_mult_data)
+    dp.route_bus(bus_mult, rf_mult_data)     # product re-multiplied (mu*e)*x
+    dp.route_bus(bus_prg, rf_mult_coef)
+    dp.route_bus(bus_ram, rf_mult_coef)      # adapted coefficient from RAM
+    dp.route_bus(bus_alu, rf_mult_coef)      # freshly updated coefficient
+    dp.route_bus(bus_mult, rf_alu_p0)
+    dp.route_bus(bus_ram, rf_alu_p0)
+    dp.route_bus(bus_ipb, rf_alu_p0)
+    dp.route_bus(bus_alu, rf_alu_p0)
+    dp.route_bus(bus_alu, rf_alu_p1)
+    dp.route_bus(bus_ram, rf_alu_p1)
+    dp.route_bus(bus_prg, rf_alu_p1)
+    dp.route_bus(bus_alu, rf_opb)
+    return dp
+
+
+ADAPTIVE_CLASS_TABLE: list[ClassDef] = [
+    ClassDef("A", "ipb", ("read",)),
+    ClassDef("B", "opb", ("write",)),
+    ClassDef("D", "acu", ("addmod",)),
+    ClassDef("X", "ram", ("read", "write")),
+    ClassDef("G", "mult", ("mult",)),
+    ClassDef("Y", "alu", ("add", "sub", "add_clip", "pass", "pass_clip")),
+    ClassDef("M", "prg_c", ("const",)),
+]
+
+ADAPTIVE_INSTRUCTION_TYPES: list[frozenset[str]] = [
+    frozenset({"A", "D", "X", "G", "Y", "M"}),
+    frozenset({"B", "D", "X", "G", "Y", "M"}),
+]
+
+
+def adaptive_core(ram_size: int = 256) -> CoreSpec:
+    return CoreSpec(
+        name="adaptive",
+        datapath=adaptive_datapath(ram_size=ram_size),
+        controller=ControllerSpec(
+            stack_depth=4,
+            n_flags=0,
+            supports_conditionals=False,
+            supports_loops=True,
+            program_size=512,
+        ),
+        class_defs=list(ADAPTIVE_CLASS_TABLE),
+        instruction_types=list(ADAPTIVE_INSTRUCTION_TYPES),
+    )
+
+
+def lms_application(n_taps: int = 4, mu: float = 0.05,
+                    name: str = "lms") -> Dfg:
+    """A normalised-step LMS echo canceller skeleton.
+
+    Per iteration: filter the reference ``x`` with the adapted weights
+    (held in delay-line states), subtract from the desired signal
+    ``d``, emit the error, and update every weight with
+    ``w_k += mu * e * x[n-k]``.
+    """
+    b = DfgBuilder(name)
+    x = b.input("x")
+    desired = b.input("d")
+    x_state = b.state("xline", depth=max(n_taps - 1, 1))
+    b.write(x_state, x)
+    weights = [b.state(f"w{k}", depth=1) for k in range(n_taps)]
+
+    # y[n] = sum w_k * x[n-k]
+    accumulator = None
+    x_taps = [x] + [b.delay(x_state, k) for k in range(1, n_taps)]
+    for k in range(n_taps):
+        product = b.op("mult", b.delay(weights[k], 1), x_taps[k])
+        accumulator = (
+            b.op("pass", product) if accumulator is None
+            else b.op("add", product, accumulator)
+        )
+    y = accumulator
+
+    # e[n] = d[n] - y[n]; output the error.
+    error = b.op("sub", desired, y)
+    b.output("e", error)
+
+    # w_k += mu * e * x[n-k]
+    step = b.op("mult", b.param("mu", mu), error)
+    for k in range(n_taps):
+        gradient = b.op("mult", step, x_taps[k])
+        b.write(weights[k], b.op("add_clip", gradient, b.delay(weights[k], 1)))
+    return b.build()

@@ -1,0 +1,53 @@
+"""Synthetic workload generator for scheduler benchmarks.
+
+Produces random-but-reproducible filter networks of a requested size:
+chains of treble-style sections over shared delay lines, with the same
+operation mix as the audio application.  Used by the scheduler-runtime
+ablations where one application is not enough signal.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..lang.builder import DfgBuilder
+from ..lang.dfg import Dfg
+
+
+def stress_application(
+    n_sections: int,
+    seed: int = 0,
+    n_outputs: int = 2,
+    name: str | None = None,
+) -> Dfg:
+    """A network of ``n_sections`` second-order sections.
+
+    Each section reads the shared input delay line and its own feedback
+    state (4 RAM, 3 MULT, 3 ALU — the audio template); outputs tap the
+    last sections through gain multiplies.
+    """
+    rng = random.Random(seed)
+    b = DfgBuilder(name or f"stress_{n_sections}")
+    x = b.input("x")
+    u = b.state("u", depth=2)
+    b.write(u, x)
+
+    results = []
+    for index in range(n_sections):
+        tag = f"s{index}"
+        y = b.state(f"y_{tag}", depth=1)
+        coefs = [round(rng.uniform(-0.9, 0.9), 4) for _ in range(3)]
+        m = b.op("mult", b.param(f"c0_{tag}", coefs[0]), b.delay(u, 2))
+        a = b.op("pass", m)
+        m = b.op("mult", b.param(f"c1_{tag}", coefs[1]), b.delay(y, 1))
+        a = b.op("add", m, a)
+        m = b.op("mult", b.param(f"c2_{tag}", coefs[2]), b.delay(u, 1))
+        rd = b.op("add_clip", m, a)
+        b.write(y, rd)
+        results.append(rd)
+
+    for index in range(min(n_outputs, len(results))):
+        source = results[-(index + 1)]
+        gain = b.param(f"g{index}", round(rng.uniform(0.2, 0.9), 4))
+        b.output(f"o{index}", b.op("pass_clip", b.op("mult", gain, source)))
+    return b.build()

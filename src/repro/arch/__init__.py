@@ -1,0 +1,94 @@
+"""Target architecture model for in-house DSP cores (paper, section 5).
+
+The class of architectures for which code generation is possible:
+a datapath of operation units with distributed register files, buses
+and multiplexers (figure 3), plus a small pipelined controller with a
+loop stack (figure 4).  A :class:`CoreSpec` bundles a datapath, a
+controller and the instruction-set data that :mod:`repro.core`
+interprets.
+"""
+
+from .controller import ControllerSpec, CtrlOp
+from .datapath import Datapath, Route
+from .explore import (
+    Allocation,
+    ExplorationPoint,
+    explore,
+    intermediate_architecture,
+    required_operations,
+)
+from .interconnect import Bus, BusSink, Mux
+from .library import (
+    AUDIO_CLASS_TABLE_9,
+    AUDIO_CLASS_TABLE_13,
+    AUDIO_INSTRUCTION_TYPES,
+    FIR_CLASS_TABLE,
+    FIR_INSTRUCTION_TYPES,
+    TINY_CLASS_TABLE,
+    TINY_INSTRUCTION_TYPES,
+    ClassDef,
+    CoreSpec,
+    audio_core,
+    audio_datapath,
+    fir_core,
+    fir_datapath,
+    tiny_core,
+    tiny_datapath,
+)
+from .merge import BusMerge, MergeSpec, RegisterFileMerge
+from .opu import InputPort, Operation, Opu, OpuKind
+from .serialize import (
+    core_from_dict,
+    core_to_dict,
+    datapath_from_dict,
+    datapath_to_dict,
+    dump_core,
+    load_core,
+)
+from .storage import RegisterFile
+from .validate import validate_datapath
+
+__all__ = [
+    "AUDIO_CLASS_TABLE_13",
+    "AUDIO_CLASS_TABLE_9",
+    "AUDIO_INSTRUCTION_TYPES",
+    "Allocation",
+    "Bus",
+    "ExplorationPoint",
+    "explore",
+    "intermediate_architecture",
+    "required_operations",
+    "BusMerge",
+    "BusSink",
+    "ClassDef",
+    "ControllerSpec",
+    "CoreSpec",
+    "CtrlOp",
+    "Datapath",
+    "FIR_CLASS_TABLE",
+    "FIR_INSTRUCTION_TYPES",
+    "InputPort",
+    "MergeSpec",
+    "Mux",
+    "Operation",
+    "Opu",
+    "OpuKind",
+    "RegisterFile",
+    "RegisterFileMerge",
+    "Route",
+    "TINY_CLASS_TABLE",
+    "TINY_INSTRUCTION_TYPES",
+    "audio_core",
+    "audio_datapath",
+    "core_from_dict",
+    "core_to_dict",
+    "datapath_from_dict",
+    "datapath_to_dict",
+    "dump_core",
+    "fir_core",
+    "fir_datapath",
+    "load_core",
+    "tiny_core",
+    "tiny_datapath",
+    "validate_datapath",
+]

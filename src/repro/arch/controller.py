@@ -1,0 +1,101 @@
+"""The parameterisable controller model (paper, figure 4).
+
+The controller is pipelined via a program counter and an instruction
+register.  A stack saves return addresses for the time-loop and for
+(possibly nested) for-loops.  Parameters of the model: program and
+instruction bus width, stack depth and number of datapath flags.
+
+The audio core of section 7 uses "a stripped version of the controller
+... as there are no conditional instructions at all"; the
+``supports_conditionals`` switch models exactly that stripping.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..errors import ArchitectureError
+
+
+class CtrlOp(enum.Enum):
+    """Controller operations encodable in the instruction word.
+
+    ``CONT``
+        Fall through to the next instruction (default).
+    ``IDLE``
+        Wait for the external start signal, then continue.  Used to
+        synchronise the time-loop to the sample rate (figure 4's
+        ``Start_Signal``).
+    ``JUMP``
+        Unconditional branch to an absolute address.
+    ``CJMP``
+        Conditional branch on a datapath flag; requires
+        ``supports_conditionals``.
+    ``LOOP``
+        Push (return address, count) on the loop stack and enter a
+        zero-overhead hardware loop body.
+    ``ENDL``
+        Bottom of a hardware loop: decrement the count and branch back
+        while it is non-zero, else pop.
+    ``HALT``
+        Stop the core (used by finite test programs).
+    """
+
+    CONT = "cont"
+    IDLE = "idle"
+    JUMP = "jump"
+    CJMP = "cjmp"
+    LOOP = "loop"
+    ENDL = "endl"
+    HALT = "halt"
+
+
+@dataclass
+class ControllerSpec:
+    """Static parameters of the controller instance of a core."""
+
+    stack_depth: int = 4
+    n_flags: int = 0
+    supports_conditionals: bool = False
+    supports_loops: bool = True
+    program_size: int = 256
+
+    def __post_init__(self) -> None:
+        if self.stack_depth < 0:
+            raise ArchitectureError("controller: stack depth must be >= 0")
+        if self.n_flags < 0:
+            raise ArchitectureError("controller: flag count must be >= 0")
+        if self.supports_conditionals and self.n_flags == 0:
+            raise ArchitectureError(
+                "controller: conditional branches need at least one flag"
+            )
+        if self.program_size < 1:
+            raise ArchitectureError("controller: program size must be >= 1")
+
+    @property
+    def address_bits(self) -> int:
+        return max(1, (self.program_size - 1).bit_length())
+
+    @property
+    def flag_bits(self) -> int:
+        return max(1, (self.n_flags - 1).bit_length()) if self.n_flags else 0
+
+    def allowed_ops(self) -> set[CtrlOp]:
+        ops = {CtrlOp.CONT, CtrlOp.IDLE, CtrlOp.JUMP, CtrlOp.HALT}
+        if self.supports_conditionals:
+            ops.add(CtrlOp.CJMP)
+        if self.supports_loops and self.stack_depth > 0:
+            ops.add(CtrlOp.LOOP)
+            ops.add(CtrlOp.ENDL)
+        return ops
+
+    def stripped(self) -> "ControllerSpec":
+        """The stripped controller of section 7: no conditionals."""
+        return ControllerSpec(
+            stack_depth=self.stack_depth,
+            n_flags=0,
+            supports_conditionals=False,
+            supports_loops=self.supports_loops,
+            program_size=self.program_size,
+        )

@@ -1,0 +1,260 @@
+"""The datapath container and builder (paper, figure 3).
+
+A :class:`Datapath` holds OPUs, register files, buses and multiplexers
+and offers the connectivity queries the RT generator needs:
+
+* which register file feeds an OPU input port,
+* which routes (bus → optional mux → register file) a result can take,
+* which OPUs support a given operation.
+
+Wiring conventions
+------------------
+* Each result-producing OPU drives exactly one bus (created by
+  :meth:`attach_bus`, or implicitly on first route).
+* A register file written by exactly one bus is written directly; as
+  soon as a second bus is routed to the same file, a multiplexer is
+  materialised in front of its write port (matching figure 3, where the
+  mux is optional).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ArchitectureError, ConnectivityError
+from .interconnect import Bus, BusSink, Mux
+from .opu import Operation, Opu, OpuKind
+from .storage import RegisterFile
+
+
+@dataclass(frozen=True)
+class Route:
+    """One way a result of ``opu`` can reach a register file."""
+
+    opu: Opu
+    bus: Bus
+    sink: BusSink
+
+    @property
+    def register_file(self) -> RegisterFile:
+        return self.sink.register_file
+
+    @property
+    def mux(self) -> Mux | None:
+        return self.sink.mux
+
+
+class Datapath:
+    """A concrete instantiation of the generic target datapath."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.opus: dict[str, Opu] = {}
+        self.register_files: dict[str, RegisterFile] = {}
+        self.buses: dict[str, Bus] = {}
+        self.muxes: dict[str, Mux] = {}
+
+    # ------------------------------------------------------------------
+    # Builder API
+    # ------------------------------------------------------------------
+
+    def add_opu(
+        self,
+        name: str,
+        kind: OpuKind,
+        operations: list[Operation],
+        memory_size: int | None = None,
+    ) -> Opu:
+        """Add an operation unit.  ``memory_size`` is for RAM/ROM kinds."""
+        if name in self.opus:
+            raise ArchitectureError(f"duplicate OPU name {name!r}")
+        opu = Opu(name, kind, operations)
+        if kind.has_memory:
+            if memory_size is None:
+                raise ArchitectureError(f"{kind.value} OPU {name!r} needs memory_size")
+            opu.memory_size = memory_size
+        elif memory_size is not None:
+            raise ArchitectureError(f"OPU {name!r} of kind {kind.value} has no memory")
+        self.opus[name] = opu
+        return opu
+
+    def add_register_file(
+        self, name: str, size: int, dedicated_read_ports: bool = True
+    ) -> RegisterFile:
+        if name in self.register_files:
+            raise ArchitectureError(f"duplicate register file name {name!r}")
+        rf = RegisterFile(name, size, dedicated_read_ports)
+        self.register_files[name] = rf
+        return rf
+
+    def connect_port(self, opu: Opu | str, port_index: int, rf: RegisterFile | str) -> None:
+        """Feed OPU input port ``port_index`` from register file ``rf``."""
+        opu = self._opu(opu)
+        rf = self._rf(rf)
+        port = self._port(opu, port_index)
+        if port.register_file is not None:
+            raise ArchitectureError(
+                f"port {port.name} is already fed by {port.register_file.name!r}"
+            )
+        if port.accepts_immediate:
+            raise ArchitectureError(f"port {port.name} is an immediate port")
+        port.register_file = rf
+        rf.readers.append(port)
+
+    def make_immediate_port(self, opu: Opu | str, port_index: int) -> None:
+        """Mark an OPU input port as fed by an instruction-word field."""
+        opu = self._opu(opu)
+        port = self._port(opu, port_index)
+        if port.register_file is not None:
+            raise ArchitectureError(f"port {port.name} is already fed by a register file")
+        port.accepts_immediate = True
+
+    def attach_bus(self, opu: Opu | str, bus_name: str | None = None) -> Bus:
+        """Create the output bus driven by ``opu``."""
+        opu = self._opu(opu)
+        if not opu.produces_result:
+            raise ArchitectureError(f"OPU {opu.name!r} (output port) drives no bus")
+        if opu.bus is not None:
+            raise ArchitectureError(f"OPU {opu.name!r} already drives bus {opu.bus.name!r}")
+        name = bus_name or f"bus_{opu.name}"
+        if name in self.buses:
+            raise ArchitectureError(f"duplicate bus name {name!r}")
+        bus = Bus(name)
+        bus.driver = opu
+        opu.bus = bus
+        self.buses[name] = bus
+        return bus
+
+    def route_bus(self, bus: Bus | str, rf: RegisterFile | str) -> BusSink:
+        """Fan a bus out to a register file, inserting a mux if needed.
+
+        The first bus routed to a file connects directly; routing a
+        second bus re-wires both through a multiplexer in front of the
+        file's write port (figure 3: the mux is optional).
+        """
+        bus = self._bus(bus)
+        rf = self._rf(rf)
+        for sink in bus.sinks:
+            if sink.register_file is rf:
+                raise ArchitectureError(
+                    f"bus {bus.name!r} is already routed to {rf.name!r}"
+                )
+        existing = [w for w in rf.writers if isinstance(w, BusSink)]
+        if not existing:
+            sink = BusSink(rf, mux=None)
+        else:
+            mux = self._mux_for(rf)
+            if len(existing) == 1 and existing[0].mux is None:
+                # Re-wire the direct writer through the new mux.
+                old = existing[0]
+                old_bus = self._driving_bus(old)
+                mux.inputs.append(old_bus)
+                new_old = BusSink(rf, mux=mux)
+                old_bus.sinks[old_bus.sinks.index(old)] = new_old
+                rf.writers[rf.writers.index(old)] = new_old
+            mux.inputs.append(bus)
+            sink = BusSink(rf, mux=mux)
+        bus.sinks.append(sink)
+        rf.writers.append(sink)
+        return sink
+
+    def _mux_for(self, rf: RegisterFile) -> Mux:
+        name = f"mux_{rf.name}"
+        if name not in self.muxes:
+            self.muxes[name] = Mux(name, rf)
+        return self.muxes[name]
+
+    def _driving_bus(self, sink: BusSink) -> Bus:
+        for bus in self.buses.values():
+            if sink in bus.sinks:
+                return bus
+        raise ArchitectureError("internal: sink not found on any bus")
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def opu(self, name: str) -> Opu:
+        return self._opu(name)
+
+    def register_file(self, name: str) -> RegisterFile:
+        return self._rf(name)
+
+    def opus_supporting(self, operation: str) -> list[Opu]:
+        """All OPUs that can execute ``operation``, in insertion order."""
+        return [o for o in self.opus.values() if o.supports(operation)]
+
+    def routes_from(self, opu: Opu | str) -> list[Route]:
+        """All (bus, mux, register file) routes a result of ``opu`` can take."""
+        opu = self._opu(opu)
+        if opu.bus is None:
+            return []
+        return [Route(opu, opu.bus, sink) for sink in opu.bus.sinks]
+
+    def route_to(self, opu: Opu | str, rf: RegisterFile | str) -> Route:
+        """The route from ``opu`` to ``rf``; raises if none exists."""
+        opu = self._opu(opu)
+        rf = self._rf(rf)
+        for route in self.routes_from(opu):
+            if route.register_file is rf:
+                return route
+        raise ConnectivityError(
+            f"no route from OPU {opu.name!r} to register file {rf.name!r}"
+        )
+
+    def port_register_file(self, opu: Opu | str, port_index: int) -> RegisterFile:
+        opu = self._opu(opu)
+        port = self._port(opu, port_index)
+        if port.register_file is None:
+            raise ConnectivityError(
+                f"port {port.name} is not fed by a register file"
+                + (" (immediate port)" if port.accepts_immediate else "")
+            )
+        return port.register_file
+
+    def reachable_register_files(self, opu: Opu | str) -> list[RegisterFile]:
+        return [r.register_file for r in self.routes_from(opu)]
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _opu(self, opu: Opu | str) -> Opu:
+        if isinstance(opu, Opu):
+            return opu
+        try:
+            return self.opus[opu]
+        except KeyError:
+            raise ArchitectureError(f"unknown OPU {opu!r}") from None
+
+    def _rf(self, rf: RegisterFile | str) -> RegisterFile:
+        if isinstance(rf, RegisterFile):
+            return rf
+        try:
+            return self.register_files[rf]
+        except KeyError:
+            raise ArchitectureError(f"unknown register file {rf!r}") from None
+
+    def _bus(self, bus: Bus | str) -> Bus:
+        if isinstance(bus, Bus):
+            return bus
+        try:
+            return self.buses[bus]
+        except KeyError:
+            raise ArchitectureError(f"unknown bus {bus!r}") from None
+
+    @staticmethod
+    def _port(opu: Opu, port_index: int):
+        if not 0 <= port_index < len(opu.ports):
+            raise ArchitectureError(
+                f"OPU {opu.name!r} has no port {port_index} "
+                f"(ports: 0..{len(opu.ports) - 1})"
+            )
+        return opu.ports[port_index]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Datapath({self.name}: {len(self.opus)} OPUs, "
+            f"{len(self.register_files)} RFs, {len(self.buses)} buses, "
+            f"{len(self.muxes)} muxes)"
+        )

@@ -1,0 +1,261 @@
+"""Phase-1 support: intermediate architectures and design-space
+exploration (paper, sections 1 and 4).
+
+"During phase 1 a representative set of applications within the target
+application domain is implemented using existing ASIC synthesis tools
+for the design space exploration.  Based on this quantitative feedback
+a core architecture including the instruction set is defined."
+
+and, on the compiler side (section 4): "The generated RTs can be
+executed on an intermediate datapath which is equivalent to the
+Piramid/Cathedral2 architecture."
+
+:func:`intermediate_architecture` synthesises that starting point for a
+set of applications: one or more OPUs per operation kind, one register
+file per OPU input port, one bus per OPU and full fan-out (every bus
+reaches every compatible operand file).  :func:`explore` sweeps OPU
+allocations and reports the schedule length of each candidate — the
+quantitative feedback a core designer iterates on before freezing the
+instruction set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ArchitectureError
+from ..lang.dfg import Dfg, NodeKind
+from .controller import ControllerSpec
+from .datapath import Datapath
+from .library import ClassDef, CoreSpec
+from .opu import Operation, OpuKind
+
+#: Operation sets per functional-unit kind the allocator can instantiate.
+_ALU_OPS = ("add", "sub", "add_clip", "pass", "pass_clip")
+_KNOWN_ALU = set(_ALU_OPS)
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """How many units of each kind an intermediate architecture gets."""
+
+    n_mult: int = 1
+    n_alu: int = 1
+    n_ram: int = 1
+    rf_size: int = 16
+    ram_size: int = 256
+    rom_size: int = 128
+
+    def __post_init__(self) -> None:
+        if min(self.n_mult, self.n_alu, self.n_ram) < 1:
+            raise ArchitectureError("allocation needs at least one unit of each kind")
+
+
+def required_operations(dfgs: list[Dfg]) -> set[str]:
+    """All dataflow operations the applications use."""
+    operations: set[str] = set()
+    for dfg in dfgs:
+        for node in dfg.nodes:
+            if node.kind is NodeKind.OP:
+                operations.add(node.name)
+    return operations
+
+
+def intermediate_architecture(
+    dfgs: list[Dfg],
+    allocation: Allocation | None = None,
+    name: str = "intermediate",
+) -> CoreSpec:
+    """Synthesize the Cathedral-2-like intermediate core for ``dfgs``.
+
+    The result has distributed per-port register files, one bus per
+    OPU, full fan-out, and a *fully parallel* instruction set (one
+    maximal type containing every class): no instruction-set
+    restrictions, which is exactly what step 1 of the compiler assumes.
+    """
+    allocation = allocation or Allocation()
+    operations = required_operations(dfgs)
+    unknown_alu = {
+        op for op in operations if op not in _KNOWN_ALU and op != "mult"
+    }
+    if unknown_alu:
+        raise ArchitectureError(
+            f"no functional-unit template supports operations "
+            f"{sorted(unknown_alu)}; extend the allocator with an ASU"
+        )
+    needs_mult = "mult" in operations
+    needs_state = any(dfg.states for dfg in dfgs)
+    needs_params = needs_mult or any(dfg.params for dfg in dfgs)
+    n_inputs = max((len(dfg.inputs) for dfg in dfgs), default=0)
+    n_outputs = max((len(dfg.outputs) for dfg in dfgs), default=1)
+
+    dp = Datapath(name)
+    alus = [
+        dp.add_opu(f"alu_{i}" if allocation.n_alu > 1 else "alu", OpuKind.ALU, [
+            Operation("add", arity=2, commutative=True),
+            Operation("sub", arity=2),
+            Operation("add_clip", arity=2, commutative=True),
+            Operation("pass", arity=1),
+            Operation("pass_clip", arity=1),
+        ])
+        for i in range(allocation.n_alu)
+    ]
+    mults = []
+    if needs_mult:
+        mults = [
+            dp.add_opu(f"mult_{i}" if allocation.n_mult > 1 else "mult",
+                       OpuKind.MULT,
+                       [Operation("mult", arity=2, commutative=True)])
+            for i in range(allocation.n_mult)
+        ]
+    rams = []
+    acus = []
+    if needs_state:
+        rams = [
+            dp.add_opu(f"ram_{i}" if allocation.n_ram > 1 else "ram",
+                       OpuKind.RAM, [
+                           Operation("read", arity=1, reads_memory=True),
+                           Operation("write", arity=2, writes_memory=True),
+                       ], memory_size=allocation.ram_size)
+            for i in range(allocation.n_ram)
+        ]
+        # One address unit per data memory (X/Y dual-memory style).
+        acus = [
+            dp.add_opu(f"acu_{i}" if allocation.n_ram > 1 else "acu",
+                       OpuKind.ACU, [Operation("addmod", arity=2)])
+            for i in range(allocation.n_ram)
+        ]
+    rom = None
+    prg = None
+    if needs_params:
+        rom = dp.add_opu("rom", OpuKind.ROM,
+                         [Operation("const", arity=1, reads_memory=True)],
+                         memory_size=allocation.rom_size)
+    if needs_params or True:
+        prg = dp.add_opu("prg_c", OpuKind.CONST, [Operation("const", arity=1)])
+    ipb = dp.add_opu("ipb", OpuKind.INPUT, [Operation("read", arity=0)]) \
+        if n_inputs else None
+    opbs = [
+        dp.add_opu(f"opb_{i}" if n_outputs > 1 else "opb", OpuKind.OUTPUT,
+                   [Operation("write", arity=1)])
+        for i in range(max(n_outputs, 1))
+    ]
+
+    # One register file per register-fed input port.
+    def feed(opu, index):
+        rf = dp.add_register_file(f"rf_{opu.name}_p{index}", allocation.rf_size)
+        dp.connect_port(opu, index, rf)
+        return rf
+
+    operand_files = []   # files that receive routed data values
+    for alu in alus:
+        operand_files.append(feed(alu, 0))
+        operand_files.append(feed(alu, 1))
+    mult_data_files = []
+    mult_coef_files = []
+    for mult in mults:
+        mult_data_files.append(feed(mult, 0))
+        mult_coef_files.append(feed(mult, 1))
+    ram_addr_files = []
+    ram_data_files = []
+    for ram in rams:
+        ram_addr_files.append(feed(ram, 0))
+        ram_data_files.append(feed(ram, 1))
+    for acu in acus:
+        feed(acu, 0)
+        dp.make_immediate_port(acu, 1)
+    rom_addr_file = feed(rom, 0) if rom is not None else None
+    if prg is not None:
+        dp.make_immediate_port(prg, 0)
+    opb_files = [feed(opb, 0) for opb in opbs]
+
+    producers = [*alus, *mults, *rams]
+    if ipb is not None:
+        producers.append(ipb)
+    buses = {opu.name: dp.attach_bus(opu) for opu in producers}
+    for acu in acus:
+        buses[acu.name] = dp.attach_bus(acu)
+    if rom is not None:
+        buses[rom.name] = dp.attach_bus(rom)
+    if prg is not None:
+        buses[prg.name] = dp.attach_bus(prg)
+
+    # Full fan-out: every data producer reaches every operand file.
+    data_targets = (operand_files + mult_data_files + ram_data_files
+                    + opb_files)
+    for opu in producers:
+        for rf in data_targets:
+            dp.route_bus(buses[opu.name], rf)
+    # Dedicated paths: coefficients, addresses, the frame pointer.
+    if rom is not None:
+        for rf in mult_coef_files:
+            dp.route_bus(buses[rom.name], rf)
+        dp.route_bus(buses[prg.name], rom_addr_file)
+    elif prg is not None and mult_coef_files:
+        for rf in mult_coef_files:
+            dp.route_bus(buses[prg.name], rf)
+    for acu, addr_file in zip(acus, ram_addr_files):
+        dp.route_bus(buses[acu.name], addr_file)
+        dp.route_bus(buses[acu.name], dp.port_register_file(acu, 0))
+
+    class_defs = [
+        ClassDef(opu.name, opu.name, tuple(sorted(opu.operations)))
+        for opu in dp.opus.values()
+    ]
+    # Fully parallel: one maximal instruction type with every class.
+    instruction_types = [frozenset(cd.name for cd in class_defs)]
+    return CoreSpec(
+        name=name,
+        datapath=dp,
+        controller=ControllerSpec(stack_depth=4, program_size=1024),
+        class_defs=class_defs,
+        instruction_types=instruction_types,
+    )
+
+
+@dataclass
+class ExplorationPoint:
+    """One design-space candidate and its quantitative feedback."""
+
+    allocation: Allocation
+    schedule_lengths: dict[str, int]
+    n_opus: int
+
+    @property
+    def worst_length(self) -> int:
+        return max(self.schedule_lengths.values())
+
+
+def explore(
+    dfgs: list[Dfg],
+    allocations: list[Allocation],
+    budget: int | None = None,
+) -> list[ExplorationPoint]:
+    """Compile every application on every candidate architecture.
+
+    Returns one :class:`ExplorationPoint` per allocation with the
+    schedule length of each application — the feedback loop of phase 1.
+    Candidates that cannot run an application (routing or register
+    pressure) are skipped.
+    """
+    from ..pipeline import compile_application
+
+    points: list[ExplorationPoint] = []
+    for allocation in allocations:
+        core = intermediate_architecture(dfgs, allocation)
+        lengths: dict[str, int] = {}
+        feasible = True
+        for dfg in dfgs:
+            try:
+                compiled = compile_application(dfg, core, budget=budget)
+            except Exception:
+                feasible = False
+                break
+            lengths[dfg.name] = compiled.n_cycles
+        if feasible:
+            points.append(ExplorationPoint(
+                allocation=allocation,
+                schedule_lengths=lengths,
+                n_opus=len(core.datapath.opus),
+            ))
+    return points

@@ -1,0 +1,87 @@
+"""Buses and multiplexers of the target datapath (paper, figures 2/3).
+
+Every result-producing OPU drives exactly one bus through its output
+buffer.  A bus fans out to one or more register files, each reached
+either directly or through an input of a multiplexer in front of the
+file.  The RT usage model makes the sharing rules fall out naturally:
+
+* a bus carries a *value* — two RTs may use the same bus in the same
+  cycle iff they carry the same value (multicast of one result is free,
+  two different results conflict);
+* a multiplexer carries a *selection* — two RTs agree on a mux iff they
+  select the same input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ArchitectureError
+from .storage import RegisterFile
+
+
+class Bus:
+    """An interconnect bus driven by one OPU's output buffer."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.driver = None  # Opu, set by Datapath wiring
+        self.sinks: list["BusSink"] = []
+
+    @property
+    def resource(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        driver = self.driver.name if self.driver is not None else "?"
+        return f"Bus({self.name}, driver={driver}, sinks={len(self.sinks)})"
+
+
+class Mux:
+    """A multiplexer in front of a register file's write port."""
+
+    def __init__(self, name: str, register_file: RegisterFile):
+        self.name = name
+        self.register_file = register_file
+        self.inputs: list[Bus] = []
+
+    @property
+    def resource(self) -> str:
+        return self.name
+
+    def input_index(self, bus: Bus) -> int:
+        try:
+            return self.inputs.index(bus)
+        except ValueError:
+            raise ArchitectureError(
+                f"mux {self.name!r} has no input driven by bus {bus.name!r}"
+            ) from None
+
+    def select_usage(self, bus: Bus) -> str:
+        """Usage string of selecting ``bus``, e.g. ``pass[1]``.
+
+        The paper prints the selection as ``pass[0,1]`` (selected input,
+        number of inputs); we keep just the selected index — the input
+        count is a property of the mux, not of the transfer.
+        """
+        return f"pass[{self.input_index(bus)}]"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Mux({self.name} -> {self.register_file.name}, inputs={len(self.inputs)})"
+
+
+@dataclass(frozen=True)
+class BusSink:
+    """One fan-out of a bus: a destination register file.
+
+    ``mux`` is ``None`` when the bus writes the file directly (single
+    writer); otherwise the transfer also occupies the multiplexer with
+    the corresponding selection usage.
+    """
+
+    register_file: RegisterFile
+    mux: Mux | None = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        via = f" via {self.mux.name}" if self.mux is not None else ""
+        return f"BusSink({self.register_file.name}{via})"

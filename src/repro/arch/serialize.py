@@ -1,0 +1,186 @@
+"""JSON (de)serialization of core definitions.
+
+The paper's cores are specified by the in-house design team and handed
+to the code generator; persisting the full :class:`CoreSpec` — the
+datapath, the controller and the instruction set — lets a core travel
+as one artifact.  The format is a plain JSON document, stable across
+library versions and diffable in code review.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from ..errors import ArchitectureError
+from .controller import ControllerSpec
+from .datapath import Datapath
+from .library import ClassDef, CoreSpec
+from .opu import Operation, OpuKind
+
+FORMAT_VERSION = 1
+
+
+def datapath_to_dict(dp: Datapath) -> dict[str, Any]:
+    opus = []
+    for opu in dp.opus.values():
+        ports = []
+        for port in opu.ports:
+            ports.append({
+                "register_file": port.register_file.name if port.register_file else None,
+                "immediate": port.accepts_immediate,
+            })
+        opus.append({
+            "name": opu.name,
+            "kind": opu.kind.value,
+            "memory_size": opu.memory_size,
+            "operations": [
+                {
+                    "name": op.name,
+                    "arity": op.arity,
+                    "latency": op.latency,
+                    "initiation_interval": op.initiation_interval,
+                    "commutative": op.commutative,
+                    "flags": list(op.flags),
+                    "writes_memory": op.writes_memory,
+                    "reads_memory": op.reads_memory,
+                }
+                for op in opu.operations.values()
+            ],
+            "ports": ports,
+            "bus": opu.bus.name if opu.bus is not None else None,
+        })
+    register_files = [
+        {
+            "name": rf.name,
+            "size": rf.size,
+            "dedicated_read_ports": rf.dedicated_read_ports,
+        }
+        for rf in dp.register_files.values()
+    ]
+    # Record fan-out per register file in multiplexer-input order, so
+    # replaying the routes reproduces every mux selection index exactly.
+    routes = []
+    for rf in dp.register_files.values():
+        writers = [w for w in rf.writers]
+        if not writers:
+            continue
+        mux = dp.muxes.get(f"mux_{rf.name}")
+        if mux is None:
+            for writer in writers:
+                routes.append({
+                    "bus": _bus_of_sink(dp, writer).name,
+                    "register_file": rf.name,
+                })
+        else:
+            for bus in mux.inputs:
+                routes.append({"bus": bus.name, "register_file": rf.name})
+    return {
+        "name": dp.name,
+        "opus": opus,
+        "register_files": register_files,
+        "routes": routes,
+    }
+
+
+def _bus_of_sink(dp: Datapath, sink) -> Any:
+    for bus in dp.buses.values():
+        if sink in bus.sinks:
+            return bus
+    raise ArchitectureError("sink without a driving bus")
+
+
+def datapath_from_dict(data: dict[str, Any]) -> Datapath:
+    dp = Datapath(data["name"])
+    for rf in data["register_files"]:
+        dp.add_register_file(rf["name"], rf["size"], rf["dedicated_read_ports"])
+    for entry in data["opus"]:
+        operations = [
+            Operation(
+                name=op["name"],
+                arity=op["arity"],
+                latency=op["latency"],
+                initiation_interval=op["initiation_interval"],
+                commutative=op["commutative"],
+                flags=tuple(op["flags"]),
+                writes_memory=op["writes_memory"],
+                reads_memory=op["reads_memory"],
+            )
+            for op in entry["operations"]
+        ]
+        opu = dp.add_opu(
+            entry["name"],
+            OpuKind(entry["kind"]),
+            operations,
+            memory_size=entry["memory_size"],
+        )
+        for index, port in enumerate(entry["ports"]):
+            if port["immediate"]:
+                dp.make_immediate_port(opu, index)
+            elif port["register_file"] is not None:
+                dp.connect_port(opu, index, port["register_file"])
+        if entry["bus"] is not None:
+            dp.attach_bus(opu, entry["bus"])
+    for route in data["routes"]:
+        dp.route_bus(route["bus"], route["register_file"])
+    return dp
+
+
+def core_to_dict(core: CoreSpec) -> dict[str, Any]:
+    return {
+        "format_version": FORMAT_VERSION,
+        "name": core.name,
+        "data_width": core.data_width,
+        "frac_bits": core.frac_bits,
+        "datapath": datapath_to_dict(core.datapath),
+        "controller": {
+            "stack_depth": core.controller.stack_depth,
+            "n_flags": core.controller.n_flags,
+            "supports_conditionals": core.controller.supports_conditionals,
+            "supports_loops": core.controller.supports_loops,
+            "program_size": core.controller.program_size,
+        },
+        "class_defs": [
+            {"name": cd.name, "opu": cd.opu, "usages": list(cd.usages)}
+            for cd in core.class_defs
+        ],
+        "instruction_types": [sorted(t) for t in core.instruction_types],
+    }
+
+
+def core_from_dict(data: dict[str, Any]) -> CoreSpec:
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ArchitectureError(
+            f"unsupported core format version {version!r} "
+            f"(this library reads version {FORMAT_VERSION})"
+        )
+    controller = data["controller"]
+    return CoreSpec(
+        name=data["name"],
+        datapath=datapath_from_dict(data["datapath"]),
+        controller=ControllerSpec(
+            stack_depth=controller["stack_depth"],
+            n_flags=controller["n_flags"],
+            supports_conditionals=controller["supports_conditionals"],
+            supports_loops=controller["supports_loops"],
+            program_size=controller["program_size"],
+        ),
+        class_defs=[
+            ClassDef(cd["name"], cd["opu"], tuple(cd["usages"]))
+            for cd in data["class_defs"]
+        ],
+        instruction_types=[frozenset(t) for t in data["instruction_types"]],
+        data_width=data["data_width"],
+        frac_bits=data["frac_bits"],
+    )
+
+
+def dump_core(core: CoreSpec) -> str:
+    """Serialize a core to a JSON string."""
+    return json.dumps(core_to_dict(core), indent=2, sort_keys=False)
+
+
+def load_core(text: str) -> CoreSpec:
+    """Load a core from a JSON string produced by :func:`dump_core`."""
+    return core_from_dict(json.loads(text))

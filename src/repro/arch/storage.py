@@ -1,0 +1,68 @@
+"""Register files of the target datapath (paper, section 5/7).
+
+Distributed register files are "characteristic for these kind of signal
+processors" (section 7).  Every OPU input port is fed by one register
+file; results arrive through a bus and an optional multiplexer.  The
+paper's register files "support single cycle random read and random
+write": one write per cycle, and reads that the conflict model resolves
+per port.
+
+Port modelling
+--------------
+Writes always share one write port: two RTs writing different values
+into the same register file in the same cycle conflict.
+
+Reads are configurable:
+
+* ``dedicated_read_ports=True`` (default) — every consuming OPU port
+  has its own read port, so reads through different consumers never
+  conflict.  This matches the unmerged, fully distributed style where
+  each register file feeds exactly one port anyway.
+* ``dedicated_read_ports=False`` — a single shared read port: two RTs
+  reading *different registers* of the file in the same cycle conflict
+  (reading the same register is free — same usage).  Merged register
+  files use this mode, reproducing "shared at the cost of reduction of
+  parallelism".
+"""
+
+from __future__ import annotations
+
+from ..errors import ArchitectureError
+
+
+class RegisterFile:
+    """A small random-access register file feeding OPU input ports."""
+
+    def __init__(self, name: str, size: int, dedicated_read_ports: bool = True):
+        if size < 1:
+            raise ArchitectureError(f"register file {name!r}: size must be >= 1")
+        self.name = name
+        self.size = size
+        self.dedicated_read_ports = dedicated_read_ports
+        self.readers: list[object] = []  # InputPort instances (wired by Datapath)
+        self.writers: list[object] = []  # Mux / Bus sinks (wired by Datapath)
+
+    # Resource names used in RT usage maps -------------------------------
+
+    @property
+    def write_resource(self) -> str:
+        """Resource name of the (single) write port."""
+        return f"{self.name}:wr"
+
+    def read_resource(self, port: object | None = None) -> str:
+        """Resource name of the read port used by ``port``.
+
+        With dedicated read ports the resource is per consumer; with a
+        shared port every consumer uses the same resource and the usage
+        (the register read) decides sharing.
+        """
+        if self.dedicated_read_ports and port is not None:
+            return f"{self.name}:rd:{getattr(port, 'name', port)}"
+        return f"{self.name}:rd"
+
+    def address_bits(self) -> int:
+        """Instruction-word bits needed to address one register."""
+        return max(1, (self.size - 1).bit_length())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RegisterFile({self.name}, size={self.size})"

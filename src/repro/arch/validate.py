@@ -1,0 +1,90 @@
+"""Architectural style-rule checking (paper, sections 2 and 5).
+
+"We define a target architectural style such that retargetable code
+generation becomes possible.  This means that we define a set of rules
+for the datapath, the controller and the instruction set."
+
+The datapath rules encoded here are the ones the RT model relies on
+(figure 2): every RT starts with operands from register files, runs one
+operation on one OPU and ends in a destination register reached through
+a buffer, a bus and an optional multiplexer.  A datapath violating them
+cannot express its transfers as RTs, so we reject it before RT
+generation instead of failing obscurely later.
+"""
+
+from __future__ import annotations
+
+from ..errors import ArchitectureError
+from .datapath import Datapath
+from .opu import OpuKind
+
+
+def validate_datapath(dp: Datapath) -> list[str]:
+    """Check the style rules; raise on violation, return warnings.
+
+    Raises
+    ------
+    ArchitectureError
+        If a rule is violated (message lists every violation).
+
+    Returns
+    -------
+    list of str
+        Non-fatal warnings, e.g. register files nothing can write.
+    """
+    errors: list[str] = []
+    warnings: list[str] = []
+
+    if not dp.opus:
+        errors.append("datapath has no OPUs")
+
+    for opu in dp.opus.values():
+        arity = max(op.arity for op in opu.operations.values())
+        for port in opu.ports[:arity]:
+            if port.register_file is None and not port.accepts_immediate:
+                errors.append(
+                    f"port {port.name} is neither fed by a register file nor "
+                    f"an immediate field (rule: all operands originate from "
+                    f"register files)"
+                )
+        if opu.produces_result and opu.bus is None:
+            errors.append(
+                f"OPU {opu.name!r} produces results but drives no bus "
+                f"(rule: results leave through a buffer onto a bus)"
+            )
+        if opu.produces_result and opu.bus is not None and not opu.bus.sinks:
+            warnings.append(
+                f"bus {opu.bus.name!r} of OPU {opu.name!r} reaches no "
+                f"register file; its results are unusable"
+            )
+        if opu.kind is OpuKind.OUTPUT and opu.bus is not None:
+            errors.append(f"output port block {opu.name!r} must not drive a bus")
+        if opu.kind is OpuKind.INPUT and any(
+            p.register_file is not None for p in opu.ports
+        ):
+            errors.append(f"input port block {opu.name!r} must not read register files")
+
+    for rf in dp.register_files.values():
+        if not rf.readers:
+            warnings.append(f"register file {rf.name!r} feeds no OPU port")
+        if not rf.writers:
+            warnings.append(f"register file {rf.name!r} is never written")
+
+    for mux in dp.muxes.values():
+        if len(mux.inputs) < 2:
+            warnings.append(
+                f"mux {mux.name!r} has {len(mux.inputs)} input(s); a mux in "
+                f"front of a single writer is redundant"
+            )
+        if len(set(b.name for b in mux.inputs)) != len(mux.inputs):
+            errors.append(f"mux {mux.name!r} has duplicate bus inputs")
+
+    for bus in dp.buses.values():
+        if bus.driver is None:
+            errors.append(f"bus {bus.name!r} has no driving OPU")
+
+    if errors:
+        raise ArchitectureError(
+            "datapath style violations:\n  - " + "\n  - ".join(errors)
+        )
+    return warnings

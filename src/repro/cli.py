@@ -1,0 +1,206 @@
+"""Command-line interface: compile, run and inspect without writing code.
+
+::
+
+    python -m repro compile app.dsp --core audio --budget 64 --listing
+    python -m repro run app.dsp --core fir --input x=0.5,-0.25,0.125
+    python -m repro inspect-core --core audio
+    python -m repro run-image program.json --input x=100,200
+
+Cores are named library cores (``audio``, ``fir``, ``tiny``,
+``adaptive``) or paths to JSON core descriptions produced by
+:func:`repro.arch.dump_core`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .apps import adaptive_core
+from .arch import CoreSpec, audio_core, fir_core, load_core, tiny_core
+from .core import ClassTable, InstructionSet
+from .encode import derive_format, dump_program, load_program
+from .errors import ReproError
+from .fixed import FixedFormat
+from .lang import parse_source
+from .pipeline import compile_application
+from .report import class_table_report, gantt_chart, occupation_chart, summary_report
+from .sim import run_program
+
+LIBRARY_CORES = {
+    "audio": audio_core,
+    "fir": fir_core,
+    "tiny": tiny_core,
+    "adaptive": adaptive_core,
+}
+
+
+def resolve_core(name: str) -> CoreSpec:
+    if name in LIBRARY_CORES:
+        return LIBRARY_CORES[name]()
+    path = Path(name)
+    if path.exists():
+        return load_core(path.read_text())
+    raise ReproError(
+        f"unknown core {name!r}: not a library core "
+        f"({', '.join(sorted(LIBRARY_CORES))}) and no such file"
+    )
+
+
+def parse_stream(spec: str, fmt: FixedFormat) -> tuple[str, list[int]]:
+    """``port=v1,v2,...`` — floats are quantised, bare ints passed through."""
+    try:
+        port, values = spec.split("=", 1)
+    except ValueError:
+        raise ReproError(f"bad --input {spec!r}: expected port=v1,v2,...") from None
+    samples: list[int] = []
+    for token in values.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        if "." in token or "e" in token.lower():
+            samples.append(fmt.from_float(float(token)))
+        else:
+            samples.append(fmt.wrap(int(token)))
+    return port, samples
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    core = resolve_core(args.core)
+    source = Path(args.source).read_text()
+    compiled = compile_application(
+        source, core, budget=args.budget,
+        cover_algorithm=args.cover,
+        mode=args.mode, repeat_count=args.repeat,
+    )
+    print(summary_report(compiled))
+    if args.occupation:
+        print()
+        print(occupation_chart(compiled.schedule))
+    if args.gantt:
+        print()
+        print(gantt_chart(compiled.schedule))
+    if args.listing:
+        print()
+        print(compiled.binary.listing())
+    if args.out:
+        Path(args.out).write_text(dump_program(compiled.binary))
+        print(f"\nmicrocode image written to {args.out}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    core = resolve_core(args.core)
+    source = Path(args.source).read_text()
+    compiled = compile_application(source, core, budget=args.budget)
+    fmt = FixedFormat(core.data_width, core.frac_bits)
+    inputs = dict(parse_stream(spec, fmt) for spec in args.input)
+    outputs = compiled.run(inputs, args.frames)
+    for port in sorted(outputs):
+        rendered = ", ".join(str(v) for v in outputs[port])
+        print(f"{port}: [{rendered}]")
+        if args.floats:
+            floats = ", ".join(f"{fmt.to_float(v):+.5f}" for v in outputs[port])
+            print(f"{port} (float): [{floats}]")
+    return 0
+
+
+def cmd_run_image(args: argparse.Namespace) -> int:
+    program = load_program(Path(args.image).read_text())
+    fmt = FixedFormat(program.core.data_width, program.core.frac_bits)
+    inputs = dict(parse_stream(spec, fmt) for spec in args.input)
+    outputs = run_program(program, inputs, args.frames)
+    for port in sorted(outputs):
+        print(f"{port}: [{', '.join(str(v) for v in outputs[port])}]")
+    return 0
+
+
+def cmd_inspect_core(args: argparse.Namespace) -> int:
+    core = resolve_core(args.core)
+    table = ClassTable.from_core(core) if core.class_defs else ClassTable.auto(core)
+    fmt = derive_format(core)
+    datapath = core.datapath
+    print(f"core        : {core.name}")
+    print(f"OPUs        : {', '.join(datapath.opus)}")
+    print(f"reg. files  : " + ", ".join(
+        f"{rf.name}[{rf.size}]" for rf in datapath.register_files.values()))
+    print(f"buses       : {', '.join(datapath.buses)}")
+    print(f"instruction : {fmt.width} bits, {len(fmt.fields)} fields")
+    print(f"controller  : stack {core.controller.stack_depth}, "
+          f"flags {core.controller.n_flags}, "
+          f"conditionals {'yes' if core.controller.supports_conditionals else 'no'}")
+    print()
+    print(class_table_report(table))
+    if core.instruction_types:
+        iset = InstructionSet.from_desired(table.names, core.instruction_types)
+        print()
+        maximal = ", ".join(
+            "{" + ", ".join(sorted(t)) + "}" for t in iset.maximal_types()
+        )
+        print(f"instruction set: {len(iset)} types; maximal: {maximal}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Retargetable code generation for in-house DSP cores "
+                    "(Strik & van Meerbergen, DATE 1995).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    c = sub.add_parser("compile", help="compile a source file to microcode")
+    c.add_argument("source")
+    c.add_argument("--core", default="audio")
+    c.add_argument("--budget", type=int, default=None)
+    c.add_argument("--cover", default="greedy",
+                   choices=["greedy", "exact", "edge"])
+    c.add_argument("--mode", default="loop", choices=["loop", "once", "repeat"])
+    c.add_argument("--repeat", type=int, default=1)
+    c.add_argument("--listing", action="store_true")
+    c.add_argument("--occupation", action="store_true")
+    c.add_argument("--gantt", action="store_true")
+    c.add_argument("--out", default=None, help="write the microcode image JSON")
+    c.set_defaults(handler=cmd_compile)
+
+    r = sub.add_parser("run", help="compile and simulate a source file")
+    r.add_argument("source")
+    r.add_argument("--core", default="audio")
+    r.add_argument("--budget", type=int, default=None)
+    r.add_argument("--input", action="append", default=[],
+                   metavar="PORT=V1,V2,...")
+    r.add_argument("--frames", type=int, default=None)
+    r.add_argument("--floats", action="store_true",
+                   help="also print outputs as real numbers")
+    r.set_defaults(handler=cmd_run)
+
+    i = sub.add_parser("run-image", help="simulate a saved microcode image")
+    i.add_argument("image")
+    i.add_argument("--input", action="append", default=[],
+                   metavar="PORT=V1,V2,...")
+    i.add_argument("--frames", type=int, default=None)
+    i.set_defaults(handler=cmd_run_image)
+
+    k = sub.add_parser("inspect-core", help="describe a core")
+    k.add_argument("--core", default="audio")
+    k.set_defaults(handler=cmd_inspect_core)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,130 @@
+"""RT-level register-file and bus merging (paper, step 2a of figure 1b).
+
+"In step 2 the core specification is taken into account.  This means
+two things, first the register files and busses can be merged and
+secondly the instruction set is taken into account.  Both aspects are
+realized by modification of the RTs."
+
+Merging renames resources inside the RT usage maps so the scheduler
+sees one shared resource:
+
+* all write ports of merged files become one write port — two results
+  can no longer land in "different" files in the same cycle, which is
+  the parallelism reduction section 5 warns about;
+* every OPU port keeps its own read connection into the merged file
+  (merging storage does not remove port wiring);
+* merged buses become one bus; different values on it now conflict.
+
+Operand and destination register-file names are renamed too, so the
+post-scheduling register allocator sees the merged capacity.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..arch.datapath import Datapath
+from ..arch.merge import MergeSpec
+from ..rtgen.program import LoopCarry, RTProgram
+from ..rtgen.rt import RT, Destination, Operand, ResourceUse
+
+_READ_RESOURCE = re.compile(r"^(?P<rf>[^:]+):rd(?P<port>:.*)?$")
+_WRITE_RESOURCE = re.compile(r"^(?P<rf>[^:]+):wr$")
+
+
+def _map_resource(resource: str, rf_map: dict[str, str],
+                  bus_map: dict[str, str]) -> str:
+    read = _READ_RESOURCE.match(resource)
+    if read is not None:
+        rf = read.group("rf")
+        if rf in rf_map:
+            # Each OPU port keeps its own read connection into the
+            # merged file (the port wiring does not disappear); only
+            # the resource's register-file part is renamed.
+            return f"{rf_map[rf]}:rd{read.group('port') or ''}"
+        return resource
+    write = _WRITE_RESOURCE.match(resource)
+    if write is not None:
+        rf = write.group("rf")
+        if rf in rf_map:
+            return f"{rf_map[rf]}:wr"
+        return resource
+    if resource in bus_map:
+        return bus_map[resource]
+    return resource
+
+
+def merge_rt(rt: RT, rf_map: dict[str, str], bus_map: dict[str, str]) -> RT:
+    """One RT with merged resource names (a fresh RT instance)."""
+    uses = tuple(
+        ResourceUse(_map_resource(u.resource, rf_map, bus_map), u.usage, u.offset)
+        for u in rt.uses
+    )
+    operands = tuple(
+        Operand.register(rf_map.get(op.register_file, op.register_file), op.value)
+        if op.is_register else op
+        for op in rt.operands
+    )
+    destinations = tuple(
+        Destination(
+            register_file=rf_map.get(d.register_file, d.register_file),
+            value=d.value,
+            mux=d.mux,
+            mux_usage=d.mux_usage,
+        )
+        for d in rt.destinations
+    )
+    merged = RT(
+        opu=rt.opu,
+        operation=rt.operation,
+        operands=operands,
+        destinations=destinations,
+        uses=uses,
+        latency=rt.latency,
+        source=rt.source,
+        memory_location=rt.memory_location,
+        memory_effect=rt.memory_effect,
+        io_port=rt.io_port,
+    )
+    merged.rt_class = rt.rt_class
+    return merged
+
+
+def apply_merges(program: RTProgram, spec: MergeSpec) -> RTProgram:
+    """Rewrite a whole RT program for a merged core (non-destructive)."""
+    datapath: Datapath = program.core.datapath
+    spec.validate(datapath)
+    rf_map = spec.register_file_map()
+    bus_map = spec.bus_map()
+    rts = [merge_rt(rt, rf_map, bus_map) for rt in program.rts]
+    carries = [
+        LoopCarry(
+            register_file=rf_map.get(c.register_file, c.register_file),
+            register=c.register,
+            old=c.old,
+            new=c.new,
+            initial=c.initial,
+        )
+        for c in program.loop_carries
+    ]
+    return RTProgram(
+        core=program.core,
+        dfg=program.dfg,
+        rts=rts,
+        loop_carries=carries,
+        memories=dict(program.memories),
+        acu_moduli=dict(program.acu_moduli),
+        rom=program.rom,
+        value_names=dict(program.value_names),
+    )
+
+
+def merged_register_file_sizes(program: RTProgram, spec: MergeSpec) -> dict[str, int]:
+    """Capacity of every register file after merging (for allocation)."""
+    datapath = program.core.datapath
+    rf_map = spec.register_file_map()
+    sizes: dict[str, int] = {}
+    for name, rf in datapath.register_files.items():
+        target = rf_map.get(name, name)
+        sizes[target] = sizes.get(target, 0) + rf.size
+    return sizes

@@ -1,0 +1,28 @@
+"""Instruction encoding and controller program generation
+(paper, step 3 of figure 1b: "scheduling & instruction encoding")."""
+
+from .assembler import EncodedProgram, assemble
+from .fields import (
+    CTRL_DECODE,
+    CTRL_OPCODES,
+    Field,
+    InstructionFormat,
+    derive_format,
+    opcode_table,
+)
+from .image import dump_program, load_program, program_from_dict, program_to_dict
+
+__all__ = [
+    "CTRL_DECODE",
+    "CTRL_OPCODES",
+    "EncodedProgram",
+    "Field",
+    "InstructionFormat",
+    "assemble",
+    "derive_format",
+    "dump_program",
+    "load_program",
+    "opcode_table",
+    "program_from_dict",
+    "program_to_dict",
+]

@@ -1,0 +1,97 @@
+"""Microcode image (de)serialization.
+
+An :class:`~repro.encode.assembler.EncodedProgram` plus its core is the
+complete deployable artifact of the flow — the program ROM contents of
+figure 4 and the machine configuration the simulator (or silicon)
+needs.  This module persists both as one JSON document, so a compiled
+program can be archived, diffed and re-run without recompiling.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from ..arch.serialize import core_from_dict, core_to_dict
+from ..errors import EncodingError
+from .assembler import EncodedProgram
+from .fields import derive_format
+
+IMAGE_FORMAT_VERSION = 1
+
+
+def program_to_dict(program: EncodedProgram) -> dict[str, Any]:
+    return {
+        "image_format_version": IMAGE_FORMAT_VERSION,
+        "core": core_to_dict(program.core),
+        "words": [hex(word) for word in program.words],
+        "word_width": program.word_width,
+        "n_body": program.n_body,
+        "body_offset": program.body_offset,
+        "rom_words": list(program.rom_words),
+        "acu_moduli": dict(program.acu_moduli),
+        "input_map": [
+            {"opu": opu, "cycle": cycle, "port": port}
+            for (opu, cycle), port in sorted(program.input_map.items())
+        ],
+        "output_map": [
+            {"opu": opu, "cycle": cycle, "port": port}
+            for (opu, cycle), port in sorted(program.output_map.items())
+        ],
+        "initial_registers": {
+            rf: [[register, value] for register, value in inits]
+            for rf, inits in program.initial_registers.items()
+        },
+        "mode": program.mode,
+        "repeat_count": program.repeat_count,
+    }
+
+
+def program_from_dict(data: dict[str, Any]) -> EncodedProgram:
+    version = data.get("image_format_version")
+    if version != IMAGE_FORMAT_VERSION:
+        raise EncodingError(
+            f"unsupported microcode image version {version!r} "
+            f"(this library reads version {IMAGE_FORMAT_VERSION})"
+        )
+    core = core_from_dict(data["core"])
+    fmt = derive_format(core)
+    if fmt.width != data["word_width"]:
+        raise EncodingError(
+            f"image word width {data['word_width']} does not match the "
+            f"core's derived format ({fmt.width} bits); core and image "
+            f"disagree"
+        )
+    return EncodedProgram(
+        core=core,
+        format=fmt,
+        words=[int(word, 16) for word in data["words"]],
+        n_body=data["n_body"],
+        body_offset=data["body_offset"],
+        rom_words=tuple(data["rom_words"]),
+        acu_moduli=dict(data["acu_moduli"]),
+        input_map={
+            (entry["opu"], entry["cycle"]): entry["port"]
+            for entry in data["input_map"]
+        },
+        output_map={
+            (entry["opu"], entry["cycle"]): entry["port"]
+            for entry in data["output_map"]
+        },
+        initial_registers={
+            rf: [(register, value) for register, value in inits]
+            for rf, inits in data["initial_registers"].items()
+        },
+        mode=data["mode"],
+        repeat_count=data["repeat_count"],
+    )
+
+
+def dump_program(program: EncodedProgram) -> str:
+    """Serialize a microcode image to a JSON string."""
+    return json.dumps(program_to_dict(program), indent=2)
+
+
+def load_program(text: str) -> EncodedProgram:
+    """Load a microcode image from :func:`dump_program` output."""
+    return program_from_dict(json.loads(text))

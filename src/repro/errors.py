@@ -1,0 +1,85 @@
+"""Exception hierarchy for the repro code generator.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one type.  Sub-hierarchies mirror the compiler phases
+of the paper (figure 1b): architecture definition, source frontend, RT
+generation, instruction-set modelling, scheduling, encoding and
+simulation.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ArchitectureError(ReproError):
+    """The datapath/controller description violates the target style."""
+
+
+class ConnectivityError(ArchitectureError):
+    """A required path through the datapath does not exist."""
+
+
+class SourceError(ReproError):
+    """The application source is malformed."""
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        location = ""
+        if line is not None:
+            location = f"line {line}"
+            if column is not None:
+                location += f", column {column}"
+            location = f" ({location})"
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class SemanticError(SourceError):
+    """The application source is well-formed but meaningless."""
+
+
+class BindingError(ReproError):
+    """An operation cannot be assigned to any OPU of the core."""
+
+
+class RoutingError(ReproError):
+    """A value cannot be routed to the register file a consumer reads."""
+
+
+class InstructionSetError(ReproError):
+    """The instruction set violates the construction rules (sect. 6.2)."""
+
+
+class ClassificationError(ReproError):
+    """An RT cannot be assigned to exactly one RT class (sect. 6.1)."""
+
+
+class SchedulingError(ReproError):
+    """No schedule satisfying all constraints was found."""
+
+
+class BudgetExceededError(SchedulingError):
+    """A schedule exists but not within the requested cycle budget."""
+
+    def __init__(self, achieved: int, budget: int):
+        super().__init__(
+            f"schedule needs {achieved} cycles but the budget is {budget}; "
+            f"rewrite the source or relax the budget (paper, sect. 4)"
+        )
+        self.achieved = achieved
+        self.budget = budget
+
+
+class RegisterPressureError(SchedulingError):
+    """A register file cannot hold all simultaneously-live values."""
+
+
+class EncodingError(ReproError):
+    """The scheduled program cannot be encoded into instruction words."""
+
+
+class SimulationError(ReproError):
+    """The core simulator hit an inconsistent machine state."""

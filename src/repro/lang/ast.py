@@ -1,0 +1,80 @@
+"""Abstract syntax tree of the application source language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Expr:
+    line: int
+
+
+@dataclass(frozen=True)
+class NameExpr(Expr):
+    """A reference to a local signal, parameter or input port."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class DelayExpr(Expr):
+    """``state @ k`` — the state's value ``k`` iterations ago."""
+
+    state: str
+    delay: int
+
+
+@dataclass(frozen=True)
+class CallExpr(Expr):
+    """An operation call, e.g. ``mlt(d2, x0)``."""
+
+    operation: str
+    args: tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class Statement:
+    line: int
+
+
+@dataclass(frozen=True)
+class LocalAssign(Statement):
+    """``x := expr;`` — bind (or re-bind) a local signal name."""
+
+    name: str
+    expr: Expr
+
+
+@dataclass(frozen=True)
+class CommitAssign(Statement):
+    """``x = expr;`` — write a state or an output port."""
+
+    name: str
+    expr: Expr
+
+
+@dataclass(frozen=True)
+class ParamDecl:
+    name: str
+    value: float
+    line: int
+
+
+@dataclass(frozen=True)
+class StateDecl:
+    name: str
+    depth: int
+    line: int
+
+
+@dataclass
+class Program:
+    """A parsed application: declarations plus one time-loop body."""
+
+    name: str
+    params: list[ParamDecl] = field(default_factory=list)
+    inputs: list[str] = field(default_factory=list)
+    outputs: list[str] = field(default_factory=list)
+    states: list[StateDecl] = field(default_factory=list)
+    body: list[Statement] = field(default_factory=list)

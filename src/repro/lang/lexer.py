@@ -1,0 +1,109 @@
+"""Tokenizer for the paper-style application source (section 7).
+
+The surface syntax follows the fragment printed in the paper::
+
+    /* Treble section */
+    x0 := u@2;            /* U delayed over 2 frames */
+    m  := mlt(d2, x0);
+    ...
+    v  = rd;
+
+extended with the declarations the fragment presupposes (``app``,
+``param``, ``input``, ``output``, ``state``, ``loop``).  Comments are
+C-style ``/* ... */`` or line comments starting with ``#``.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+
+from ..errors import SourceError
+
+
+class TokenKind(enum.Enum):
+    IDENT = "ident"
+    NUMBER = "number"       # signed decimal, possibly fractional
+    ASSIGN = ":="
+    EQUALS = "="
+    AT = "@"
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACE = "{"
+    RBRACE = "}"
+    COMMA = ","
+    SEMI = ";"
+    EOF = "eof"
+
+
+KEYWORDS = {"app", "param", "input", "output", "state", "loop"}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+
+    @property
+    def is_keyword(self) -> bool:
+        return self.kind is TokenKind.IDENT and self.text in KEYWORDS
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>/\*.*?\*/|\#[^\n]*)
+  | (?P<number>-?\d+\.\d+|-?\.\d+|-?\d+)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<assign>:=)
+  | (?P<sym>[=@(){},;])
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+_SYMBOLS = {
+    "=": TokenKind.EQUALS,
+    "@": TokenKind.AT,
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    "{": TokenKind.LBRACE,
+    "}": TokenKind.RBRACE,
+    ",": TokenKind.COMMA,
+    ";": TokenKind.SEMI,
+}
+
+
+def tokenize(text: str) -> list[Token]:
+    """Split ``text`` into tokens; raises :class:`SourceError` on junk."""
+    tokens: list[Token] = []
+    position = 0
+    line = 1
+    line_start = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            column = position - line_start + 1
+            raise SourceError(
+                f"unexpected character {text[position]!r}", line, column
+            )
+        column = match.start() - line_start + 1
+        lexeme = match.group(0)
+        if match.lastgroup == "number":
+            tokens.append(Token(TokenKind.NUMBER, lexeme, line, column))
+        elif match.lastgroup == "ident":
+            tokens.append(Token(TokenKind.IDENT, lexeme, line, column))
+        elif match.lastgroup == "assign":
+            tokens.append(Token(TokenKind.ASSIGN, lexeme, line, column))
+        elif match.lastgroup == "sym":
+            tokens.append(Token(_SYMBOLS[lexeme], lexeme, line, column))
+        # whitespace and comments are skipped but tracked for line numbers
+        newlines = lexeme.count("\n")
+        if newlines:
+            line += newlines
+            line_start = match.start() + lexeme.rfind("\n") + 1
+        position = match.end()
+    tokens.append(Token(TokenKind.EOF, "", line, len(text) - line_start + 1))
+    return tokens

@@ -1,0 +1,283 @@
+"""Recursive-descent parser and semantic lowering to the DFG.
+
+:func:`parse` produces the :class:`~repro.lang.ast.Program`;
+:func:`lower` resolves names and emits a validated
+:class:`~repro.lang.dfg.Dfg` through the builder; :func:`parse_source`
+does both.
+
+Name resolution rules (matching the paper's programming style):
+
+* ``x := expr`` binds a *local signal*; re-binding the same name (the
+  paper re-uses ``m`` and ``a`` freely) simply shadows the previous
+  value — every use refers to the latest binding at that point.
+* ``s = expr`` commits a *state* (if ``s`` is declared as one) or
+  writes an *output port*.
+* A bare name refers to, in priority order: the latest local binding,
+  a parameter, or an input port (one read per iteration, shared by all
+  references).
+* ``s@k`` reads a declared state at delay ``k >= 1``.
+* ``mlt`` is accepted as an alias for ``mult`` (the paper uses both
+  spellings: ``mlt`` in source, MULT for the unit).
+"""
+
+from __future__ import annotations
+
+from ..errors import SemanticError, SourceError
+from .ast import (
+    CallExpr,
+    CommitAssign,
+    DelayExpr,
+    Expr,
+    LocalAssign,
+    NameExpr,
+    ParamDecl,
+    Program,
+    StateDecl,
+    Statement,
+)
+from .builder import DfgBuilder, Ref, StateRef
+from .dfg import Dfg
+from .lexer import Token, TokenKind, tokenize
+
+#: Source-level operation aliases.
+OPERATION_ALIASES = {"mlt": "mult"}
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.position = 0
+
+    # -- token plumbing ---------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.position]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind is not TokenKind.EOF:
+            self.position += 1
+        return token
+
+    def expect(self, kind: TokenKind, what: str | None = None) -> Token:
+        token = self.current
+        if token.kind is not kind:
+            expected = what or kind.value
+            raise SourceError(
+                f"expected {expected}, found {token.text!r}",
+                token.line,
+                token.column,
+            )
+        return self.advance()
+
+    def expect_keyword(self, keyword: str) -> Token:
+        token = self.current
+        if token.kind is not TokenKind.IDENT or token.text != keyword:
+            raise SourceError(
+                f"expected {keyword!r}, found {token.text!r}",
+                token.line,
+                token.column,
+            )
+        return self.advance()
+
+    def at_keyword(self, keyword: str) -> bool:
+        return self.current.kind is TokenKind.IDENT and self.current.text == keyword
+
+    # -- grammar ----------------------------------------------------------
+
+    def parse_program(self) -> Program:
+        self.expect_keyword("app")
+        name = self.expect(TokenKind.IDENT, "application name").text
+        self.expect(TokenKind.SEMI)
+        program = Program(name)
+        while not self.at_keyword("loop"):
+            if self.at_keyword("param"):
+                self._parse_params(program)
+            elif self.at_keyword("input"):
+                self._parse_ports(program.inputs, "input")
+            elif self.at_keyword("output"):
+                self._parse_ports(program.outputs, "output")
+            elif self.at_keyword("state"):
+                self._parse_states(program)
+            else:
+                token = self.current
+                raise SourceError(
+                    f"expected a declaration or 'loop', found {token.text!r}",
+                    token.line,
+                    token.column,
+                )
+        self.expect_keyword("loop")
+        self.expect(TokenKind.LBRACE)
+        while self.current.kind is not TokenKind.RBRACE:
+            program.body.append(self._parse_statement())
+        self.expect(TokenKind.RBRACE)
+        self.expect(TokenKind.EOF, "end of file")
+        return program
+
+    def _parse_params(self, program: Program) -> None:
+        self.expect_keyword("param")
+        while True:
+            name_token = self.expect(TokenKind.IDENT, "parameter name")
+            self.expect(TokenKind.EQUALS)
+            value_token = self.expect(TokenKind.NUMBER, "parameter value")
+            program.params.append(
+                ParamDecl(name_token.text, float(value_token.text), name_token.line)
+            )
+            if self.current.kind is TokenKind.COMMA:
+                self.advance()
+                continue
+            break
+        self.expect(TokenKind.SEMI)
+
+    def _parse_ports(self, ports: list[str], which: str) -> None:
+        self.expect_keyword(which)
+        while True:
+            ports.append(self.expect(TokenKind.IDENT, f"{which} port name").text)
+            if self.current.kind is TokenKind.COMMA:
+                self.advance()
+                continue
+            break
+        self.expect(TokenKind.SEMI)
+
+    def _parse_states(self, program: Program) -> None:
+        self.expect_keyword("state")
+        while True:
+            name_token = self.expect(TokenKind.IDENT, "state name")
+            self.expect(TokenKind.LPAREN)
+            depth_token = self.expect(TokenKind.NUMBER, "state depth")
+            try:
+                depth = int(depth_token.text)
+            except ValueError:
+                raise SourceError(
+                    "state depth must be an integer",
+                    depth_token.line,
+                    depth_token.column,
+                ) from None
+            self.expect(TokenKind.RPAREN)
+            program.states.append(StateDecl(name_token.text, depth, name_token.line))
+            if self.current.kind is TokenKind.COMMA:
+                self.advance()
+                continue
+            break
+        self.expect(TokenKind.SEMI)
+
+    def _parse_statement(self) -> Statement:
+        name_token = self.expect(TokenKind.IDENT, "signal name")
+        if self.current.kind is TokenKind.ASSIGN:
+            self.advance()
+            expr = self._parse_expr()
+            self.expect(TokenKind.SEMI)
+            return LocalAssign(name_token.line, name_token.text, expr)
+        if self.current.kind is TokenKind.EQUALS:
+            self.advance()
+            expr = self._parse_expr()
+            self.expect(TokenKind.SEMI)
+            return CommitAssign(name_token.line, name_token.text, expr)
+        token = self.current
+        raise SourceError(
+            f"expected ':=' or '=' after {name_token.text!r}",
+            token.line,
+            token.column,
+        )
+
+    def _parse_expr(self) -> Expr:
+        name_token = self.expect(TokenKind.IDENT, "expression")
+        if self.current.kind is TokenKind.LPAREN:
+            self.advance()
+            args: list[Expr] = [self._parse_expr()]
+            while self.current.kind is TokenKind.COMMA:
+                self.advance()
+                args.append(self._parse_expr())
+            self.expect(TokenKind.RPAREN)
+            operation = OPERATION_ALIASES.get(name_token.text, name_token.text)
+            return CallExpr(name_token.line, operation, tuple(args))
+        if self.current.kind is TokenKind.AT:
+            self.advance()
+            delay_token = self.expect(TokenKind.NUMBER, "delay count")
+            try:
+                delay = int(delay_token.text)
+            except ValueError:
+                raise SourceError(
+                    "delay must be an integer",
+                    delay_token.line,
+                    delay_token.column,
+                ) from None
+            return DelayExpr(name_token.line, name_token.text, delay)
+        return NameExpr(name_token.line, name_token.text)
+
+
+def parse(text: str) -> Program:
+    """Parse source text into a :class:`Program` (syntax only)."""
+    return _Parser(tokenize(text)).parse_program()
+
+
+def lower(program: Program) -> Dfg:
+    """Resolve names and lower a parsed program to a validated DFG."""
+    builder = DfgBuilder(program.name)
+    params: dict[str, Ref] = {}
+    for decl in program.params:
+        params[decl.name] = builder.param(decl.name, decl.value)
+    states: dict[str, StateRef] = {}
+    for decl in program.states:
+        states[decl.name] = builder.state(decl.name, decl.depth)
+    locals_: dict[str, Ref] = {}
+    input_reads: dict[str, Ref] = {}
+
+    def resolve(expr: Expr) -> Ref:
+        if isinstance(expr, NameExpr):
+            if expr.name in locals_:
+                return locals_[expr.name]
+            if expr.name in params:
+                return params[expr.name]
+            if expr.name in program.inputs:
+                if expr.name not in input_reads:
+                    input_reads[expr.name] = builder.input(expr.name)
+                return input_reads[expr.name]
+            if expr.name in states:
+                raise SemanticError(
+                    f"state {expr.name!r} must be read with a delay "
+                    f"(use {expr.name}@1)",
+                    expr.line,
+                )
+            raise SemanticError(f"unknown name {expr.name!r}", expr.line)
+        if isinstance(expr, DelayExpr):
+            if expr.state in states:
+                return builder.delay(states[expr.state], expr.delay)
+            raise SemanticError(
+                f"delay of undeclared state {expr.state!r}", expr.line
+            )
+        if isinstance(expr, CallExpr):
+            args = [resolve(a) for a in expr.args]
+            return builder.op(expr.operation, *args)
+        raise SemanticError(f"unhandled expression {expr!r}", expr.line)
+
+    for statement in program.body:
+        if isinstance(statement, LocalAssign):
+            if statement.name in states or statement.name in program.outputs:
+                raise SemanticError(
+                    f"{statement.name!r} is a state/output; use '=' to "
+                    f"commit it",
+                    statement.line,
+                )
+            locals_[statement.name] = resolve(statement.expr)
+        elif isinstance(statement, CommitAssign):
+            value = resolve(statement.expr)
+            if statement.name in states:
+                builder.write(states[statement.name], value)
+            elif statement.name in program.outputs:
+                builder.output(statement.name, value)
+            else:
+                raise SemanticError(
+                    f"{statement.name!r} is neither a state nor an output "
+                    f"port; use ':=' for local signals",
+                    statement.line,
+                )
+        else:  # pragma: no cover - exhaustive over Statement
+            raise SemanticError(f"unhandled statement {statement!r}")
+    return builder.build()
+
+
+def parse_source(text: str) -> Dfg:
+    """Parse and lower application source text in one step."""
+    return lower(parse(text))

@@ -1,0 +1,86 @@
+"""Golden reference interpreter for time-loop applications.
+
+Executes a :class:`~repro.lang.dfg.Dfg` directly, iteration by
+iteration, with the same fixed-point arithmetic the core uses
+(:mod:`repro.fixed`).  The cycle-accurate simulator of compiled code
+must produce bit-identical output streams; that equivalence is the
+library's strongest end-to-end check.
+"""
+
+from __future__ import annotations
+
+from ..errors import SemanticError, SimulationError
+from ..fixed import Q15, FixedFormat
+from .dfg import Dfg, NodeKind
+
+
+def run_reference(
+    dfg: Dfg,
+    inputs: dict[str, list[int]],
+    n_iterations: int | None = None,
+    fmt: FixedFormat = Q15,
+) -> dict[str, list[int]]:
+    """Run ``n_iterations`` of the time-loop on fixed-point samples.
+
+    Parameters
+    ----------
+    inputs:
+        Input port name → stream of fixed-point integers.  All streams
+        must cover ``n_iterations`` samples.
+    n_iterations:
+        Defaults to the shortest input stream (or raises if there are
+        no inputs and no count is given).
+
+    Returns
+    -------
+    Output port name → stream of fixed-point integers, one value per
+    iteration.
+    """
+    for port in dfg.inputs:
+        if port not in inputs:
+            raise SimulationError(f"missing stimulus for input port {port!r}")
+    if n_iterations is None:
+        if not dfg.inputs:
+            raise SimulationError(
+                "n_iterations is required for applications without inputs"
+            )
+        n_iterations = min(len(inputs[p]) for p in dfg.inputs)
+    for port in dfg.inputs:
+        if len(inputs[port]) < n_iterations:
+            raise SimulationError(
+                f"input stream {port!r} has {len(inputs[port])} samples; "
+                f"{n_iterations} needed"
+            )
+
+    params = {name: fmt.from_float(value) for name, value in dfg.params.items()}
+    histories: dict[str, list[int]] = {name: [] for name in dfg.states}
+    outputs: dict[str, list[int]] = {port: [] for port in dfg.outputs}
+
+    for frame in range(n_iterations):
+        values: dict[int, int] = {}
+        pending_writes: dict[str, int] = {}
+        for node in dfg.nodes:
+            if node.kind is NodeKind.INPUT:
+                values[node.id] = fmt.wrap(inputs[node.name][frame])
+            elif node.kind is NodeKind.PARAM:
+                values[node.id] = params[node.name]
+            elif node.kind is NodeKind.DELAY:
+                history = histories[node.name]
+                index = frame - node.delay
+                values[node.id] = history[index] if index >= 0 else 0
+            elif node.kind is NodeKind.OP:
+                args = [values[a] for a in node.args]
+                values[node.id] = fmt.apply(node.name, *args)
+            elif node.kind is NodeKind.STATE_WRITE:
+                pending_writes[node.name] = values[node.args[0]]
+            elif node.kind is NodeKind.OUTPUT:
+                outputs[node.name].append(values[node.args[0]])
+            else:  # pragma: no cover - exhaustive over NodeKind
+                raise SemanticError(f"unknown node kind {node.kind}")
+        # Commit this iteration's state values: they become s@1 next frame.
+        for name in dfg.states:
+            committed = pending_writes.get(name)
+            previous = histories[name][-1] if histories[name] else 0
+            histories[name].append(committed if committed is not None else previous)
+
+    return outputs

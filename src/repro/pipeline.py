@@ -1,0 +1,146 @@
+"""The complete code generator: source → running microcode.
+
+This is figure 1b end to end:
+
+1. **RT generation** (:mod:`repro.rtgen`) — lower the application's
+   data-flow graph onto the core's datapath.
+2. **RT modification** (:mod:`repro.core`) — merge register files and
+   buses, then impose the instruction set by adding artificial conflict
+   resources (sections 6.1-6.3).
+3. **Scheduling & instruction encoding** (:mod:`repro.sched`,
+   :mod:`repro.encode`) — pack RTs into VLIW instructions within the
+   cycle budget, allocate registers, emit binary microcode.
+
+:func:`compile_application` returns a :class:`CompiledProgram` with all
+intermediate artifacts, so reports and benches can inspect every stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .arch.library import CoreSpec
+from .arch.merge import MergeSpec
+from .core.artificial import ConflictModel, impose_instruction_set
+from .core.instruction_set import InstructionSet
+from .core.merge import apply_merges, merged_register_file_sizes
+from .core.rtclass import ClassTable
+from .encode.assembler import EncodedProgram, assemble
+from .lang.dfg import Dfg
+from .lang.parser import parse_source
+from .rtgen.generator import generate_rts
+from .rtgen.program import RTProgram
+from .sched.dependence import DependenceGraph, build_dependence_graph
+from .sched.list_scheduler import list_schedule
+from .sched.regalloc import Allocation, allocate_registers
+from .sched.schedule import Schedule
+from .sim.machine import run_program
+
+
+@dataclass
+class CompiledProgram:
+    """Every artifact of one compilation, ready for inspection."""
+
+    core: CoreSpec
+    dfg: Dfg
+    rt_program: RTProgram
+    conflict_model: ConflictModel
+    dependence_graph: DependenceGraph
+    schedule: Schedule
+    allocation: Allocation
+    binary: EncodedProgram
+
+    @property
+    def n_cycles(self) -> int:
+        """Time-loop length in instructions (the paper's figure of merit)."""
+        return self.schedule.length
+
+    def run(self, inputs: dict[str, list[int]],
+            n_frames: int | None = None) -> dict[str, list[int]]:
+        """Execute the binary on the cycle-accurate core simulator."""
+        return run_program(self.binary, inputs, n_frames)
+
+
+def compile_application(
+    application: Dfg | str,
+    core: CoreSpec,
+    budget: int | None = None,
+    io_binding: dict[str, str] | None = None,
+    merges: MergeSpec | None = None,
+    cover_algorithm: str = "greedy",
+    restarts: int = 0,
+    seed: int = 0,
+    mode: str = "loop",
+    repeat_count: int = 1,
+) -> CompiledProgram:
+    """Compile an application (source text or DFG) onto a core.
+
+    Parameters
+    ----------
+    budget:
+        The user-specified time-loop cycle budget (section 2: "the
+        cycle budget is specified by the user").  ``None`` compiles for
+        minimum length.
+    merges:
+        Register-file/bus merges of the final core (applied as RT
+        modifications, step 2a).
+    cover_algorithm:
+        Edge-clique-cover algorithm for the artificial resources.
+    restarts:
+        Extra list-scheduler attempts with jittered priorities.
+    """
+    dfg = parse_source(application) if isinstance(application, str) else application
+    rt_program = generate_rts(dfg, core, io_binding)
+    base_program = rt_program
+    base_rts = list(rt_program.rts)
+
+    capacities = None
+    merged = merges is not None and not merges.is_empty
+    if merged:
+        capacities = merged_register_file_sizes(rt_program, merges)
+        rt_program = apply_merges(rt_program, merges)
+
+    table = ClassTable.from_core(core)
+    instruction_set = InstructionSet.from_desired(
+        table.names, core.instruction_types
+    )
+    model = impose_instruction_set(
+        rt_program.rts, table, instruction_set, cover_algorithm=cover_algorithm
+    )
+    rt_program.rts = model.rts
+
+    graph = build_dependence_graph(rt_program)
+    schedule = list_schedule(graph, budget=budget, restarts=restarts, seed=seed)
+    schedule.validate(graph)
+    allocation = allocate_registers(rt_program, schedule, capacities)
+
+    if merged:
+        # Merging only *restricts* parallelism, so the merged schedule
+        # is cycle-for-cycle valid on the distributed datapath too.
+        # Binary generation and simulation target the physical
+        # (unmerged) core: transplant the cycles onto the original RTs.
+        encode_cycles = {
+            base: schedule.cycle_of[scheduled]
+            for base, scheduled in zip(base_rts, rt_program.rts)
+        }
+        encode_schedule = Schedule(
+            cycle_of=encode_cycles, length=schedule.length,
+            budget=schedule.budget,
+        )
+        encode_allocation = allocate_registers(base_program, encode_schedule)
+        binary = assemble(base_program, encode_schedule,
+                          encode_allocation, mode=mode,
+                          repeat_count=repeat_count)
+    else:
+        binary = assemble(rt_program, schedule, allocation, mode=mode,
+                          repeat_count=repeat_count)
+    return CompiledProgram(
+        core=core,
+        dfg=dfg,
+        rt_program=rt_program,
+        conflict_model=model,
+        dependence_graph=graph,
+        schedule=schedule,
+        allocation=allocation,
+        binary=binary,
+    )

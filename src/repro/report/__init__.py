@@ -1,0 +1,19 @@
+"""Reporting: the paper's figures as text artifacts."""
+
+from .occupation import OccupationRow, occupation_chart, occupation_rows
+from .tables import (
+    class_table_report,
+    conflict_report,
+    gantt_chart,
+    summary_report,
+)
+
+__all__ = [
+    "OccupationRow",
+    "class_table_report",
+    "conflict_report",
+    "gantt_chart",
+    "occupation_chart",
+    "occupation_rows",
+    "summary_report",
+]

@@ -1,0 +1,75 @@
+"""Textual reports: RT class tables (figures 5/8), conflict graphs
+(figure 6), schedule Gantt charts and compilation summaries."""
+
+from __future__ import annotations
+
+from ..core.conflict_graph import ConflictGraph
+from ..core.rtclass import ClassTable
+from ..sched.schedule import Schedule
+
+
+def class_table_report(table: ClassTable, title: str = "RT Class identification") -> str:
+    """Render a class table like the paper's figure 8 insert::
+
+        RT Class identification
+        IPB    - Read          A
+        RAM    - Read          E
+               - Write         F
+    """
+    lines = [title]
+    last_opu = None
+    for cls in table.classes:
+        opu = cls.opu if cls.opu != last_opu else ""
+        usages = cls.pretty_usages()
+        lines.append(f"{opu:<8} - {usages:<28} {cls.name}")
+        last_opu = cls.opu
+    return "\n".join(lines)
+
+
+def conflict_report(graph: ConflictGraph,
+                    cover: list[frozenset[str]] | None = None) -> str:
+    """Conflict graph plus (optionally) its clique cover, figure-6 style."""
+    lines = [graph.pretty()]
+    if cover is not None:
+        pretty = ", ".join("{" + ", ".join(sorted(c)) + "}" for c in cover)
+        lines.append(f"clique cover ({len(cover)} cliques): {pretty}")
+        resources = ", ".join(
+            "".join(sorted(clique)) for clique in cover
+        )
+        lines.append(f"artificial resources: {resources}")
+    return "\n".join(lines)
+
+
+def gantt_chart(schedule: Schedule, max_cycles: int | None = None) -> str:
+    """One line per instruction cycle, listing the issued transfers."""
+    lines = [f"schedule: {schedule.length} cycles"]
+    for cycle, instruction in enumerate(schedule.instructions()):
+        if max_cycles is not None and cycle >= max_cycles:
+            lines.append(f"  ... ({schedule.length - cycle} more cycles)")
+            break
+        ops = ", ".join(f"{rt.opu}.{rt.operation}" for rt in instruction)
+        lines.append(f"  {cycle:3d}: {ops if ops else '(nop)'}")
+    return "\n".join(lines)
+
+
+def summary_report(compiled) -> str:
+    """One-paragraph compile summary (for examples and benches)."""
+    program = compiled.rt_program
+    histogram = program.opu_histogram()
+    ops = ", ".join(f"{k}: {v}" for k, v in sorted(histogram.items()))
+    cover = ", ".join(
+        "".join(sorted(c)) for c in compiled.conflict_model.cover
+    ) or "(none)"
+    budget = compiled.schedule.budget
+    budget_text = f" (budget {budget})" if budget is not None else ""
+    return "\n".join([
+        f"application  : {compiled.dfg.name}",
+        f"core         : {compiled.core.name}",
+        f"transfers    : {len(program.rts)} RTs [{ops}]",
+        f"classes      : {len(compiled.conflict_model.table)} "
+        f"({', '.join(compiled.conflict_model.table.names)})",
+        f"cover        : {cover}",
+        f"schedule     : {compiled.schedule.length} cycles{budget_text}",
+        f"word width   : {compiled.binary.word_width} bits, "
+        f"{len(compiled.binary.words)} words",
+    ])

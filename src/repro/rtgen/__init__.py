@@ -1,0 +1,34 @@
+"""RT generation: from data-flow graphs to register transfers
+(paper, sections 3-4, figure 2)."""
+
+from .binding import Binding, bind
+from .generator import generate_rts, live_nodes
+from .memory import MemoryLayout, RomLayout
+from .program import LoopCarry, RTProgram
+from .rt import (
+    RT,
+    Destination,
+    Operand,
+    OperandKind,
+    ResourceUse,
+    conflict,
+    conflict_same_cycle,
+)
+
+__all__ = [
+    "Binding",
+    "Destination",
+    "LoopCarry",
+    "MemoryLayout",
+    "Operand",
+    "OperandKind",
+    "RT",
+    "RTProgram",
+    "ResourceUse",
+    "RomLayout",
+    "bind",
+    "conflict",
+    "conflict_same_cycle",
+    "generate_rts",
+    "live_nodes",
+]

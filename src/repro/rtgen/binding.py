@@ -1,0 +1,184 @@
+"""Operation-to-OPU binding and IO port binding.
+
+The paper's RT generator (reused from Piramid/Cathedral-2) assigns
+every dataflow operation to an operation unit before the transfers are
+built.  On cores with a single unit per operation kind (the audio core)
+binding is forced; where alternatives exist the binder balances the
+estimated load, since every OPU is a 1-per-cycle resource and the cycle
+budget is tight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..arch.datapath import Datapath
+from ..arch.library import CoreSpec
+from ..arch.opu import Opu, OpuKind
+from ..errors import BindingError
+from ..lang.dfg import Dfg, Node, NodeKind
+
+
+@dataclass
+class Binding:
+    """Complete binding of a DFG onto a core's datapath."""
+
+    operation_opu: dict[int, str]       # OP node id -> OPU name
+    input_opu: dict[str, str]           # input port name -> INPUT OPU
+    output_opu: dict[str, str]          # output port name -> OUTPUT OPU
+    state_ram: dict[str, str]           # state name -> RAM holding it
+    ram_acu: dict[str, str]             # RAM name -> its address ACU
+    rom_opu: str | None                 # coefficient ROM (None: use consts)
+    const_opu: str | None               # program-constant unit
+
+    @property
+    def rams(self) -> list[str]:
+        """RAM OPUs actually holding state, in deterministic order."""
+        seen: list[str] = []
+        for ram in self.state_ram.values():
+            if ram not in seen:
+                seen.append(ram)
+        return sorted(seen)
+
+    def opu_of_node(self, node: Node) -> str:
+        if node.kind is NodeKind.OP:
+            return self.operation_opu[node.id]
+        if node.kind is NodeKind.INPUT:
+            return self.input_opu[node.name]
+        if node.kind is NodeKind.OUTPUT:
+            return self.output_opu[node.name]
+        if node.kind in (NodeKind.DELAY, NodeKind.STATE_WRITE):
+            return self.state_ram[node.name]
+        if node.kind is NodeKind.PARAM:
+            opu = self.rom_opu if self.rom_opu is not None else self.const_opu
+            assert opu is not None
+            return opu
+        raise BindingError(f"cannot bind node kind {node.kind}")
+
+
+def bind(dfg: Dfg, core: CoreSpec, io_binding: dict[str, str] | None = None,
+         live: set[int] | None = None) -> Binding:
+    """Bind every DFG node to an OPU of ``core``.
+
+    Parameters
+    ----------
+    io_binding:
+        Explicit port-name → OPU-name assignments for IO ports.  Ports
+        not mentioned are assigned round-robin over the matching OPU
+        kind in declaration order.
+    live:
+        Node ids to bind (dead nodes are skipped); defaults to all.
+    """
+    dp = core.datapath
+    io_binding = dict(io_binding or {})
+
+    inputs = [o for o in dp.opus.values() if o.kind is OpuKind.INPUT]
+    outputs = [o for o in dp.opus.values() if o.kind is OpuKind.OUTPUT]
+    rams = [o for o in dp.opus.values() if o.kind is OpuKind.RAM]
+    roms = [o for o in dp.opus.values() if o.kind is OpuKind.ROM]
+    acus = [o for o in dp.opus.values() if o.kind is OpuKind.ACU]
+    consts = [o for o in dp.opus.values() if o.kind is OpuKind.CONST]
+
+    input_opu = _bind_ports(dfg.inputs, inputs, io_binding, "input")
+    output_opu = _bind_ports(dfg.outputs, outputs, io_binding, "output")
+
+    live_states = {
+        n.name for n in dfg.nodes
+        if n.kind in (NodeKind.DELAY, NodeKind.STATE_WRITE)
+        and (live is None or n.id in live)
+    }
+    if live_states and not rams:
+        raise BindingError(
+            f"application {dfg.name!r} has delayed state but core "
+            f"{core.name!r} has no RAM"
+        )
+    if live_states and not acus:
+        raise BindingError(
+            f"application {dfg.name!r} needs RAM addressing but core "
+            f"{core.name!r} has no ACU"
+        )
+    # Partition delay-line state round-robin over the data memories;
+    # each memory gets its own address unit (the X/Y dual-memory style:
+    # address generation is per memory port), so only as many memories
+    # can hold state as there are ACUs to drive them.
+    state_ram: dict[str, str] = {}
+    ram_acu: dict[str, str] = {}
+    if live_states:
+        usable = rams[:len(acus)]
+        for index, state in enumerate(sorted(live_states)):
+            state_ram[state] = usable[index % len(usable)].name
+        for index, ram in enumerate(usable):
+            ram_acu[ram.name] = acus[index].name
+    needs_params = any(
+        n.kind is NodeKind.PARAM and (live is None or n.id in live)
+        for n in dfg.nodes
+    )
+    if needs_params and not roms and not consts:
+        raise BindingError(
+            f"application {dfg.name!r} has coefficients but core "
+            f"{core.name!r} has neither a ROM nor a constant unit"
+        )
+    if roms and not consts:
+        raise BindingError(
+            f"core {core.name!r} has a ROM but no constant unit to "
+            f"generate its addresses"
+        )
+
+    load: dict[str, int] = {name: 0 for name in dp.opus}
+    operation_opu: dict[int, str] = {}
+    for node in dfg.nodes:
+        if node.kind is not NodeKind.OP:
+            continue
+        if live is not None and node.id not in live:
+            continue
+        candidates = dp.opus_supporting(node.name)
+        if not candidates:
+            raise BindingError(
+                f"no OPU of core {core.name!r} supports operation "
+                f"{node.name!r} (node n{node.id})"
+            )
+        # Keep dataflow operations off the address/constant machinery
+        # unless nothing else can run them.
+        preferred = [
+            c for c in candidates
+            if c.kind not in (OpuKind.ACU, OpuKind.CONST, OpuKind.ROM)
+        ] or candidates
+        chosen = min(preferred, key=lambda o: load[o.name])
+        load[chosen.name] += 1
+        operation_opu[node.id] = chosen.name
+
+    return Binding(
+        operation_opu=operation_opu,
+        input_opu=input_opu,
+        output_opu=output_opu,
+        state_ram=state_ram,
+        ram_acu=ram_acu,
+        rom_opu=roms[0].name if roms else None,
+        const_opu=consts[0].name if consts else None,
+    )
+
+
+def _bind_ports(
+    ports: list[str],
+    opus: list[Opu],
+    explicit: dict[str, str],
+    which: str,
+) -> dict[str, str]:
+    binding: dict[str, str] = {}
+    available = [o.name for o in opus]
+    for index, port in enumerate(ports):
+        if port in explicit:
+            if explicit[port] not in available:
+                raise BindingError(
+                    f"{which} port {port!r} bound to unknown {which} OPU "
+                    f"{explicit[port]!r}"
+                )
+            binding[port] = explicit[port]
+        else:
+            if not available:
+                raise BindingError(
+                    f"application uses {which} port {port!r} but the core "
+                    f"has no {which} port blocks"
+                )
+            binding[port] = available[index % len(available)]
+    return binding

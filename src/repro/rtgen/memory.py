@@ -1,0 +1,122 @@
+"""Delay-line memory layout and address generation.
+
+Delayed signals (``u@2``) live in RAM; "the register files support
+single cycle random read and random write" but bulk state does not fit
+in them.  The audio core addresses RAM through the ACU's ``addmod``
+operation — modulo arithmetic for circular buffers — and figure 9 shows
+exactly one ACU operation per RAM access plus one extra per loop
+iteration.  The layout below reproduces that profile.
+
+Frame-interleaved circular layout
+---------------------------------
+Let ``S`` be the number of states and ``W`` the window depth
+(``max(depth) + 1``).  State ``s`` (index ``i_s``) written at frame
+``f`` occupies slot::
+
+    (f mod W) * S + i_s
+
+All addresses are generated from a single *frame pointer* register
+``fp = (f mod W) * S`` with one ``addmod`` each::
+
+    read  s@k : addr = (fp + ((i_s - k*S) mod M)) mod M
+    write s   : addr = (fp + i_s) mod M            with M = W * S
+
+and the pointer advances once per iteration: ``fp = (fp + S) mod M``.
+Hence #ACU = #RAM + 1, matching the published occupation distribution.
+No two distinct accesses of one frame ever touch the same slot, so the
+scheduler needs no intra-iteration memory ordering edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import RoutingError
+from ..lang.dfg import Dfg, StateSpec
+
+
+@dataclass(frozen=True)
+class MemoryLayout:
+    """Placement of all delay-line state in one circular RAM region."""
+
+    state_index: dict[str, int]
+    n_states: int
+    window: int
+    modulus: int
+
+    @staticmethod
+    def for_dfg(dfg: Dfg, ram_size: int) -> "MemoryLayout":
+        return MemoryLayout.for_states(
+            sorted(dfg.states.values(), key=lambda s: s.name), ram_size
+        )
+
+    @staticmethod
+    def for_states(states: list[StateSpec], ram_size: int) -> "MemoryLayout":
+        """Layout for the given states in one memory (multi-RAM cores
+        call this once per data memory with its partition)."""
+        states = sorted(states, key=lambda s: s.name)
+        n_states = len(states)
+        window = max((s.depth for s in states), default=0) + 1
+        modulus = window * n_states
+        if modulus > ram_size:
+            raise RoutingError(
+                f"delay-line state needs {modulus} RAM words "
+                f"({n_states} states x window {window}) but the core has "
+                f"only {ram_size}"
+            )
+        index = {s.name: i for i, s in enumerate(states)}
+        return MemoryLayout(
+            state_index=index,
+            n_states=n_states,
+            window=window,
+            modulus=max(modulus, 1),
+        )
+
+    # -- immediates for the ACU -------------------------------------------
+
+    def read_offset(self, state: str, delay: int) -> int:
+        """``addmod`` immediate for reading ``state@delay``."""
+        index = self._index(state)
+        return (index - delay * self.n_states) % self.modulus
+
+    def write_offset(self, state: str) -> int:
+        """``addmod`` immediate for writing this frame's value of ``state``."""
+        return self._index(state)
+
+    def advance_offset(self) -> int:
+        """``addmod`` immediate for the once-per-frame pointer advance."""
+        return self.n_states
+
+    # -- concrete addresses (simulator / checks) ---------------------------
+
+    def slot(self, state: str, frame: int) -> int:
+        """Absolute RAM slot holding ``state`` written at ``frame``."""
+        return (frame % self.window) * self.n_states + self._index(state)
+
+    def frame_pointer(self, frame: int) -> int:
+        return (frame % self.window) * self.n_states
+
+    def _index(self, state: str) -> int:
+        try:
+            return self.state_index[state]
+        except KeyError:
+            raise RoutingError(f"state {state!r} has no memory layout") from None
+
+
+@dataclass(frozen=True)
+class RomLayout:
+    """Placement of quantised coefficients in the program ROM."""
+
+    address: dict[str, int]
+    words: tuple[int, ...]
+
+    @staticmethod
+    def for_params(param_values: dict[str, int], rom_size: int) -> "RomLayout":
+        names = sorted(param_values)
+        if len(names) > rom_size:
+            raise RoutingError(
+                f"{len(names)} coefficients do not fit in a {rom_size}-word ROM"
+            )
+        address = {name: i for i, name in enumerate(names)}
+        words = tuple(param_values[name] for name in names)
+        return RomLayout(address=address, words=words)

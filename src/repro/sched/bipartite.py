@@ -1,0 +1,134 @@
+"""Bipartite matching feasibility pruning (Timmer & Jess, EDAC'95 [11]).
+
+The paper's future-work citation: "Exact Scheduling Strategies based on
+Bipartite Graph Matching".  The idea: the RTs executing on one
+exclusive resource (an OPU) must occupy pairwise different cycles, each
+within its execution interval — a bipartite matching between transfers
+and cycles.  If no perfect matching exists, the partial schedule is
+infeasible and the branch can be pruned long before the conflict
+actually materialises.
+
+For interval-structured bipartite graphs, Hall's condition reduces to a
+window check: for every cycle window ``[a, b]``, the number of
+transfers whose whole interval lies inside must not exceed the window's
+capacity.  We also provide an explicit Hopcroft-Karp matching (used by
+tests as an oracle and by callers that want the witness assignment).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..rtgen.rt import RT
+from .interval import ExecutionInterval
+
+
+def hall_window_check(intervals: list[ExecutionInterval]) -> bool:
+    """Unit-job feasibility on one exclusive resource.
+
+    True iff every window [a, b] contains at most ``b - a + 1`` whole
+    intervals — by Hall's theorem, exactly when a perfect matching of
+    transfers to distinct cycles exists.
+    """
+    if not intervals:
+        return True
+    starts = sorted({i.asap for i in intervals})
+    ends = sorted({i.alap for i in intervals})
+    for a in starts:
+        inside = [i for i in intervals if i.asap >= a]
+        for b in ends:
+            if b < a:
+                continue
+            count = sum(1 for i in inside if i.alap <= b)
+            if count > b - a + 1:
+                return False
+    return True
+
+
+def maximum_matching(
+    intervals: dict[RT, ExecutionInterval]
+) -> dict[RT, int]:
+    """Hopcroft-Karp matching of transfers to cycles (witness schedule).
+
+    Returns a maximum matching; it is perfect iff its size equals the
+    number of transfers.
+    """
+    rts = list(intervals)
+    cycles = sorted({
+        c for interval in intervals.values()
+        for c in range(interval.asap, interval.alap + 1)
+    })
+    cycle_index = {c: i for i, c in enumerate(cycles)}
+    adjacency: list[list[int]] = [
+        [cycle_index[c] for c in range(intervals[rt].asap, intervals[rt].alap + 1)]
+        for rt in rts
+    ]
+    match_rt: list[int | None] = [None] * len(rts)
+    match_cycle: list[int | None] = [None] * len(cycles)
+    INF = float("inf")
+
+    def bfs() -> bool:
+        distance = [INF] * len(rts)
+        queue = deque()
+        for u, matched in enumerate(match_rt):
+            if matched is None:
+                distance[u] = 0
+                queue.append(u)
+        found = False
+        while queue:
+            u = queue.popleft()
+            for v in adjacency[u]:
+                w = match_cycle[v]
+                if w is None:
+                    found = True
+                elif distance[w] is INF:
+                    distance[w] = distance[u] + 1
+                    queue.append(w)
+        bfs.distance = distance  # type: ignore[attr-defined]
+        return found
+
+    def dfs(u: int) -> bool:
+        for v in adjacency[u]:
+            w = match_cycle[v]
+            if w is None or (
+                bfs.distance[w] == bfs.distance[u] + 1 and dfs(w)  # type: ignore[attr-defined]
+            ):
+                match_rt[u] = v
+                match_cycle[v] = u
+                return True
+        bfs.distance[u] = INF  # type: ignore[attr-defined]
+        return False
+
+    while bfs():
+        for u in range(len(rts)):
+            if match_rt[u] is None:
+                dfs(u)
+    return {
+        rts[u]: cycles[v]
+        for u, v in enumerate(match_rt)
+        if v is not None
+    }
+
+
+def resource_feasible(
+    intervals: dict[RT, ExecutionInterval],
+    exclusive_groups: dict[str, list[RT]],
+) -> bool:
+    """Check every exclusive resource group with the Hall window test.
+
+    ``exclusive_groups`` maps a resource (OPU) name to the transfers
+    needing it exclusively; within one group each cycle can host at
+    most one transfer.
+    """
+    for rts in exclusive_groups.values():
+        if not hall_window_check([intervals[rt] for rt in rts]):
+            return False
+    return True
+
+
+def exclusive_groups_by_opu(rts: list[RT]) -> dict[str, list[RT]]:
+    """Group transfers by executing OPU — the natural exclusive resource."""
+    groups: dict[str, list[RT]] = {}
+    for rt in rts:
+        groups.setdefault(rt.opu, []).append(rt)
+    return groups

@@ -1,0 +1,180 @@
+"""Dependence analysis over register transfers.
+
+Edges constrain issue cycles: ``cycle(dst) >= cycle(src) + delay``
+(within one iteration; the ``distance`` field marks loop-carried edges
+used only by the folding scheduler, where the constraint becomes
+``cycle(dst) >= cycle(src) + delay - II * distance``).
+
+Edge kinds
+----------
+* **RAW** — a value read must have been produced: delay = producer
+  latency.
+* **WAR (loop carry)** — the next iteration's incarnation of a pinned
+  register (e.g. the frame pointer) may be written in the same cycle as
+  the last read, but not earlier: delay = 0.  Register files read at
+  the start of a cycle and are written at its end.
+* **MEM** — conservative ordering of RAM transfers touching the same
+  symbolic location (write→read and write→write: delay 1; read→write:
+  delay 0).  The frame-interleaved delay-line layout guarantees
+  distinct locations within one iteration, so real programs generate
+  none of these — the edges exist for safety and for tests.
+* **CARRY (distance 1)** — producer of a loop-carried value feeds its
+  readers in the *next* iteration; only the folding scheduler uses
+  these.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..rtgen.program import RTProgram
+from ..rtgen.rt import RT
+
+
+class EdgeKind(enum.Enum):
+    RAW = "raw"
+    WAR = "war"
+    MEM = "mem"
+    CARRY = "carry"
+
+
+@dataclass(frozen=True)
+class Edge:
+    src: RT
+    dst: RT
+    delay: int
+    kind: EdgeKind
+    distance: int = 0
+
+
+@dataclass
+class DependenceGraph:
+    rts: list[RT]
+    edges: list[Edge]
+
+    def successors(self, rt: RT) -> list[Edge]:
+        return [e for e in self.edges if e.src is rt and e.distance == 0]
+
+    def predecessors(self, rt: RT) -> list[Edge]:
+        return [e for e in self.edges if e.dst is rt and e.distance == 0]
+
+    def critical_path_length(self) -> int:
+        priority = compute_priorities(self)
+        return max(priority.values(), default=0)
+
+
+def build_dependence_graph(program: RTProgram,
+                           rts: list[RT] | None = None) -> DependenceGraph:
+    """Analyse ``rts`` (default: the program's own transfer list).
+
+    Passing modified RTs (after instruction-set imposition / merging)
+    is the normal flow — the value and memory annotations survive the
+    rewriting, so the analysis is identical.
+    """
+    if rts is None:
+        rts = program.rts
+    edges: list[Edge] = []
+
+    producers: dict[int, RT] = {}
+    for rt in rts:
+        for dest in rt.destinations:
+            producers.setdefault(dest.value, rt)
+
+    live_ins = program.live_in_values()
+    carry_new = program.loop_new_values()
+
+    # RAW: value producers feed readers.
+    readers: dict[int, list[RT]] = {}
+    for rt in rts:
+        for value in rt.read_values:
+            readers.setdefault(value, []).append(rt)
+            producer = producers.get(value)
+            if producer is not None and producer is not rt:
+                edges.append(Edge(producer, rt, producer.latency, EdgeKind.RAW))
+
+    # WAR on loop-carried registers: the new incarnation must not be
+    # written before the old one's last read.
+    for carry in program.loop_carries:
+        writer = producers.get(carry.new)
+        if writer is None:
+            continue
+        for reader in readers.get(carry.old, []):
+            if reader is not writer:
+                edges.append(Edge(reader, writer, 0, EdgeKind.WAR))
+        # CARRY (distance 1): this iteration's writer feeds next
+        # iteration's readers — used by the folding scheduler only.
+        for reader in readers.get(carry.old, []):
+            if reader is not writer:
+                edges.append(
+                    Edge(writer, reader, writer.latency, EdgeKind.CARRY, distance=1)
+                )
+
+    # MEM: program order per symbolic location.
+    last_write: dict[str, RT] = {}
+    last_reads: dict[str, list[RT]] = {}
+    for rt in rts:
+        location = rt.memory_location
+        if location is None:
+            continue
+        if rt.memory_effect == "read":
+            writer = last_write.get(location)
+            if writer is not None:
+                edges.append(Edge(writer, rt, 1, EdgeKind.MEM))
+            last_reads.setdefault(location, []).append(rt)
+        elif rt.memory_effect == "write":
+            writer = last_write.get(location)
+            if writer is not None:
+                edges.append(Edge(writer, rt, 1, EdgeKind.MEM))
+            for reader in last_reads.get(location, []):
+                edges.append(Edge(reader, rt, 0, EdgeKind.MEM))
+            last_reads[location] = []
+            last_write[location] = rt
+
+    _ = live_ins, carry_new  # documented above; kept for readability
+    return DependenceGraph(rts=list(rts), edges=edges)
+
+
+def compute_priorities(graph: DependenceGraph) -> dict[RT, int]:
+    """Longest path (in cycles) from each RT to any sink.
+
+    The classic list-scheduling priority: transfers on the critical
+    path first.  Computed over distance-0 edges (the block body).
+    """
+    successors: dict[RT, list[Edge]] = {rt: [] for rt in graph.rts}
+    indegree_out: dict[RT, int] = {rt: 0 for rt in graph.rts}
+    for edge in graph.edges:
+        if edge.distance != 0:
+            continue
+        successors[edge.src].append(edge)
+        indegree_out[edge.src] += 1
+
+    priority: dict[RT, int] = {}
+
+    order: list[RT] = []
+    # Kahn's algorithm on the reversed graph (process sinks first).
+    remaining = {rt: len(successors[rt]) for rt in graph.rts}
+    stack = [rt for rt, n in remaining.items() if n == 0]
+    predecessors: dict[RT, list[Edge]] = {rt: [] for rt in graph.rts}
+    for edge in graph.edges:
+        if edge.distance != 0:
+            continue
+        predecessors[edge.dst].append(edge)
+    while stack:
+        rt = stack.pop()
+        order.append(rt)
+        priority[rt] = max(
+            (priority[e.dst] + e.delay for e in successors[rt]),
+            default=rt.latency - 1,
+        )
+        for edge in predecessors[rt]:
+            remaining[edge.src] -= 1
+            if remaining[edge.src] == 0:
+                stack.append(edge.src)
+    if len(order) != len(graph.rts):
+        from ..errors import SchedulingError
+        raise SchedulingError(
+            "dependence cycle among register transfers within one "
+            "iteration (is a state read at delay 0?)"
+        )
+    return priority

@@ -1,0 +1,157 @@
+"""Post-scheduling register allocation (left-edge, per register file).
+
+Virtual values are bound to physical registers only after scheduling:
+the value written by an RT at cycle ``t`` with latency ``L`` occupies a
+register of its destination file from the write moment ``t + L - 1``
+until its last read.  Register files read at the start of a cycle and
+write at its end, so a register freed by a last read at cycle ``c`` can
+be rewritten in ``c`` — the classic left-edge sharing rule.
+
+Loop-carried values (the frame pointer) are pinned: the old and new
+incarnation share one reserved register, live across the block
+boundary, excluded from the general pool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import RegisterPressureError
+from ..rtgen.program import RTProgram
+from ..rtgen.rt import RT
+from .schedule import Schedule
+
+
+@dataclass(frozen=True)
+class Interval:
+    """Occupation of one register by one value, [birth, death]."""
+
+    value: int
+    register_file: str
+    birth: int
+    death: int
+
+
+@dataclass
+class Allocation:
+    """Physical register numbers per (register file, value)."""
+
+    register_of: dict[tuple[str, int], int]
+    pressure: dict[str, int]            # register file -> registers needed
+    intervals: dict[str, list[Interval]] = field(default_factory=dict)
+
+    def lookup(self, register_file: str, value: int) -> int:
+        return self.register_of[(register_file, value)]
+
+
+def compute_intervals(program: RTProgram, schedule: Schedule) -> dict[str, list[Interval]]:
+    """Lifetime intervals of every (register file, value) pair."""
+    born: dict[tuple[str, int], int] = {}
+    last_read: dict[tuple[str, int], int] = {}
+
+    for rt, cycle in schedule.cycle_of.items():
+        write_moment = cycle + rt.latency - 1
+        for dest in rt.destinations:
+            key = (dest.register_file, dest.value)
+            born[key] = min(born.get(key, write_moment), write_moment)
+        for operand in rt.operands:
+            if not operand.is_register:
+                continue
+            key = (operand.register_file, operand.value)
+            last_read[key] = max(last_read.get(key, cycle), cycle)
+
+    # Loop-carried values live across the block boundary: the old
+    # incarnation from cycle 0, the new one to the end of the block.
+    for carry in program.loop_carries:
+        old_key = (carry.register_file, carry.old)
+        born.setdefault(old_key, 0)
+        born[old_key] = 0
+        new_key = (carry.register_file, carry.new)
+        if new_key in born:
+            last_read[new_key] = schedule.length - 1
+
+    intervals: dict[str, list[Interval]] = {}
+    for key, birth in born.items():
+        register_file, value = key
+        death = max(last_read.get(key, birth), birth)
+        intervals.setdefault(register_file, []).append(
+            Interval(value, register_file, birth, death)
+        )
+    # Live-in values that are only read (no producer in the block).
+    for key in last_read:
+        if key not in born:
+            register_file, value = key
+            intervals.setdefault(register_file, []).append(
+                Interval(value, register_file, 0, last_read[key])
+            )
+    for file_intervals in intervals.values():
+        file_intervals.sort(key=lambda i: (i.birth, i.death, i.value))
+    return intervals
+
+
+def allocate_registers(
+    program: RTProgram,
+    schedule: Schedule,
+    capacities: dict[str, int] | None = None,
+) -> Allocation:
+    """Left-edge allocation; raises on register-file overflow.
+
+    ``capacities`` overrides the datapath's register-file sizes (used
+    for merged files whose capacity is the sum of the parts).
+    """
+    datapath = program.core.datapath
+    if capacities is None:
+        capacities = {rf.name: rf.size for rf in datapath.register_files.values()}
+
+    pinned: dict[tuple[str, int], int] = {}
+    reserved: dict[str, set[int]] = {}
+    for carry in program.loop_carries:
+        pinned[(carry.register_file, carry.old)] = carry.register
+        pinned[(carry.register_file, carry.new)] = carry.register
+        reserved.setdefault(carry.register_file, set()).add(carry.register)
+
+    intervals = compute_intervals(program, schedule)
+    register_of: dict[tuple[str, int], int] = {}
+    pressure: dict[str, int] = {}
+
+    for register_file, file_intervals in intervals.items():
+        capacity = capacities.get(register_file)
+        if capacity is None:
+            raise RegisterPressureError(
+                f"no capacity known for register file {register_file!r}"
+            )
+        blocked = reserved.get(register_file, set())
+        free_at: dict[int, int] = {}   # register -> cycle it frees (exclusive)
+        used = 0
+        for interval in file_intervals:
+            key = (register_file, interval.value)
+            if key in pinned:
+                register_of[key] = pinned[key]
+                continue
+            chosen = None
+            for register in sorted(free_at):
+                if free_at[register] <= interval.birth:
+                    chosen = register
+                    break
+            if chosen is None:
+                chosen = next(
+                    r for r in range(capacity + len(blocked)
+                                     + len(file_intervals) + 1)
+                    if r not in blocked and r not in free_at
+                )
+            free_at[chosen] = interval.death  # freed by the last read
+            register_of[key] = chosen
+            used = max(used, chosen + 1)
+        # Register indices already skip the pinned ones, so the space
+        # needed is the max index in use (pinned included).
+        needed = max([used] + [r + 1 for r in blocked])
+        pressure[register_file] = needed
+        if needed > capacity:
+            raise RegisterPressureError(
+                f"register file {register_file!r} needs {needed} registers "
+                f"but has {capacity}; lengthen the schedule, enlarge the "
+                f"file, or rewrite the source (paper, section 3: design "
+                f"iterations)"
+            )
+    return Allocation(register_of=register_of, pressure=pressure,
+                      intervals=intervals)

@@ -1,0 +1,132 @@
+"""Schedule representation, validation and instruction extraction."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import SchedulingError
+from ..rtgen.rt import RT
+from .dependence import DependenceGraph, Edge
+
+
+class ReservationTable:
+    """Resource/usage bookings per absolute cycle.
+
+    Placing an RT books every ``(resource, cycle+offset)`` it uses;
+    a booking is compatible when the slot is free or carries the *same*
+    usage (the paper's parallelism rule).
+    """
+
+    def __init__(self):
+        # (resource, cycle) -> [usage, reference count]; same-usage
+        # bookings share the slot (multicast, shared register reads).
+        self._slots: dict[tuple[str, int], list] = {}
+
+    def fits(self, rt: RT, cycle: int) -> bool:
+        for use in rt.uses:
+            slot = self._slots.get((use.resource, cycle + use.offset))
+            if slot is not None and slot[0] != use.usage:
+                return False
+        return True
+
+    def place(self, rt: RT, cycle: int) -> None:
+        placed: list[tuple[str, int]] = []
+        for use in rt.uses:
+            key = (use.resource, cycle + use.offset)
+            slot = self._slots.get(key)
+            if slot is not None and slot[0] != use.usage:
+                for done in placed:  # roll back the partial booking
+                    self._release(done)
+                raise SchedulingError(
+                    f"resource conflict placing {rt!r} at cycle {cycle}: "
+                    f"{use.resource} already used as {slot[0]!r}, "
+                    f"needs {use.usage!r}"
+                )
+            if slot is None:
+                self._slots[key] = [use.usage, 1]
+            else:
+                slot[1] += 1
+            placed.append(key)
+
+    def remove(self, rt: RT, cycle: int) -> None:
+        """Undo a placement (backtracking / lifetime compaction)."""
+        for use in rt.uses:
+            self._release((use.resource, cycle + use.offset))
+
+    def _release(self, key: tuple[str, int]) -> None:
+        slot = self._slots.get(key)
+        if slot is None:
+            return
+        slot[1] -= 1
+        if slot[1] <= 0:
+            del self._slots[key]
+
+    def usage_at(self, resource: str, cycle: int) -> str | None:
+        slot = self._slots.get((resource, cycle))
+        return slot[0] if slot is not None else None
+
+
+@dataclass
+class Schedule:
+    """A complete cycle assignment for one block of RTs."""
+
+    cycle_of: dict[RT, int]
+    length: int
+    budget: int | None = None
+
+    @property
+    def rts(self) -> list[RT]:
+        return list(self.cycle_of)
+
+    def instructions(self) -> list[list[RT]]:
+        """RTs grouped per issue cycle — the VLIW instructions."""
+        grouped: list[list[RT]] = [[] for _ in range(self.length)]
+        for rt, cycle in self.cycle_of.items():
+            grouped[cycle].append(rt)
+        for group in grouped:
+            group.sort(key=lambda r: r.uid)
+        return grouped
+
+    def resource_busy_cycles(self) -> dict[str, set[int]]:
+        """resource name → cycles in which it is occupied."""
+        busy: dict[str, set[int]] = {}
+        for rt, cycle in self.cycle_of.items():
+            for use in rt.uses:
+                busy.setdefault(use.resource, set()).add(cycle + use.offset)
+        return busy
+
+    def opu_busy_cycles(self) -> dict[str, set[int]]:
+        """OPU name → cycles in which it executes an operation."""
+        busy: dict[str, set[int]] = {}
+        for rt, cycle in self.cycle_of.items():
+            busy.setdefault(rt.opu, set()).add(cycle)
+        return busy
+
+    def validate(self, graph: DependenceGraph) -> None:
+        """Re-check every constraint from scratch (tests lean on this)."""
+        table = ReservationTable()
+        for rt, cycle in self.cycle_of.items():
+            if cycle < 0:
+                raise SchedulingError(f"{rt!r} scheduled at negative cycle")
+            if cycle + rt.max_offset >= self.length:
+                raise SchedulingError(
+                    f"{rt!r} at cycle {cycle} spills past the schedule "
+                    f"length {self.length}"
+                )
+            table.place(rt, cycle)  # raises on usage conflicts
+        for rt in graph.rts:
+            if rt not in self.cycle_of:
+                raise SchedulingError(f"{rt!r} was never scheduled")
+        for edge in graph.edges:
+            if edge.distance != 0:
+                continue
+            src, dst = self.cycle_of[edge.src], self.cycle_of[edge.dst]
+            if dst < src + edge.delay:
+                raise SchedulingError(
+                    f"dependence violated: {edge.dst!r} at {dst} before "
+                    f"{edge.src!r}+{edge.delay} ({edge.kind.value})"
+                )
+        if self.budget is not None and self.length > self.budget:
+            raise SchedulingError(
+                f"schedule length {self.length} exceeds budget {self.budget}"
+            )

@@ -1,0 +1,6 @@
+"""Cycle-accurate core simulator: executes the encoded microcode and
+must reproduce the reference interpreter bit-exactly."""
+
+from .machine import CoreSimulator, TraceEntry, run_program
+
+__all__ = ["CoreSimulator", "TraceEntry", "run_program"]

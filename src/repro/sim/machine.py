@@ -1,0 +1,371 @@
+"""Cycle-accurate simulation of an in-house core running its microcode.
+
+The simulator executes the *encoded binary* — not the RT list — so it
+independently checks the whole chain: RT generation, conflict
+modelling, scheduling, register allocation and instruction encoding.
+Its output streams must match the golden reference interpreter
+bit-exactly.
+
+Machine model (figures 3 and 4)
+-------------------------------
+* Register files read at the start of a cycle, write at its end.
+* Every active OPU computes one result per issue; pipelined OPUs
+  deliver it onto their bus ``latency - 1`` cycles later, which is also
+  when the destination fields of the instruction word take effect.
+* RAM writes commit at the end of the cycle; RAM cannot read and write
+  simultaneously (the usage model never schedules that).
+* The controller runs CONT/IDLE/JUMP/CJMP/LOOP/ENDL/HALT with a loop
+  stack of configurable depth.  IDLE waits for the start signal that
+  arrives once per sample frame.
+* ALU-kind OPUs update the datapath flags (flag 0: negative, flag 1:
+  zero) when the controller has flags.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..arch.controller import CtrlOp
+from ..arch.opu import OpuKind
+from ..encode.assembler import EncodedProgram
+from ..encode.fields import CTRL_DECODE, opcode_table
+from ..errors import SimulationError
+from ..fixed import FixedFormat
+
+
+@dataclass
+class TraceEntry:
+    """One executed word (for debugging and the Gantt report)."""
+
+    cycle: int
+    pc: int
+    ctrl: CtrlOp
+    active: dict[str, str]            # OPU -> operation
+    bus_values: dict[str, int]        # bus -> value delivered this cycle
+
+
+class CoreSimulator:
+    """Executes an :class:`~repro.encode.assembler.EncodedProgram`."""
+
+    def __init__(self, program: EncodedProgram):
+        self.program = program
+        core = program.core
+        self.core = core
+        self.dp = core.datapath
+        self.fmt = FixedFormat(core.data_width, core.frac_bits)
+        self.opcodes = opcode_table(core)
+        self._opcode_names = {
+            opu: {code: name for name, code in table.items()}
+            for opu, table in self.opcodes.items()
+        }
+
+        self.registers: dict[str, list[int]] = {
+            rf.name: [0] * rf.size for rf in self.dp.register_files.values()
+        }
+        for rf_name, inits in program.initial_registers.items():
+            for register, value in inits:
+                self.registers[rf_name][register] = value
+        self.memories: dict[str, list[int]] = {}
+        for opu in self.dp.opus.values():
+            if opu.kind is OpuKind.RAM:
+                self.memories[opu.name] = [0] * opu.memory_size
+            elif opu.kind is OpuKind.ROM:
+                contents = list(program.rom_words)
+                contents += [0] * (opu.memory_size - len(contents))
+                self.memories[opu.name] = contents
+
+        self.pc = 0
+        self.stack: list[tuple[int, int]] = []
+        self.flags = [0] * max(1, core.controller.n_flags)
+        self.cycle = 0
+        self.frame = 0
+        self.halted = False
+        self.start_tokens = 0
+
+        self.inputs: dict[str, list[int]] = {}
+        self.outputs: dict[str, list[int]] = {}
+        self._input_cursor: dict[str, int] = {}
+        #: results computed earlier, maturing on a bus at a later cycle:
+        #: (due cycle) -> list of (bus name, value)
+        self._in_flight: dict[int, list[tuple[str, int]]] = {}
+        self.trace: list[TraceEntry] = []
+        self.keep_trace = False
+
+    # ------------------------------------------------------------------
+
+    def load_inputs(self, streams: dict[str, list[int]]) -> None:
+        self.inputs = {port: list(values) for port, values in streams.items()}
+        self._input_cursor = {port: 0 for port in streams}
+
+    def run_frames(self, n_frames: int, max_cycles: int | None = None) -> dict[str, list[int]]:
+        """Run ``n_frames`` complete time-loop iterations.
+
+        The start signal is granted once per frame; the run ends when
+        the controller idles with no frames left (or HALTs).
+        """
+        self.start_tokens += n_frames
+        budget = max_cycles if max_cycles is not None else (
+            (n_frames + 1) * max(len(self.program.words) * 4, 64)
+        )
+        while not self.halted and self.cycle < budget:
+            if self._at_idle_without_token():
+                break
+            self.step()
+        if not self.halted and not self._at_idle_without_token():
+            raise SimulationError(
+                f"simulation did not settle within {budget} cycles"
+            )
+        return {port: list(values) for port, values in self.outputs.items()}
+
+    def _at_idle_without_token(self) -> bool:
+        if self.pc >= len(self.program.words):
+            raise SimulationError(f"PC {self.pc} outside the program")
+        fields = self.program.format.decode(self.program.words[self.pc])
+        ctrl = CTRL_DECODE[fields["ctrl.op"]]
+        return ctrl is CtrlOp.IDLE and self.start_tokens == 0
+
+    # ------------------------------------------------------------------
+
+    def step(self) -> None:
+        """Execute one instruction word (one machine cycle)."""
+        if self.halted:
+            raise SimulationError("stepping a halted core")
+        word = self.program.words[self.pc]
+        fields = self.program.format.decode(word)
+        ctrl = CTRL_DECODE[fields["ctrl.op"]]
+
+        # Phase 1: all active OPUs read operands and compute.
+        produced: list[tuple[str, int, int]] = []   # bus, value, due cycle
+        register_writes: list[tuple[str, int, int]] = []
+        memory_writes: list[tuple[str, int, int]] = []
+        active: dict[str, str] = {}
+        alu_result: int | None = None
+        body_cycle = self.pc - self.program.body_offset
+
+        for opu in self.dp.opus.values():
+            opcode = fields.get(f"{opu.name}.op", 0)
+            if opcode == 0:
+                continue
+            operation_name = self._opcode_names[opu.name][opcode]
+            operation = opu.operation(operation_name)
+            active[opu.name] = operation_name
+            operands = self._read_operands(opu, operation, fields)
+            result = self._execute(
+                opu, operation_name, operands, memory_writes, body_cycle
+            )
+            if opu.kind is OpuKind.ALU and result is not None:
+                alu_result = result
+            if result is not None and opu.bus is not None:
+                produced.append(
+                    (opu.bus.name, result, self.cycle + operation.latency - 1)
+                )
+
+        # Phase 2: results maturing *this* cycle appear on their buses.
+        bus_values: dict[str, int] = {}
+        for bus, value in self._in_flight.pop(self.cycle, []):
+            bus_values[bus] = value
+        for bus, value, due in produced:
+            if due == self.cycle:
+                bus_values[bus] = value
+            else:
+                self._in_flight.setdefault(due, []).append((bus, value))
+
+        # Phase 3: destination fields route bus values into registers.
+        for rf in self.dp.register_files.values():
+            if not fields.get(f"{rf.name}.wr_en", 0):
+                continue
+            address = fields.get(f"{rf.name}.wr_addr", 0)
+            bus = self._selected_bus(rf, fields)
+            if bus not in bus_values:
+                raise SimulationError(
+                    f"cycle {self.cycle}: register file {rf.name!r} expects "
+                    f"a value on {bus!r} but nothing matured there"
+                )
+            register_writes.append((rf.name, address, bus_values[bus]))
+
+        # Phase 4: commit (registers and memory write at end of cycle).
+        for rf_name, address, value in register_writes:
+            if address >= len(self.registers[rf_name]):
+                raise SimulationError(
+                    f"register index {address} outside {rf_name!r}"
+                )
+            self.registers[rf_name][address] = value
+        for memory, address, value in memory_writes:
+            self.memories[memory][address] = value
+        if alu_result is not None and self.core.controller.n_flags:
+            self.flags[0] = 1 if alu_result < 0 else 0
+            if self.core.controller.n_flags > 1:
+                self.flags[1] = 1 if alu_result == 0 else 0
+
+        if self.keep_trace:
+            self.trace.append(TraceEntry(
+                cycle=self.cycle, pc=self.pc, ctrl=ctrl,
+                active=active, bus_values=dict(bus_values),
+            ))
+
+        self._advance_pc(ctrl, fields)
+        self.cycle += 1
+
+    # ------------------------------------------------------------------
+
+    def _read_operands(self, opu, operation, fields) -> list[int]:
+        operands: list[int] = []
+        for index in range(operation.arity):
+            port = opu.ports[index]
+            if port.accepts_immediate:
+                raw = fields.get(f"{opu.name}.p{index}.imm", 0)
+                if opu.kind is OpuKind.CONST:
+                    raw = self._sign_extend(raw, self.core.data_width)
+                operands.append(raw)
+            else:
+                rf = port.register_file
+                address = fields.get(f"{opu.name}.p{index}.addr", 0)
+                operands.append(self.registers[rf.name][address])
+        return operands
+
+    def _execute(self, opu, operation_name, operands, memory_writes,
+                 body_cycle) -> int | None:
+        kind = opu.kind
+        if kind is OpuKind.RAM:
+            if operation_name == "read":
+                return self._memory_fetch(opu.name, operands[0])
+            if operation_name == "write":
+                self._memory_check(opu.name, operands[0])
+                memory_writes.append((opu.name, operands[0], operands[1]))
+                return None
+        if kind is OpuKind.ROM:
+            return self._memory_fetch(opu.name, operands[0])
+        if kind is OpuKind.ACU:
+            modulus = self.program.acu_moduli.get(opu.name, 1)
+            if operation_name == "addmod":
+                return (operands[0] + operands[1]) % modulus
+            if operation_name == "inca":
+                return (operands[0] + 1) % modulus
+            if operation_name == "add":
+                return self.fmt.wrap(operands[0] + operands[1])
+        if kind is OpuKind.CONST:
+            return operands[0]
+        if kind is OpuKind.INPUT:
+            port = self.program.input_map.get((opu.name, body_cycle))
+            if port is None:
+                raise SimulationError(
+                    f"input read on {opu.name!r} at body cycle {body_cycle} "
+                    f"has no logical port"
+                )
+            cursor = self._input_cursor.get(port, 0)
+            stream = self.inputs.get(port, [])
+            if cursor >= len(stream):
+                raise SimulationError(f"input stream {port!r} exhausted")
+            self._input_cursor[port] = cursor + 1
+            return self.fmt.wrap(stream[cursor])
+        if kind is OpuKind.OUTPUT:
+            port = self.program.output_map.get((opu.name, body_cycle))
+            if port is None:
+                raise SimulationError(
+                    f"output write on {opu.name!r} at body cycle "
+                    f"{body_cycle} has no logical port"
+                )
+            self.outputs.setdefault(port, []).append(operands[0])
+            return None
+        # ALU / MULT / ASU: shared fixed-point semantics.
+        return self.fmt.apply(operation_name, *operands)
+
+    def _memory_fetch(self, memory: str, address: int) -> int:
+        self._memory_check(memory, address)
+        return self.memories[memory][address]
+
+    def _memory_check(self, memory: str, address: int) -> None:
+        if not 0 <= address < len(self.memories[memory]):
+            raise SimulationError(
+                f"address {address} outside memory {memory!r} "
+                f"(size {len(self.memories[memory])})"
+            )
+
+    def _selected_bus(self, rf, fields) -> str:
+        mux = self.dp.muxes.get(f"mux_{rf.name}")
+        if mux is not None:
+            select = fields.get(f"{rf.name}.mux", 0)
+            if select >= len(mux.inputs):
+                raise SimulationError(
+                    f"mux select {select} outside mux of {rf.name!r}"
+                )
+            return mux.inputs[select].name
+        writers = [w for w in rf.writers]
+        if not writers:
+            raise SimulationError(f"register file {rf.name!r} has no writer")
+        return self._bus_of_sink(writers[0])
+
+    def _bus_of_sink(self, sink) -> str:
+        for bus in self.dp.buses.values():
+            if sink in bus.sinks:
+                return bus.name
+        raise SimulationError("sink without a bus")
+
+    @staticmethod
+    def _sign_extend(value: int, width: int) -> int:
+        if value & (1 << (width - 1)):
+            return value - (1 << width)
+        return value
+
+    def _advance_pc(self, ctrl: CtrlOp, fields) -> None:
+        controller = self.core.controller
+        if ctrl not in controller.allowed_ops():
+            raise SimulationError(
+                f"controller op {ctrl.value!r} not supported by this core"
+            )
+        if ctrl is CtrlOp.CONT:
+            self.pc += 1
+        elif ctrl is CtrlOp.IDLE:
+            if self.start_tokens > 0:
+                self.start_tokens -= 1
+                self.frame += 1
+                self.pc += 1
+            # else: spin on the IDLE word (run_frames stops us earlier)
+        elif ctrl is CtrlOp.JUMP:
+            self.pc = fields["ctrl.arg"]
+        elif ctrl is CtrlOp.CJMP:
+            flag_index = fields.get("ctrl.flag", 0)
+            if self.flags[flag_index]:
+                self.pc = fields["ctrl.arg"]
+            else:
+                self.pc += 1
+        elif ctrl is CtrlOp.LOOP:
+            if len(self.stack) >= controller.stack_depth:
+                raise SimulationError("loop stack overflow")
+            self.stack.append((self.pc + 1, fields["ctrl.arg"]))
+            self.pc += 1
+        elif ctrl is CtrlOp.ENDL:
+            if not self.stack:
+                raise SimulationError("ENDL with empty loop stack")
+            address, count = self.stack[-1]
+            if count > 1:
+                self.stack[-1] = (address, count - 1)
+                self.pc = address
+            else:
+                self.stack.pop()
+                self.pc += 1
+        elif ctrl is CtrlOp.HALT:
+            self.halted = True
+        else:  # pragma: no cover - exhaustive
+            raise SimulationError(f"unhandled controller op {ctrl}")
+
+
+def run_program(
+    program: EncodedProgram,
+    inputs: dict[str, list[int]],
+    n_frames: int | None = None,
+) -> dict[str, list[int]]:
+    """Convenience wrapper: fresh simulator, run, return output streams.
+
+    ``n_frames`` counts *start signals*; a block-repeat program consumes
+    ``repeat_count`` samples per stream per frame, so the default frame
+    count divides the shortest stream by the block size.
+    """
+    if n_frames is None:
+        if not inputs:
+            raise SimulationError("n_frames is required without inputs")
+        shortest = min(len(stream) for stream in inputs.values())
+        n_frames = shortest // program.repeat_count
+    simulator = CoreSimulator(program)
+    simulator.load_inputs(inputs)
+    return simulator.run_frames(n_frames)

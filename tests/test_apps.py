@@ -1,0 +1,172 @@
+"""Tests for the workload library, including the audio application's
+exact reproduction of the figure-9 resource profile."""
+
+import pytest
+
+from repro import Q15, audio_core, compile_application, fir_core
+from repro.apps import (
+    AudioAppSpec,
+    adaptive_core,
+    audio_application,
+    audio_io_binding,
+    biquad_cascade_application,
+    expected_opu_counts,
+    fir_application,
+    lms_application,
+    reference_fir,
+    stress_application,
+)
+from repro.lang import run_reference
+from repro.rtgen import generate_rts
+
+
+class TestAudioApplication:
+    def test_profile_matches_figure9_counts(self):
+        # 58 RAM / 58 MULT / 58 ALU / 59 ACU / 58 ROM / 58 PRG / 2 IPB /
+        # 4 + 4 OPB — the counts pinned by figure 9's percentages.
+        program = generate_rts(
+            audio_application(), audio_core(), audio_io_binding()
+        )
+        assert program.opu_histogram() == expected_opu_counts()
+
+    def test_treble_section_is_verbatim_template(self):
+        # The published treble source: 3 multiplies, pass/add/add_clip.
+        dfg = audio_application(AudioAppSpec(stereo=False))
+        histogram = dfg.op_histogram()
+        assert histogram["mult"] == 29
+        assert histogram["pass"] + histogram["add"] + histogram["add_clip"] \
+            + histogram["pass_clip"] == 29
+
+    def test_distinct_coefficients_per_channel(self):
+        dfg = audio_application()
+        assert len(dfg.params) == 58  # one ROM word per multiply
+
+    def test_mono_spec_halves_everything(self):
+        counts = expected_opu_counts(AudioAppSpec(stereo=False))
+        assert counts["ram"] == 29
+        assert counts["mult"] == 29
+        assert counts["acu"] == 30
+
+    def test_io_binding_splits_outputs_evenly(self):
+        binding = audio_io_binding()
+        values = list(binding.values())
+        assert values.count("opb_1") == 4
+        assert values.count("opb_2") == 4
+
+    def test_compiles_in_budget_and_runs(self):
+        compiled = compile_application(
+            audio_application(), audio_core(), budget=64,
+            io_binding=audio_io_binding(),
+        )
+        assert compiled.n_cycles <= 64
+        stimulus = {
+            "IN_L": [Q15.from_float(0.1 * i) for i in range(-4, 4)],
+            "IN_R": [Q15.from_float(-0.05 * i) for i in range(-4, 4)],
+        }
+        expected = run_reference(compiled.dfg, stimulus)
+        assert compiled.run(stimulus) == expected
+
+
+class TestFirApplication:
+    def test_matches_direct_reference(self):
+        coefficients = [0.25, 0.5, 0.125, -0.0625]
+        dfg = fir_application(coefficients)
+        xs = [Q15.from_float(v) for v in (1.0, 0.0, -0.5, 0.25, 0.0, 0.125)]
+        outputs = run_reference(dfg, {"x": xs})
+        assert outputs["y"] == reference_fir(coefficients, Q15, xs)
+
+    def test_single_tap_is_gain(self):
+        dfg = fir_application([0.5])
+        outputs = run_reference(dfg, {"x": [Q15.from_float(0.5)]})
+        assert outputs["y"] == [Q15.from_float(0.25)]
+
+    def test_compiles_on_fir_core(self):
+        compiled = compile_application(fir_application([0.3, 0.4, 0.3]),
+                                       fir_core())
+        xs = [Q15.from_float(v) for v in (0.9, -0.9, 0.5, 0.0, 0.1)]
+        expected = run_reference(compiled.dfg, {"x": xs})
+        assert compiled.run({"x": xs}) == expected
+
+    def test_empty_rejected(self):
+        from repro.errors import SemanticError
+        with pytest.raises(SemanticError):
+            fir_application([])
+
+
+class TestBiquadCascade:
+    def test_single_section_impulse_response(self):
+        # Impulse of 0.5 (1.0 is not representable in Q15): response is
+        # b0 * x exactly, then silence.
+        dfg = biquad_cascade_application([(0.5, 0.0, 0.0, 0.0, 0.0)])
+        impulse = [Q15.from_float(0.5)] + [0] * 4
+        outputs = run_reference(dfg, {"x": impulse})
+        assert outputs["y"][0] == Q15.from_float(0.25)
+        assert all(v == 0 for v in outputs["y"][1:])
+
+    def test_cascade_compiles_on_audio_core(self):
+        sections = [(0.4, 0.1, -0.05, 0.2, -0.1), (0.3, 0.05, 0.0, 0.1, 0.0)]
+        compiled = compile_application(
+            biquad_cascade_application(sections), audio_core(), budget=64,
+        )
+        xs = [Q15.from_float(v) for v in (0.7, -0.3, 0.2, 0.0, -0.8, 0.1)]
+        expected = run_reference(compiled.dfg, {"x": xs})
+        assert compiled.run({"x": xs}) == expected
+
+
+class TestLms:
+    def test_converges_toward_plant(self):
+        # Identify a 2-tap plant: outputs (errors) must shrink.
+        import random
+
+        rng = random.Random(5)
+        n = 400
+        xs = [rng.randint(-12000, 12000) for _ in range(n)]
+        plant = [0.5, 0.25]
+        quantised = [Q15.from_float(h) for h in plant]
+        ds = []
+        for i, _ in enumerate(xs):
+            acc = 0
+            for k, h in enumerate(quantised):
+                sample = xs[i - k] if i - k >= 0 else 0
+                acc = Q15.add_clip(Q15.mult(h, sample), acc)
+            ds.append(acc)
+        dfg = lms_application(n_taps=2, mu=0.5)
+        outputs = run_reference(dfg, {"x": xs, "d": ds})
+        head = sum(abs(e) for e in outputs["e"][:40])
+        tail = sum(abs(e) for e in outputs["e"][-40:])
+        # Q15 truncation leaves a noise floor; halving the error still
+        # demonstrates adaptation.
+        assert tail < head / 2
+
+    def test_needs_signal_multiply_routes(self):
+        # The FIR core cannot route a signal into the coefficient port.
+        from repro.errors import ReproError
+        with pytest.raises(ReproError):
+            compile_application(lms_application(n_taps=2), fir_core())
+
+    def test_compiles_and_runs_on_adaptive_core(self):
+        compiled = compile_application(lms_application(n_taps=2),
+                                       adaptive_core())
+        xs = [Q15.from_float(v) for v in (0.5, -0.25, 0.125, 0.75, -0.5)]
+        ds = [Q15.from_float(v) for v in (0.25, -0.125, 0.0625, 0.375, -0.25)]
+        expected = run_reference(compiled.dfg, {"x": xs, "d": ds})
+        assert compiled.run({"x": xs, "d": ds}) == expected
+
+
+class TestStress:
+    def test_deterministic_per_seed(self):
+        a = stress_application(5, seed=3)
+        b = stress_application(5, seed=3)
+        assert a.params == b.params
+
+    def test_scales_linearly(self):
+        # Each section adds 3 multiplies; the 2 gain taps are constant.
+        small = stress_application(3).op_histogram()
+        large = stress_application(6).op_histogram()
+        assert large["mult"] - 2 == 2 * (small["mult"] - 2)
+
+    def test_compiles_on_audio_core(self):
+        compiled = compile_application(stress_application(4), audio_core())
+        xs = [Q15.from_float(0.2), Q15.from_float(-0.4), 0, 1000]
+        expected = run_reference(compiled.dfg, {"x": xs})
+        assert compiled.run({"x": xs}) == expected

@@ -1,0 +1,101 @@
+"""Tests for intermediate architectures and design-space exploration."""
+
+import pytest
+
+from repro import Q15, compile_application, run_reference
+from repro.apps import fir_application, stress_application
+from repro.arch import (
+    Allocation,
+    explore,
+    intermediate_architecture,
+    required_operations,
+    validate_datapath,
+)
+from repro.errors import ArchitectureError
+from repro.lang import DfgBuilder
+
+
+def app_set():
+    return [
+        stress_application(4, seed=1),
+        fir_application([0.5, 0.25, 0.125]),
+    ]
+
+
+class TestIntermediateArchitecture:
+    def test_is_style_valid(self):
+        core = intermediate_architecture(app_set())
+        validate_datapath(core.datapath)
+
+    def test_covers_required_operations(self):
+        dfgs = app_set()
+        core = intermediate_architecture(dfgs)
+        for operation in required_operations(dfgs):
+            assert core.datapath.opus_supporting(operation), operation
+
+    def test_fully_parallel_instruction_set(self):
+        core = intermediate_architecture(app_set())
+        assert len(core.instruction_types) == 1
+        assert core.instruction_types[0] == frozenset(
+            cd.name for cd in core.class_defs
+        )
+
+    def test_no_artificial_resources_needed(self):
+        core = intermediate_architecture(app_set())
+        compiled = compile_application(app_set()[1], core)
+        assert compiled.conflict_model.cover == []
+
+    def test_multi_unit_allocation(self):
+        core = intermediate_architecture(
+            app_set(), Allocation(n_mult=2, n_alu=2))
+        names = set(core.datapath.opus)
+        assert {"mult_0", "mult_1", "alu_0", "alu_1"} <= names
+
+    def test_compiled_code_is_bit_exact(self):
+        dfg = app_set()[1]
+        core = intermediate_architecture([dfg])
+        compiled = compile_application(dfg, core)
+        xs = [Q15.from_float(v) for v in (0.7, -0.7, 0.35, 0.0)]
+        assert compiled.run({"x": xs}) == run_reference(dfg, {"x": xs})
+
+    def test_stateless_app_gets_no_ram(self):
+        b = DfgBuilder("pure")
+        b.output("o", b.op("pass", b.input("i")))
+        core = intermediate_architecture([b.build()])
+        assert not any(o.kind.value == "ram" for o in core.datapath.opus.values())
+
+    def test_unknown_operation_rejected(self):
+        b = DfgBuilder("weird")
+        b.output("o", b.op("fft", b.input("i")))
+        with pytest.raises(ArchitectureError, match="fft"):
+            intermediate_architecture([b.build()])
+
+    def test_bad_allocation_rejected(self):
+        with pytest.raises(ArchitectureError, match="at least one"):
+            Allocation(n_mult=0)
+
+
+class TestExploration:
+    def test_more_multipliers_never_hurt(self):
+        dfgs = [stress_application(6, seed=2)]
+        points = explore(dfgs, [Allocation(n_mult=1), Allocation(n_mult=2)])
+        assert len(points) == 2
+        one, two = points
+        assert two.schedule_lengths["stress_6"] <= \
+            one.schedule_lengths["stress_6"]
+
+    def test_every_point_reports_all_apps(self):
+        dfgs = app_set()
+        points = explore(dfgs, [Allocation()])
+        assert len(points) == 1
+        assert set(points[0].schedule_lengths) == {d.name for d in dfgs}
+
+    def test_worst_length(self):
+        points = explore(app_set(), [Allocation()])
+        point = points[0]
+        assert point.worst_length == max(point.schedule_lengths.values())
+
+    def test_budget_filters_infeasible(self):
+        dfgs = [stress_application(6, seed=2)]
+        points = explore(dfgs, [Allocation()], budget=2)
+        assert points == []

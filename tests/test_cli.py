@@ -1,0 +1,112 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main, parse_stream, resolve_core
+from repro.errors import ReproError
+from repro.fixed import Q15
+
+GAIN = """
+app gain;
+param g = 0.5;
+input i; output o;
+loop { o = mlt(g, i); }
+"""
+
+
+@pytest.fixture
+def source_file(tmp_path):
+    path = tmp_path / "gain.dsp"
+    path.write_text(GAIN)
+    return str(path)
+
+
+class TestHelpers:
+    def test_resolve_library_cores(self):
+        for name in ("audio", "fir", "tiny", "adaptive"):
+            assert resolve_core(name).name in (name, "adaptive")
+
+    def test_resolve_core_file(self, tmp_path):
+        from repro.arch import dump_core, tiny_core
+
+        path = tmp_path / "core.json"
+        path.write_text(dump_core(tiny_core()))
+        assert resolve_core(str(path)).name == "tiny"
+
+    def test_resolve_unknown_core(self):
+        with pytest.raises(ReproError, match="unknown core"):
+            resolve_core("warp-drive")
+
+    def test_parse_stream_floats_and_ints(self):
+        port, values = parse_stream("x=0.5,-100,0.25", Q15)
+        assert port == "x"
+        assert values == [Q15.from_float(0.5), -100, Q15.from_float(0.25)]
+
+    def test_parse_stream_rejects_garbage(self):
+        with pytest.raises(ReproError, match="expected port="):
+            parse_stream("nonsense", Q15)
+
+
+class TestCommands:
+    def test_compile_summary(self, source_file, capsys):
+        assert main(["compile", source_file, "--core", "fir"]) == 0
+        out = capsys.readouterr().out
+        assert "application  : gain" in out
+        assert "schedule" in out
+
+    def test_compile_with_listing_and_charts(self, source_file, capsys):
+        assert main([
+            "compile", source_file, "--core", "fir",
+            "--listing", "--occupation", "--gantt",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "mult.mult" in out
+        assert "%" in out
+        assert "schedule:" in out
+
+    def test_compile_writes_image(self, source_file, tmp_path, capsys):
+        image = tmp_path / "prog.json"
+        assert main([
+            "compile", source_file, "--core", "fir", "--out", str(image),
+        ]) == 0
+        payload = json.loads(image.read_text())
+        assert payload["image_format_version"] == 1
+
+    def test_run_prints_streams(self, source_file, capsys):
+        assert main([
+            "run", source_file, "--core", "fir",
+            "--input", "i=0.5,-0.5", "--floats",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert f"o: [{Q15.from_float(0.25)}, {Q15.from_float(-0.25)}]" in out
+        assert "(float)" in out
+
+    def test_run_image_roundtrip(self, source_file, tmp_path, capsys):
+        image = tmp_path / "prog.json"
+        main(["compile", source_file, "--core", "fir", "--out", str(image)])
+        capsys.readouterr()
+        assert main([
+            "run-image", str(image), "--input", "i=16384",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "o: [8192]" in out
+
+    def test_inspect_core(self, capsys):
+        assert main(["inspect-core", "--core", "audio"]) == 0
+        out = capsys.readouterr().out
+        assert "RT Class identification" in out
+        assert "instruction set" in out
+        assert "{A, D, G, L, M, X, Y}" in out
+
+    def test_budget_failure_is_reported(self, source_file, capsys):
+        code = main([
+            "compile", source_file, "--core", "fir", "--budget", "1",
+        ])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_file_is_reported(self, capsys):
+        assert main(["compile", "/no/such/file.dsp", "--core", "fir"]) == 1
+        assert "error:" in capsys.readouterr().err

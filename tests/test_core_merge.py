@@ -1,0 +1,135 @@
+"""Tests for RT-level register-file/bus merging (step 2a, figure 1b)."""
+
+import pytest
+
+from repro import Q15, audio_core, compile_application, run_reference
+from repro.arch import MergeSpec
+from repro.core import apply_merges, merged_register_file_sizes
+from repro.errors import ArchitectureError
+from repro.lang import parse_source
+from repro.rtgen import generate_rts
+from repro.sched import build_dependence_graph, list_schedule
+
+SOURCE = """
+app small;
+param k0 = 0.5, k1 = -0.25;
+input i; output o;
+state s(1);
+loop {
+  s = i;
+  m0 := mlt(k0, s@1);
+  a  := pass(m0);
+  m1 := mlt(k1, i);
+  o = add_clip(m1, a);
+}
+"""
+
+
+def merged_program(spec):
+    program = generate_rts(parse_source(SOURCE), audio_core())
+    return program, apply_merges(program, spec)
+
+
+class TestSpecValidation:
+    def test_unknown_register_file(self):
+        spec = MergeSpec().merge_register_files("m", ["rf_alu_p0", "ghost"])
+        with pytest.raises(ArchitectureError, match="unknown register file"):
+            spec.validate(audio_core().datapath)
+
+    def test_single_member_rejected(self):
+        spec = MergeSpec().merge_register_files("m", ["rf_alu_p0"])
+        with pytest.raises(ArchitectureError, match="at least two"):
+            spec.validate(audio_core().datapath)
+
+    def test_file_in_two_merges_rejected(self):
+        spec = (MergeSpec()
+                .merge_register_files("m1", ["rf_alu_p0", "rf_alu_p1"])
+                .merge_register_files("m2", ["rf_alu_p0", "rf_mult_data"]))
+        with pytest.raises(ArchitectureError, match="two merges"):
+            spec.validate(audio_core().datapath)
+
+    def test_unknown_bus(self):
+        spec = MergeSpec().merge_buses("b", ["bus_alu", "ghost"])
+        with pytest.raises(ArchitectureError, match="unknown bus"):
+            spec.validate(audio_core().datapath)
+
+    def test_empty_spec(self):
+        assert MergeSpec().is_empty
+        assert not MergeSpec().merge_buses("b", ["bus_alu", "bus_mult"]).is_empty
+
+
+class TestRewriting:
+    def test_write_ports_are_shared(self):
+        spec = MergeSpec().merge_register_files(
+            "rf_alu", ["rf_alu_p0", "rf_alu_p1"])
+        _, merged = merged_program(spec)
+        resources = {u.resource for rt in merged.rts for u in rt.uses}
+        assert "rf_alu:wr" in resources
+        assert "rf_alu_p0:wr" not in resources
+        assert "rf_alu_p1:wr" not in resources
+
+    def test_read_ports_keep_their_identity(self):
+        # Port wiring survives merging: a 2-operand ALU op must still be
+        # executable (it reads the merged file through both its ports).
+        spec = MergeSpec().merge_register_files(
+            "rf_alu", ["rf_alu_p0", "rf_alu_p1"])
+        _, merged = merged_program(spec)
+        read_resources = {
+            u.resource for rt in merged.rts for u in rt.uses
+            if ":rd" in u.resource and u.resource.startswith("rf_alu")
+        }
+        assert len(read_resources) == 2   # one per ALU port
+
+    def test_operands_and_destinations_renamed(self):
+        spec = MergeSpec().merge_register_files(
+            "rf_alu", ["rf_alu_p0", "rf_alu_p1"])
+        _, merged = merged_program(spec)
+        for rt in merged.rts:
+            for operand in rt.operands:
+                if operand.is_register:
+                    assert operand.register_file not in (
+                        "rf_alu_p0", "rf_alu_p1")
+            for dest in rt.destinations:
+                assert dest.register_file not in ("rf_alu_p0", "rf_alu_p1")
+
+    def test_bus_merge_renames_bus_usages(self):
+        spec = MergeSpec().merge_buses("bus_ma", ["bus_mult", "bus_alu"])
+        _, merged = merged_program(spec)
+        resources = {u.resource for rt in merged.rts for u in rt.uses}
+        assert "bus_ma" in resources
+        assert "bus_mult" not in resources
+        assert "bus_alu" not in resources
+
+    def test_original_program_untouched(self):
+        spec = MergeSpec().merge_buses("bus_ma", ["bus_mult", "bus_alu"])
+        original, _ = merged_program(spec)
+        resources = {u.resource for rt in original.rts for u in rt.uses}
+        assert "bus_mult" in resources
+
+    def test_merged_capacity_is_sum(self):
+        spec = MergeSpec().merge_register_files(
+            "rf_alu", ["rf_alu_p0", "rf_alu_p1"])
+        program = generate_rts(parse_source(SOURCE), audio_core())
+        sizes = merged_register_file_sizes(program, spec)
+        datapath = audio_core().datapath
+        expected = (datapath.register_file("rf_alu_p0").size
+                    + datapath.register_file("rf_alu_p1").size)
+        assert sizes["rf_alu"] == expected
+        assert sizes["rf_mult_data"] == datapath.register_file("rf_mult_data").size
+
+
+class TestSchedulingEffect:
+    def test_bus_merge_never_shortens(self):
+        program = generate_rts(parse_source(SOURCE), audio_core())
+        baseline = list_schedule(build_dependence_graph(program))
+        spec = MergeSpec().merge_buses("bus_ma", ["bus_mult", "bus_alu"])
+        merged = apply_merges(program, spec)
+        merged_schedule = list_schedule(build_dependence_graph(merged))
+        assert merged_schedule.length >= baseline.length
+
+    def test_merged_compilation_still_bit_exact(self):
+        spec = MergeSpec().merge_buses("bus_ma", ["bus_mult", "bus_alu"])
+        compiled = compile_application(
+            parse_source(SOURCE), audio_core(), merges=spec)
+        stimulus = {"i": [Q15.from_float(v) for v in (0.5, -0.5, 0.25, 0.0)]}
+        assert compiled.run(stimulus) == run_reference(compiled.dfg, stimulus)

@@ -1,0 +1,137 @@
+"""Tests for RT classification and class grouping (paper, sect. 6.1/7)."""
+
+import pytest
+
+from repro.arch import AUDIO_CLASS_TABLE_13, audio_core
+from repro.core import ClassTable, RTClass
+from repro.errors import ClassificationError
+from repro.lang import parse_source
+from repro.rtgen import RT, ResourceUse, generate_rts
+
+TREBLE = """
+app treble;
+param d1 = 0.40, d2 = -0.20, e1 = 0.30;
+input IN; output out;
+state u(2), v(2);
+loop {
+  u  = IN;
+  x0 := u@2;
+  m  := mlt(d2, x0);
+  a  := pass(m);
+  x2 := v@1;
+  m  := mlt(e1, x2);
+  a  := add(m, a);
+  x1 := u@1;
+  m  := mlt(d1, x1);
+  rd := add_clip(m, a);
+  v  = rd;
+  out = rd;
+}
+"""
+
+
+def make_rt(opu, operation):
+    return RT(opu=opu, operation=operation, operands=(), destinations=(),
+              uses=(ResourceUse(opu, operation),))
+
+
+class TestClassTable:
+    def test_figure5_style_classification(self):
+        # Figure 5: acu_1 add->A pass->B addmod->C inca->D; ram_1 {read,write}->E
+        table = ClassTable([
+            RTClass("A", "acu_1", frozenset({"add"})),
+            RTClass("B", "acu_1", frozenset({"pass"})),
+            RTClass("C", "acu_1", frozenset({"addmod"})),
+            RTClass("D", "acu_1", frozenset({"inca"})),
+            RTClass("E", "ram_1", frozenset({"read", "write"})),
+        ])
+        assert table.classify(make_rt("acu_1", "add")).name == "A"
+        assert table.classify(make_rt("acu_1", "addmod")).name == "C"
+        assert table.classify(make_rt("ram_1", "read")).name == "E"
+        assert table.classify(make_rt("ram_1", "write")).name == "E"
+
+    def test_every_rt_in_exactly_one_class(self):
+        with pytest.raises(ClassificationError, match="partition"):
+            ClassTable([
+                RTClass("A", "alu", frozenset({"add"})),
+                RTClass("B", "alu", frozenset({"add", "sub"})),
+            ])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ClassificationError, match="duplicate"):
+            ClassTable([
+                RTClass("A", "alu", frozenset({"add"})),
+                RTClass("A", "alu", frozenset({"sub"})),
+            ])
+
+    def test_unclassifiable_rt_raises(self):
+        table = ClassTable([RTClass("A", "alu", frozenset({"add"}))])
+        with pytest.raises(ClassificationError, match="no RT class covers"):
+            table.classify(make_rt("alu", "sub"))
+
+    def test_pretty_usages(self):
+        single = RTClass("A", "alu", frozenset({"add"}))
+        multi = RTClass("E", "ram", frozenset({"read", "write"}))
+        assert single.pretty_usages() == "add"
+        assert multi.pretty_usages() == "{read, write}"
+
+
+class TestAudioCoreClasses:
+    def test_auto_classification_gives_13_classes(self):
+        # Section 7: "The available register transfers result in 13 RT
+        # classes."
+        table = ClassTable.auto(audio_core())
+        assert len(table) == 13
+
+    def test_auto_matches_paper_table(self):
+        table = ClassTable.auto(audio_core())
+        pairs = {(cls.opu, usage) for cls in table for usage in cls.usages}
+        expected = {(d.opu, u) for d in AUDIO_CLASS_TABLE_13 for u in d.usages}
+        assert pairs == expected
+
+    def test_grouping_reduces_to_9(self):
+        # "Classes E and F can be combined in a single class X and
+        # classes H, I, J and K can be combined to class Y so the number
+        # of classes is reduced to 9."
+        table = ClassTable.from_class_defs(AUDIO_CLASS_TABLE_13)
+        grouped = table.group({
+            "X": ("E", "F"),
+            "Y": ("H", "I", "J", "K"),
+        })
+        assert len(grouped) == 9
+        assert set(grouped.names) == {"A", "B", "C", "D", "X", "G", "Y", "L", "M"}
+        assert grouped.by_name("X").usages == frozenset({"read", "write"})
+        assert grouped.by_name("Y").usages == frozenset(
+            {"add", "add_clip", "pass", "pass_clip"}
+        )
+
+    def test_grouping_across_opus_rejected(self):
+        table = ClassTable.from_class_defs(AUDIO_CLASS_TABLE_13)
+        with pytest.raises(ClassificationError, match="spans OPUs"):
+            table.group({"Z": ("A", "B")})
+
+    def test_grouping_unknown_class_rejected(self):
+        table = ClassTable.from_class_defs(AUDIO_CLASS_TABLE_13)
+        with pytest.raises(ClassificationError, match="unknown class"):
+            table.group({"Z": ("E", "nope")})
+
+    def test_class_in_two_groups_rejected(self):
+        table = ClassTable.from_class_defs(AUDIO_CLASS_TABLE_13)
+        with pytest.raises(ClassificationError, match="two groups"):
+            table.group({"X": ("E", "F"), "Z": ("F", "E")})
+
+    def test_core_table_classifies_generated_program(self):
+        core = audio_core()
+        program = generate_rts(parse_source(TREBLE), core)
+        table = ClassTable.from_core(core)
+        by_class = table.classify_program(program.rts)
+        assert len(by_class["G"]) == 3      # three multiplies
+        assert len(by_class["Y"]) == 3      # pass, add, add_clip
+        assert len(by_class["X"]) == 5      # 3 reads + 2 writes
+        assert len(by_class["D"]) == 6      # 5 addresses + fp advance
+        assert len(by_class["A"]) == 1
+        assert len(by_class["B"]) == 1
+        assert len(by_class["L"]) == 3
+        assert len(by_class["M"]) == 3
+        for rt in program.rts:
+            assert rt.rt_class is not None

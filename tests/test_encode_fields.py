@@ -1,0 +1,120 @@
+"""Tests for instruction-word layout and binary field packing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import audio_core, fir_core, tiny_core
+from repro.encode import (
+    CTRL_OPCODES,
+    InstructionFormat,
+    derive_format,
+    opcode_table,
+)
+from repro.errors import EncodingError
+
+
+class TestInstructionFormat:
+    def test_fields_are_packed_consecutively(self):
+        fmt = InstructionFormat([("a", 3), ("b", 5), ("c", 1)])
+        assert fmt.width == 9
+        assert fmt.field("a").offset == 0
+        assert fmt.field("b").offset == 3
+        assert fmt.field("c").offset == 8
+
+    def test_encode_decode_roundtrip(self):
+        fmt = InstructionFormat([("a", 3), ("b", 5), ("c", 1)])
+        word = fmt.encode({"a": 5, "b": 17, "c": 1})
+        assert fmt.decode(word) == {"a": 5, "b": 17, "c": 1}
+
+    def test_unset_fields_decode_to_zero(self):
+        fmt = InstructionFormat([("a", 3), ("b", 5)])
+        assert fmt.decode(fmt.encode({"b": 9})) == {"a": 0, "b": 9}
+
+    def test_value_too_wide_rejected(self):
+        fmt = InstructionFormat([("a", 3)])
+        with pytest.raises(EncodingError, match="does not fit"):
+            fmt.encode({"a": 8})
+
+    def test_unknown_field_rejected(self):
+        fmt = InstructionFormat([("a", 3)])
+        with pytest.raises(EncodingError, match="unknown instruction field"):
+            fmt.encode({"zz": 1})
+
+    def test_duplicate_field_rejected(self):
+        with pytest.raises(EncodingError, match="duplicate"):
+            InstructionFormat([("a", 3), ("a", 2)])
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(EncodingError, match="width"):
+            InstructionFormat([("a", 0)])
+
+    def test_decode_rejects_oversized_word(self):
+        fmt = InstructionFormat([("a", 3)])
+        with pytest.raises(EncodingError, match="wider"):
+            fmt.decode(1 << 3)
+
+    @given(st.data())
+    @settings(max_examples=60)
+    def test_roundtrip_property(self, data):
+        n_fields = data.draw(st.integers(min_value=1, max_value=8))
+        widths = [data.draw(st.integers(min_value=1, max_value=12))
+                  for _ in range(n_fields)]
+        fmt = InstructionFormat([(f"f{i}", w) for i, w in enumerate(widths)])
+        values = {
+            f"f{i}": data.draw(st.integers(min_value=0, max_value=(1 << w) - 1))
+            for i, w in enumerate(widths)
+        }
+        assert fmt.decode(fmt.encode(values)) == values
+
+
+class TestDeriveFormat:
+    def test_every_core_gets_ctrl_fields(self):
+        for core in (audio_core(), fir_core(), tiny_core()):
+            fmt = derive_format(core)
+            assert "ctrl.op" in fmt
+            assert "ctrl.arg" in fmt
+
+    def test_audio_core_field_inventory(self):
+        fmt = derive_format(audio_core())
+        # One opcode field per OPU.
+        for opu in ("ram", "mult", "alu", "rom", "acu", "prg_c",
+                    "ipb", "opb_1", "opb_2"):
+            assert f"{opu}.op" in fmt
+        # Register-address fields for register-fed ports.
+        assert "mult.p0.addr" in fmt
+        assert "mult.p1.addr" in fmt
+        assert "ram.p0.addr" in fmt
+        # Immediate fields for the ACU offset and the program constant.
+        assert "acu.p1.imm" in fmt
+        assert "prg_c.p0.imm" in fmt
+        assert fmt.field("prg_c.p0.imm").width == 16
+        # Destination-side fields per register file.
+        assert "rf_alu_p0.wr_en" in fmt
+        assert "rf_alu_p0.wr_addr" in fmt
+        assert "rf_alu_p0.mux" in fmt          # multiple writers
+        assert "rf_rom_addr.mux" not in fmt    # single writer, no mux
+
+    def test_acu_immediate_sized_by_ram(self):
+        fmt = derive_format(audio_core(ram_size=128))
+        assert fmt.field("acu.p1.imm").width == 7
+
+    def test_opcodes_reserve_zero_for_nop(self):
+        table = opcode_table(audio_core())
+        for ops in table.values():
+            assert 0 not in ops.values()
+            assert len(set(ops.values())) == len(ops)
+
+    def test_ctrl_opcodes_are_distinct(self):
+        assert len(set(CTRL_OPCODES.values())) == len(CTRL_OPCODES)
+
+    def test_conditional_core_gets_flag_field(self):
+        from repro.arch import ControllerSpec, CoreSpec, tiny_datapath
+
+        core = CoreSpec(
+            name="cond",
+            datapath=tiny_datapath(),
+            controller=ControllerSpec(n_flags=2, supports_conditionals=True),
+        )
+        fmt = derive_format(core)
+        assert "ctrl.flag" in fmt

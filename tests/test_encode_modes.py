@@ -1,0 +1,142 @@
+"""Tests for program modes (loop / once / repeat) and image round-trips."""
+
+import pytest
+
+from repro import Q15, compile_application, fir_core, run_reference, tiny_core
+from repro.arch import CtrlOp
+from repro.encode import (
+    CTRL_DECODE,
+    dump_program,
+    load_program,
+    program_to_dict,
+)
+from repro.errors import EncodingError
+from repro.lang import DfgBuilder, parse_source
+from repro.sim import run_program
+
+GAIN = """
+app gain;
+param g = 0.5;
+input i; output o;
+loop { o = mlt(g, i); }
+"""
+
+FIR2 = """
+app fir2;
+param h0 = 0.5, h1 = 0.25;
+input x; output y;
+state d(1);
+loop {
+  d = x;
+  m0 := mlt(h0, x);
+  m1 := mlt(h1, d@1);
+  y = add_clip(m1, m0);
+}
+"""
+
+
+def ctrl_ops_of(binary):
+    return [
+        CTRL_DECODE[binary.format.decode(word)["ctrl.op"]]
+        for word in binary.words
+    ]
+
+
+class TestProgramModes:
+    def test_loop_mode_structure(self):
+        compiled = compile_application(GAIN, fir_core())
+        ops = ctrl_ops_of(compiled.binary)
+        assert ops[0] is CtrlOp.IDLE
+        assert ops[-1] is CtrlOp.JUMP
+        assert all(op is CtrlOp.CONT for op in ops[1:-1])
+
+    def test_once_mode_halts(self):
+        compiled = compile_application(GAIN, fir_core(), mode="once")
+        ops = ctrl_ops_of(compiled.binary)
+        assert ops[-1] is CtrlOp.HALT
+        outputs = compiled.run({"i": [Q15.from_float(0.5)]}, n_frames=1)
+        assert outputs["o"] == [Q15.from_float(0.25)]
+
+    def test_repeat_mode_structure(self):
+        compiled = compile_application(FIR2, fir_core(), mode="repeat",
+                                       repeat_count=4)
+        ops = ctrl_ops_of(compiled.binary)
+        assert ops[0] is CtrlOp.IDLE
+        assert ops[1] is CtrlOp.LOOP
+        assert ops[-2] is CtrlOp.ENDL
+        assert ops[-1] is CtrlOp.JUMP
+
+    def test_repeat_mode_processes_blocks(self):
+        # One start signal processes `repeat_count` samples; results
+        # must equal the plain time-loop program's sample for sample.
+        dfg = parse_source(FIR2)
+        block = compile_application(dfg, fir_core(), mode="repeat",
+                                    repeat_count=4)
+        xs = [Q15.from_float(v) for v in
+              (0.5, -0.25, 0.125, 0.75, -0.5, 0.25, 0.0, 0.9)]
+        expected = run_reference(dfg, {"x": xs})
+        outputs = block.run({"x": xs})   # 8 samples = 2 start signals
+        assert outputs == expected
+
+    def test_repeat_count_must_be_positive(self):
+        with pytest.raises(EncodingError, match="repeat_count"):
+            compile_application(FIR2, fir_core(), mode="repeat",
+                                repeat_count=0)
+
+    def test_repeat_needs_loop_controller(self):
+        core = fir_core()
+        core.controller.supports_loops = False
+        with pytest.raises(EncodingError, match="loop stack"):
+            compile_application(FIR2, core, mode="repeat", repeat_count=2)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(EncodingError, match="unknown program mode"):
+            compile_application(GAIN, fir_core(), mode="bogus")
+
+    def test_program_too_large_rejected(self):
+        core = tiny_core()
+        core.controller.program_size = 2
+        b = DfgBuilder("big")
+        i = b.input("i")
+        x = b.op("pass", i)
+        for _ in range(8):
+            x = b.op("pass", x)
+        b.output("o", x)
+        with pytest.raises(EncodingError, match="program needs"):
+            compile_application(b.build(), core)
+
+
+class TestMicrocodeImage:
+    def test_roundtrip_preserves_everything(self):
+        compiled = compile_application(FIR2, fir_core(), mode="repeat",
+                                       repeat_count=2)
+        loaded = load_program(dump_program(compiled.binary))
+        assert loaded.words == compiled.binary.words
+        assert loaded.input_map == compiled.binary.input_map
+        assert loaded.output_map == compiled.binary.output_map
+        assert loaded.acu_moduli == compiled.binary.acu_moduli
+        assert loaded.repeat_count == 2
+
+    def test_loaded_image_runs_identically(self):
+        compiled = compile_application(FIR2, fir_core())
+        loaded = load_program(dump_program(compiled.binary))
+        xs = [Q15.from_float(v) for v in (0.9, -0.3, 0.2, 0.0)]
+        assert run_program(loaded, {"x": xs}) == compiled.run({"x": xs})
+
+    def test_version_check(self):
+        from repro.encode import program_from_dict
+
+        compiled = compile_application(GAIN, fir_core())
+        payload = program_to_dict(compiled.binary)
+        payload["image_format_version"] = 42
+        with pytest.raises(EncodingError, match="version"):
+            program_from_dict(payload)
+
+    def test_width_mismatch_detected(self):
+        from repro.encode import program_from_dict
+
+        compiled = compile_application(GAIN, fir_core())
+        payload = program_to_dict(compiled.binary)
+        payload["word_width"] = 1
+        with pytest.raises(EncodingError, match="word width"):
+            program_from_dict(payload)

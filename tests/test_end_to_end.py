@@ -1,0 +1,187 @@
+"""End-to-end equivalence: compiled microcode vs. golden reference.
+
+These are the strongest tests in the suite: an application is compiled
+through the full pipeline (RT generation, conflict modelling,
+scheduling, register allocation, instruction encoding) and the binary
+is executed on the cycle-accurate core simulator.  Its output streams
+must equal the reference interpreter's bit-exactly.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Q15, audio_core, compile_application, fir_core, tiny_core
+from repro.lang import DfgBuilder, parse_source, run_reference
+
+samples = st.lists(
+    st.integers(min_value=Q15.min_value, max_value=Q15.max_value),
+    min_size=4,
+    max_size=24,
+)
+
+TREBLE = """
+app treble;
+param d1 = 0.40, d2 = -0.20, e1 = 0.30;
+input IN; output out;
+state u(2), v(2);
+loop {
+  u  = IN;
+  x0 := u@2;
+  m  := mlt(d2, x0);
+  a  := pass(m);
+  x2 := v@1;
+  m  := mlt(e1, x2);
+  a  := add(m, a);
+  x1 := u@1;
+  m  := mlt(d1, x1);
+  rd := add_clip(m, a);
+  v  = rd;
+  out = rd;
+}
+"""
+
+
+def assert_equivalent(application, core, inputs, n_frames=None, **kwargs):
+    dfg = parse_source(application) if isinstance(application, str) else application
+    expected = run_reference(dfg, inputs, n_frames)
+    program = compile_application(dfg, core, **kwargs)
+    actual = program.run(inputs, n_frames)
+    assert actual == expected
+    return program
+
+
+class TestTinyCore:
+    def test_passthrough(self):
+        b = DfgBuilder("pass")
+        b.output("o", b.op("pass", b.input("i")))
+        assert_equivalent(b.build(), tiny_core(), {"i": [1, -2, 3]})
+
+    def test_add_constant(self):
+        b = DfgBuilder("addk")
+        k = b.param("k", 0.25)
+        b.output("o", b.op("add", b.input("i"), k))
+        assert_equivalent(b.build(), tiny_core(), {"i": [100, -100, 0]})
+
+    def test_two_outputs_share_value(self):
+        b = DfgBuilder("fan")
+        x = b.op("pass", b.input("i"))
+        b.output("o0", x)
+        b.output("o1", b.op("sub", x, b.param("k", 0.5)))
+        assert_equivalent(b.build(), tiny_core(), {"i": [5, 6, 7]})
+
+    @given(samples)
+    @settings(max_examples=10, deadline=None)
+    def test_passthrough_property(self, xs):
+        b = DfgBuilder("pass")
+        b.output("o", b.op("pass", b.input("i")))
+        assert_equivalent(b.build(), tiny_core(), {"i": xs})
+
+
+class TestAudioCore:
+    def test_treble_section(self):
+        stimulus = [Q15.from_float(x) for x in
+                    (0.1, -0.2, 0.5, 0.9, -0.9, 0.3, 0.0, 0.7, -0.5, 0.25)]
+        program = assert_equivalent(TREBLE, audio_core(), {"IN": stimulus},
+                                    budget=64)
+        assert program.n_cycles <= 64
+
+    def test_treble_long_run_state_wraps(self):
+        # Longer than the delay-line window: circular addressing must hold.
+        stimulus = [Q15.from_float(((i * 37) % 200 - 100) / 128) for i in range(50)]
+        assert_equivalent(TREBLE, audio_core(), {"IN": stimulus}, budget=64)
+
+    def test_stereo_two_inputs_one_ipb(self):
+        source = """
+        app stereo;
+        param g = 0.5;
+        input L, R;
+        output oL, oR;
+        loop {
+          oL = mlt(g, L);
+          oR = mlt(g, R);
+        }
+        """
+        xs = [Q15.from_float(x) for x in (0.5, -0.5, 0.25, 0.125)]
+        ys = [Q15.from_float(x) for x in (-0.25, 0.75, 0.0, -1.0)]
+        assert_equivalent(source, audio_core(), {"L": xs, "R": ys}, budget=64)
+
+    def test_clipping_saturates_in_hardware_too(self):
+        source = """
+        app cliptest;
+        param big = 0.99;
+        input i; output o;
+        loop {
+          m := mlt(big, i);
+          o = add_clip(m, i);
+        }
+        """
+        rail = [Q15.max_value, Q15.min_value, Q15.max_value]
+        assert_equivalent(source, audio_core(), {"i": rail}, budget=64)
+
+    @given(samples)
+    @settings(max_examples=8, deadline=None)
+    def test_treble_property(self, xs):
+        assert_equivalent(TREBLE, audio_core(), {"IN": xs}, budget=64)
+
+
+class TestFirCore:
+    def test_three_tap_fir(self):
+        source = """
+        app fir3;
+        param h0 = 0.25, h1 = 0.5, h2 = 0.25;
+        input x; output y;
+        state d(2);
+        loop {
+          d = x;
+          m0 := mlt(h0, x);
+          m1 := mlt(h1, d@1);
+          acc := add(m0, m1);
+          m2 := mlt(h2, d@2);
+          y = add_clip(m2, acc);
+        }
+        """
+        xs = [Q15.from_float(v) for v in (1.0, 0.0, 0.0, 0.0, 0.5, -0.5)]
+        assert_equivalent(source, fir_core(), {"x": xs})
+
+    def test_iir_feedback(self):
+        source = """
+        app iir1;
+        param a = 0.5, b = 0.5;
+        input x; output y;
+        state s(1);
+        loop {
+          m0 := mlt(b, x);
+          m1 := mlt(a, s@1);
+          acc := add_clip(m0, m1);
+          s = acc;
+          y = acc;
+        }
+        """
+        xs = [Q15.from_float(1.0)] + [0] * 6
+        assert_equivalent(source, fir_core(), {"x": xs})
+
+
+class TestCompiledArtifacts:
+    def test_listing_is_printable(self):
+        program = compile_application(TREBLE, audio_core(), budget=64)
+        listing = program.binary.listing()
+        assert "jump" in listing
+        assert "mult.mult" in listing
+
+    def test_instruction_width_is_fixed(self):
+        program = compile_application(TREBLE, audio_core(), budget=64)
+        assert all(0 <= w < (1 << program.binary.word_width)
+                   for w in program.binary.words)
+
+    def test_encode_decode_roundtrip(self):
+        program = compile_application(TREBLE, audio_core(), budget=64)
+        fmt = program.binary.format
+        for word in program.binary.words:
+            assert fmt.encode(fmt.decode(word)) == word
+
+    def test_rom_words_quantised_coefficients(self):
+        program = compile_application(TREBLE, audio_core(), budget=64)
+        assert sorted(program.binary.rom_words) == sorted(
+            Q15.from_float(c) for c in (0.40, -0.20, 0.30)
+        )

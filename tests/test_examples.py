@@ -1,0 +1,30 @@
+"""Smoke tests: every example script must run to completion."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).resolve().parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert result.stdout.strip(), "examples must print their findings"
+
+
+def test_example_inventory():
+    names = {path.stem for path in EXAMPLES}
+    assert {"quickstart", "audio_tone_control", "isa_conflicts",
+            "fir_filter", "retarget_lms",
+            "design_space_exploration"} <= names

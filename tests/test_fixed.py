@@ -1,0 +1,109 @@
+"""Unit and property tests for the shared fixed-point arithmetic."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.fixed import Q15, FixedFormat
+
+q15_values = st.integers(min_value=Q15.min_value, max_value=Q15.max_value)
+
+
+class TestFormat:
+    def test_q15_range(self):
+        assert Q15.min_value == -32768
+        assert Q15.max_value == 32767
+        assert Q15.scale == 32768
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            FixedFormat(width=1)
+
+    def test_invalid_frac_bits(self):
+        with pytest.raises(ValueError):
+            FixedFormat(width=16, frac_bits=16)
+
+    def test_from_float_quantises(self):
+        assert Q15.from_float(0.5) == 16384
+        assert Q15.from_float(-1.0) == -32768
+        assert Q15.from_float(0.0) == 0
+
+    def test_from_float_saturates(self):
+        assert Q15.from_float(1.0) == 32767
+        assert Q15.from_float(2.5) == 32767
+        assert Q15.from_float(-3.0) == -32768
+
+    def test_roundtrip_error_below_one_lsb(self):
+        for x in (0.1, -0.37, 0.9999, -0.5):
+            assert abs(Q15.to_float(Q15.from_float(x)) - x) <= 1 / Q15.scale
+
+
+class TestArithmetic:
+    def test_add_wraps(self):
+        assert Q15.add(32767, 1) == -32768
+
+    def test_add_clip_saturates(self):
+        assert Q15.add_clip(32767, 1) == 32767
+        assert Q15.add_clip(-32768, -1) == -32768
+
+    def test_add_clip_passes_in_range(self):
+        assert Q15.add_clip(1000, -2500) == -1500
+
+    def test_sub_wraps(self):
+        assert Q15.sub(-32768, 1) == 32767
+
+    def test_mult_half_times_half(self):
+        half = Q15.from_float(0.5)
+        assert Q15.mult(half, half) == Q15.from_float(0.25)
+
+    def test_mult_minus_one_squared_wraps(self):
+        # -1.0 * -1.0 = +1.0 is unrepresentable; hardware wraps to -1.0.
+        assert Q15.mult(-32768, -32768) == -32768
+
+    def test_pass_clip_is_identity_in_range(self):
+        assert Q15.pass_clip(1234) == 1234
+
+    def test_apply_dispatch(self):
+        assert Q15.apply("add", 3, 4) == 7
+        assert Q15.apply("mult", 16384, 16384) == 8192
+        assert Q15.apply("pass", -5) == -5
+
+    def test_apply_unknown_operation(self):
+        with pytest.raises(ValueError, match="no fixed-point semantics"):
+            Q15.apply("frobnicate", 1)
+
+
+class TestProperties:
+    @given(q15_values, q15_values)
+    def test_add_matches_two_complement(self, a, b):
+        assert Q15.add(a, b) == Q15.wrap(a + b)
+
+    @given(q15_values, q15_values)
+    def test_add_clip_bounded(self, a, b):
+        result = Q15.add_clip(a, b)
+        assert Q15.min_value <= result <= Q15.max_value
+        # Saturation is exact when the true sum is representable.
+        if Q15.min_value <= a + b <= Q15.max_value:
+            assert result == a + b
+
+    @given(q15_values, q15_values)
+    def test_mult_commutative(self, a, b):
+        assert Q15.mult(a, b) == Q15.mult(b, a)
+
+    @given(q15_values)
+    def test_mult_by_one_is_near_identity(self, a):
+        # 0x7FFF is just below 1.0: |a * 0.99997 - a| <= 1 LSB + scaling
+        result = Q15.mult(a, Q15.max_value)
+        assert abs(result - a) <= (abs(a) >> 14) + 1
+
+    @given(q15_values)
+    def test_wrap_fixpoint(self, a):
+        assert Q15.wrap(a) == a
+
+    @given(st.integers(min_value=-10**9, max_value=10**9))
+    def test_wrap_idempotent(self, a):
+        assert Q15.wrap(Q15.wrap(a)) == Q15.wrap(a)
+
+    @given(st.integers(min_value=-10**9, max_value=10**9))
+    def test_clip_idempotent(self, a):
+        assert Q15.clip(Q15.clip(a)) == Q15.clip(a)

@@ -1,0 +1,167 @@
+"""Tests for the source language frontend (lexer, parser, lowering)."""
+
+import pytest
+
+from repro.errors import SemanticError, SourceError
+from repro.lang import (
+    NodeKind,
+    TokenKind,
+    parse,
+    parse_source,
+    tokenize,
+)
+
+TREBLE = """
+app treble;
+param d1 = 0.40, d2 = -0.20, e1 = 0.30;
+input IN;
+output out;
+state u(2), v(2);
+loop {
+  /* Treble section (paper, section 7) */
+  u  = IN;
+  x0 := u@2;          /* U delayed over 2 frames */
+  m  := mlt(d2, x0);
+  a  := pass(m);
+  x2 := v@1;          /* V delayed over 1 frame */
+  m  := mlt(e1, x2);
+  a  := add(m, a);
+  x1 := u@1;
+  m  := mlt(d1, x1);
+  rd := add_clip(m, a);
+  v  = rd;
+  out = rd;
+}
+"""
+
+
+class TestLexer:
+    def test_assign_vs_equals(self):
+        kinds = [t.kind for t in tokenize("x := y; v = w;")]
+        assert TokenKind.ASSIGN in kinds
+        assert TokenKind.EQUALS in kinds
+
+    def test_comments_are_skipped(self):
+        tokens = tokenize("a /* hello\nworld */ b # line\nc")
+        idents = [t.text for t in tokens if t.kind is TokenKind.IDENT]
+        assert idents == ["a", "b", "c"]
+
+    def test_line_numbers_track_newlines(self):
+        tokens = tokenize("a\nb\n  c")
+        a, b, c = (t for t in tokens if t.kind is TokenKind.IDENT)
+        assert (a.line, b.line, c.line) == (1, 2, 3)
+        assert c.column == 3
+
+    def test_negative_fraction(self):
+        token = tokenize("-0.25")[0]
+        assert token.kind is TokenKind.NUMBER
+        assert float(token.text) == -0.25
+
+    def test_unexpected_character(self):
+        with pytest.raises(SourceError, match="unexpected character"):
+            tokenize("a $ b")
+
+
+class TestParser:
+    def test_treble_parses(self):
+        program = parse(TREBLE)
+        assert program.name == "treble"
+        assert [p.name for p in program.params] == ["d1", "d2", "e1"]
+        assert program.inputs == ["IN"]
+        assert program.outputs == ["out"]
+        assert [(s.name, s.depth) for s in program.states] == [("u", 2), ("v", 2)]
+        assert len(program.body) == 12
+
+    def test_missing_semicolon(self):
+        with pytest.raises(SourceError, match="expected"):
+            parse("app x; loop { a := b }")
+
+    def test_missing_loop(self):
+        with pytest.raises(SourceError, match="declaration or 'loop'"):
+            parse("app x; frob;")
+
+    def test_statement_needs_assignment_operator(self):
+        with pytest.raises(SourceError, match="':=' or '='"):
+            parse("app x; loop { a b; }")
+
+    def test_nested_calls(self):
+        program = parse("app x; input i; output o; loop { o = add(pass(i), i); }")
+        assert len(program.body) == 1
+
+
+class TestLowering:
+    def test_treble_dfg_shape(self):
+        dfg = parse_source(TREBLE)
+        histogram = dfg.op_histogram()
+        assert histogram == {"mult": 3, "pass": 1, "add": 1, "add_clip": 1}
+        kinds = [n.kind for n in dfg.nodes]
+        assert kinds.count(NodeKind.DELAY) == 3
+        assert kinds.count(NodeKind.STATE_WRITE) == 2
+        assert kinds.count(NodeKind.INPUT) == 1
+        assert kinds.count(NodeKind.OUTPUT) == 1
+
+    def test_mlt_alias(self):
+        dfg = parse_source(TREBLE)
+        assert "mult" in dfg.op_histogram()
+        assert "mlt" not in dfg.op_histogram()
+
+    def test_local_rebinding_shadows(self):
+        dfg = parse_source(
+            "app x; input i; output o;\n"
+            "loop { m := pass(i); m := pass(m); o = m; }"
+        )
+        # The output must consume the *second* pass, which consumes the first.
+        output = next(n for n in dfg.nodes if n.kind is NodeKind.OUTPUT)
+        second = dfg.node(output.args[0])
+        first = dfg.node(second.args[0])
+        assert second.name == "pass" and first.name == "pass"
+
+    def test_input_read_once_per_iteration(self):
+        dfg = parse_source(
+            "app x; input i; output o; loop { o = add(i, i); }"
+        )
+        reads = [n for n in dfg.nodes if n.kind is NodeKind.INPUT]
+        assert len(reads) == 1
+
+    def test_state_read_without_delay_rejected(self):
+        with pytest.raises(SemanticError, match="must be read with a delay"):
+            parse_source(
+                "app x; input i; output o; state s(1);\n"
+                "loop { s = i; o = pass(s); }"
+            )
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(SemanticError, match="unknown name"):
+            parse_source("app x; output o; loop { o = pass(ghost); }")
+
+    def test_delay_beyond_depth_rejected(self):
+        with pytest.raises(SemanticError, match="outside the state's window"):
+            parse_source(
+                "app x; input i; output o; state s(1);\n"
+                "loop { s = i; o = pass(s@2); }"
+            )
+
+    def test_state_written_twice_rejected(self):
+        with pytest.raises(SemanticError, match="written twice"):
+            parse_source(
+                "app x; input i; output o; state s(1);\n"
+                "loop { s = i; s = i; o = pass(s@1); }"
+            )
+
+    def test_state_read_never_written_rejected(self):
+        with pytest.raises(SemanticError, match="never written"):
+            parse_source(
+                "app x; input i; output o; state s(1);\n"
+                "loop { o = pass(s@1); }"
+            )
+
+    def test_commit_to_undeclared_name_rejected(self):
+        with pytest.raises(SemanticError, match="neither a state nor an output"):
+            parse_source("app x; input i; loop { bogus = pass(i); }")
+
+    def test_local_assign_to_state_rejected(self):
+        with pytest.raises(SemanticError, match="use '=' to"):
+            parse_source(
+                "app x; input i; output o; state s(1);\n"
+                "loop { s := pass(i); o = pass(s@1); }"
+            )

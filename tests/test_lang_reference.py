@@ -1,0 +1,149 @@
+"""Tests for the golden reference interpreter."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.fixed import Q15
+from repro.lang import DfgBuilder, parse_source, run_reference
+
+samples = st.lists(
+    st.integers(min_value=Q15.min_value, max_value=Q15.max_value),
+    min_size=1,
+    max_size=32,
+)
+
+
+def passthrough_dfg():
+    b = DfgBuilder("pass")
+    b.output("o", b.op("pass", b.input("i")))
+    return b.build()
+
+
+def one_tap_delay_dfg():
+    b = DfgBuilder("z1")
+    s = b.state("s", depth=1)
+    b.write(s, b.input("i"))
+    b.output("o", b.op("pass", b.delay(s, 1)))
+    return b.build()
+
+
+class TestBasics:
+    def test_passthrough(self):
+        outputs = run_reference(passthrough_dfg(), {"i": [1, 2, 3]})
+        assert outputs == {"o": [1, 2, 3]}
+
+    def test_unit_delay(self):
+        outputs = run_reference(one_tap_delay_dfg(), {"i": [5, 6, 7]})
+        assert outputs == {"o": [0, 5, 6]}
+
+    def test_two_frame_delay_reads_history(self):
+        b = DfgBuilder("z2")
+        s = b.state("s", depth=2)
+        b.write(s, b.input("i"))
+        b.output("o", b.op("pass", b.delay(s, 2)))
+        outputs = run_reference(b.build(), {"i": [1, 2, 3, 4]})
+        assert outputs == {"o": [0, 0, 1, 2]}
+
+    def test_delay_ignores_textual_order(self):
+        # Reading s@1 *before* this iteration's write still returns the
+        # previous iteration's value.
+        b = DfgBuilder("order")
+        s = b.state("s", depth=1)
+        old = b.delay(s, 1)
+        b.write(s, b.input("i"))
+        b.output("o", b.op("pass", old))
+        outputs = run_reference(b.build(), {"i": [10, 20, 30]})
+        assert outputs == {"o": [0, 10, 20]}
+
+    def test_param_is_quantised(self):
+        b = DfgBuilder("gain")
+        g = b.param("g", 0.5)
+        b.output("o", b.op("mult", g, b.input("i")))
+        outputs = run_reference(b.build(), {"i": [Q15.from_float(0.5)]})
+        assert outputs == {"o": [Q15.from_float(0.25)]}
+
+    def test_iteration_count_defaults_to_shortest_stream(self):
+        b = DfgBuilder("two")
+        i0, i1 = b.input("a"), b.input("b")
+        b.output("o", b.op("add", i0, i1))
+        outputs = run_reference(b.build(), {"a": [1, 2, 3], "b": [10, 20]})
+        assert outputs == {"o": [11, 22]}
+
+    def test_missing_stimulus_raises(self):
+        with pytest.raises(SimulationError, match="missing stimulus"):
+            run_reference(passthrough_dfg(), {})
+
+    def test_short_stimulus_raises(self):
+        with pytest.raises(SimulationError, match="samples"):
+            run_reference(passthrough_dfg(), {"i": [1]}, n_iterations=5)
+
+    def test_no_inputs_needs_count(self):
+        b = DfgBuilder("const")
+        b.output("o", b.op("pass", b.param("k", 0.25)))
+        with pytest.raises(SimulationError, match="n_iterations"):
+            run_reference(b.build(), {})
+        outputs = run_reference(b.build(), {}, n_iterations=3)
+        assert outputs == {"o": [Q15.from_float(0.25)] * 3}
+
+
+class TestTrebleSection:
+    SOURCE = """
+    app treble;
+    param d1 = 0.40, d2 = -0.20, e1 = 0.30;
+    input IN; output out;
+    state u(2), v(2);
+    loop {
+      u  = IN;
+      x0 := u@2;
+      m  := mlt(d2, x0);
+      a  := pass(m);
+      x2 := v@1;
+      m  := mlt(e1, x2);
+      a  := add(m, a);
+      x1 := u@1;
+      m  := mlt(d1, x1);
+      rd := add_clip(m, a);
+      v  = rd;
+      out = rd;
+    }
+    """
+
+    def test_against_direct_recurrence(self):
+        dfg = parse_source(self.SOURCE)
+        stimulus = [Q15.from_float(x) for x in
+                    (0.1, -0.2, 0.5, 0.9, -0.9, 0.3, 0.0, 0.7)]
+        outputs = run_reference(dfg, {"IN": stimulus})
+
+        d1, d2, e1 = (Q15.from_float(c) for c in (0.40, -0.20, 0.30))
+        u_hist, v_hist = [], []
+        expected = []
+        for x in stimulus:
+            u1 = u_hist[-1] if len(u_hist) >= 1 else 0
+            u2 = u_hist[-2] if len(u_hist) >= 2 else 0
+            v1 = v_hist[-1] if len(v_hist) >= 1 else 0
+            acc = Q15.add(Q15.mult(e1, v1), Q15.mult(d2, u2))
+            rd = Q15.add_clip(Q15.mult(d1, u1), acc)
+            u_hist.append(x)
+            v_hist.append(rd)
+            expected.append(rd)
+        assert outputs["out"] == expected
+
+
+class TestProperties:
+    @given(samples)
+    def test_passthrough_is_identity(self, xs):
+        assert run_reference(passthrough_dfg(), {"i": xs})["o"] == xs
+
+    @given(samples)
+    def test_unit_delay_shifts(self, xs):
+        outputs = run_reference(one_tap_delay_dfg(), {"i": xs})
+        assert outputs["o"] == [0] + xs[:-1]
+
+    @given(samples)
+    @settings(max_examples=25)
+    def test_outputs_always_in_range(self, xs):
+        dfg = parse_source(TestTrebleSection.SOURCE)
+        for y in run_reference(dfg, {"IN": xs})["out"]:
+            assert Q15.min_value <= y <= Q15.max_value

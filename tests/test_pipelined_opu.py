@@ -1,0 +1,167 @@
+"""End-to-end tests with a pipelined (latency-2) multiplier.
+
+The paper's RT model covers OPUs that are "possibly pipelined"; this
+variant of the FIR core has a 2-cycle multiplier with initiation
+interval 1.  Exercises the whole multi-cycle machinery: usage offsets,
+dependence delays, destination fields landing one word later, and the
+simulator's in-flight result queue.
+"""
+
+import pytest
+
+from repro import Q15, compile_application, run_reference
+from repro.arch import ControllerSpec, CoreSpec, Datapath, Operation, OpuKind
+from repro.lang import DfgBuilder, parse_source
+from repro.rtgen import generate_rts
+from repro.sched import build_dependence_graph, list_schedule
+
+
+def pipelined_core(mult_latency=2) -> CoreSpec:
+    dp = Datapath("pipelined")
+    ram = dp.add_opu("ram", OpuKind.RAM, [
+        Operation("read", arity=1, reads_memory=True),
+        Operation("write", arity=2, writes_memory=True),
+    ], memory_size=64)
+    mult = dp.add_opu("mult", OpuKind.MULT, [
+        Operation("mult", arity=2, commutative=True,
+                  latency=mult_latency, initiation_interval=1),
+    ])
+    alu = dp.add_opu("alu", OpuKind.ALU, [
+        Operation("add", arity=2, commutative=True),
+        Operation("add_clip", arity=2, commutative=True),
+        Operation("pass", arity=1),
+        Operation("pass_clip", arity=1),
+    ])
+    acu = dp.add_opu("acu", OpuKind.ACU, [Operation("addmod", arity=2)])
+    prg = dp.add_opu("prg_c", OpuKind.CONST, [Operation("const", arity=1)])
+    ipb = dp.add_opu("ipb", OpuKind.INPUT, [Operation("read", arity=0)])
+    dp.add_opu("opb", OpuKind.OUTPUT, [Operation("write", arity=1)])
+
+    rf = {}
+    for name, size in [("rf_ram_addr", 4), ("rf_ram_data", 8),
+                       ("rf_mult_data", 8), ("rf_mult_coef", 8),
+                       ("rf_alu_p0", 8), ("rf_alu_p1", 8),
+                       ("rf_acu", 2), ("rf_opb", 2)]:
+        rf[name] = dp.add_register_file(name, size)
+
+    dp.connect_port(ram, 0, rf["rf_ram_addr"])
+    dp.connect_port(ram, 1, rf["rf_ram_data"])
+    dp.connect_port(mult, 0, rf["rf_mult_data"])
+    dp.connect_port(mult, 1, rf["rf_mult_coef"])
+    dp.connect_port(alu, 0, rf["rf_alu_p0"])
+    dp.connect_port(alu, 1, rf["rf_alu_p1"])
+    dp.connect_port(acu, 0, rf["rf_acu"])
+    dp.make_immediate_port(acu, 1)
+    dp.make_immediate_port(prg, 0)
+    dp.connect_port("opb", 0, rf["rf_opb"])
+
+    buses = {o: dp.attach_bus(o) for o in (ram, mult, alu, acu, prg, ipb)}
+    dp.route_bus(buses[acu], rf["rf_ram_addr"])
+    dp.route_bus(buses[acu], rf["rf_acu"])
+    dp.route_bus(buses[ipb], rf["rf_ram_data"])
+    dp.route_bus(buses[alu], rf["rf_ram_data"])
+    dp.route_bus(buses[mult], rf["rf_ram_data"])
+    dp.route_bus(buses[ram], rf["rf_mult_data"])
+    dp.route_bus(buses[alu], rf["rf_mult_data"])
+    dp.route_bus(buses[ipb], rf["rf_mult_data"])
+    dp.route_bus(buses[prg], rf["rf_mult_coef"])
+    dp.route_bus(buses[mult], rf["rf_alu_p0"])
+    dp.route_bus(buses[ram], rf["rf_alu_p0"])
+    dp.route_bus(buses[ipb], rf["rf_alu_p0"])
+    dp.route_bus(buses[alu], rf["rf_alu_p0"])
+    dp.route_bus(buses[alu], rf["rf_alu_p1"])
+    dp.route_bus(buses[ram], rf["rf_alu_p1"])
+    dp.route_bus(buses[alu], rf["rf_opb"])
+
+    from repro.arch.library import ClassDef
+    return CoreSpec(
+        name="pipelined",
+        datapath=dp,
+        controller=ControllerSpec(stack_depth=2, program_size=128),
+        class_defs=[
+            ClassDef("A", "ipb", ("read",)),
+            ClassDef("B", "opb", ("write",)),
+            ClassDef("D", "acu", ("addmod",)),
+            ClassDef("X", "ram", ("read", "write")),
+            ClassDef("G", "mult", ("mult",)),
+            ClassDef("Y", "alu", ("add", "add_clip", "pass", "pass_clip")),
+            ClassDef("M", "prg_c", ("const",)),
+        ],
+        instruction_types=[
+            frozenset({"A", "D", "X", "G", "Y", "M"}),
+            frozenset({"B", "D", "X", "G", "Y", "M"}),
+        ],
+    )
+
+
+FIR3 = """
+app fir3;
+param h0 = 0.25, h1 = 0.5, h2 = 0.25;
+input x; output y;
+state d(2);
+loop {
+  d = x;
+  m0 := mlt(h0, x);
+  a  := pass(m0);
+  m1 := mlt(h1, d@1);
+  a  := add(m1, a);
+  m2 := mlt(h2, d@2);
+  y = add_clip(m2, a);
+}
+"""
+
+
+class TestPipelinedMultiplier:
+    def test_rt_carries_offset_uses(self):
+        program = generate_rts(parse_source(FIR3), pipelined_core())
+        mult_rts = [rt for rt in program.rts if rt.opu == "mult"]
+        assert mult_rts
+        for rt in mult_rts:
+            assert rt.latency == 2
+            offsets = {u.offset for u in rt.uses}
+            assert offsets == {0, 1}
+            # Bus/destination usage lives at the result offset.
+            bus_use = next(u for u in rt.uses if u.resource == "bus_mult")
+            assert bus_use.offset == 1
+
+    def test_dependence_delay_matches_latency(self):
+        program = generate_rts(parse_source(FIR3), pipelined_core())
+        graph = build_dependence_graph(program)
+        for edge in graph.edges:
+            if edge.src.opu == "mult" and edge.kind.value == "raw":
+                assert edge.delay == 2
+
+    def test_schedule_respects_latency(self):
+        program = generate_rts(parse_source(FIR3), pipelined_core())
+        graph = build_dependence_graph(program)
+        schedule = list_schedule(graph)
+        schedule.validate(graph)
+        producers = program.producers()
+        for rt, cycle in schedule.cycle_of.items():
+            for value in rt.read_values:
+                producer = producers.get(value)
+                if producer is not None:
+                    assert cycle >= schedule.cycle_of[producer] + producer.latency
+
+    def test_end_to_end_bit_exact(self):
+        compiled = compile_application(parse_source(FIR3), pipelined_core())
+        xs = [Q15.from_float(v) for v in (0.5, -0.25, 0.125, 0.75, 0.0, -0.5)]
+        expected = run_reference(compiled.dfg, {"x": xs})
+        assert compiled.run({"x": xs}) == expected
+
+    def test_longer_latency_still_works(self):
+        compiled = compile_application(parse_source(FIR3),
+                                       pipelined_core(mult_latency=3))
+        xs = [Q15.from_float(v) for v in (0.9, -0.9, 0.3, 0.1)]
+        expected = run_reference(compiled.dfg, {"x": xs})
+        assert compiled.run({"x": xs}) == expected
+
+    def test_pipelining_allows_back_to_back_mults(self):
+        compiled = compile_application(parse_source(FIR3), pipelined_core())
+        cycles = sorted(
+            cycle for rt, cycle in compiled.schedule.cycle_of.items()
+            if rt.opu == "mult"
+        )
+        # Initiation interval 1: at least one pair of multiplies issues
+        # in consecutive cycles despite the 2-cycle latency.
+        assert any(b - a == 1 for a, b in zip(cycles, cycles[1:]))

@@ -1,0 +1,95 @@
+"""Tests for the reporting package (figure-9 chart, tables, Gantt)."""
+
+from repro import audio_core, compile_application
+from repro.core import ClassTable, ConflictGraph, InstructionSet, greedy_cover
+from repro.lang import parse_source
+from repro.report import (
+    class_table_report,
+    conflict_report,
+    gantt_chart,
+    occupation_chart,
+    occupation_rows,
+    summary_report,
+)
+
+SOURCE = """
+app tiny_audio;
+param k = 0.5;
+input i; output o;
+state s(1);
+loop {
+  s = i;
+  m := mlt(k, s@1);
+  o = pass_clip(m);
+}
+"""
+
+
+def compiled():
+    return compile_application(parse_source(SOURCE), audio_core(), budget=64)
+
+
+class TestOccupation:
+    def test_rows_cover_requested_opus(self):
+        c = compiled()
+        rows = occupation_rows(c.schedule, ["mult", "ram"], {"mult": "MULT"})
+        assert [r.name for r in rows] == ["MULT", "ram"]
+
+    def test_percent_truncates_like_the_paper(self):
+        # 58 busy of 63 cycles must print 92 (not 92.06 rounded oddly).
+        from repro.report.occupation import OccupationRow
+        row = OccupationRow("X", busy=58, total=63, cycles=frozenset())
+        assert row.percent == 92
+        row = OccupationRow("X", busy=59, total=63, cycles=frozenset())
+        assert row.percent == 93
+        row = OccupationRow("X", busy=0, total=0, cycles=frozenset())
+        assert row.percent == 0
+
+    def test_chart_has_bars_and_axis(self):
+        c = compiled()
+        chart = occupation_chart(c.schedule)
+        lines = chart.splitlines()
+        assert any("*" in line for line in lines)
+        assert any(line.strip().startswith("0") for line in lines[-1:])
+        assert "%" in lines[0]
+
+    def test_chart_bar_width_equals_length(self):
+        c = compiled()
+        chart = occupation_chart(c.schedule, ["mult"])
+        bar = chart.splitlines()[0].split("|", 1)[1]
+        assert len(bar) == c.schedule.length
+
+
+class TestTables:
+    def test_class_table_report(self):
+        text = class_table_report(ClassTable.from_core(audio_core()))
+        assert "RT Class identification" in text
+        assert "{read, write}" in text       # class X
+        assert " A" in text and " M" in text
+
+    def test_conflict_report_with_cover(self):
+        iset = InstructionSet.from_desired(
+            ["A", "B", "C"], [frozenset("A"), frozenset("B"), frozenset("C")])
+        graph = ConflictGraph.from_instruction_set(iset)
+        text = conflict_report(graph, greedy_cover(graph))
+        assert "conflict graph" in text
+        assert "clique cover" in text
+        assert "artificial resources: ABC" in text
+
+    def test_gantt_truncation(self):
+        c = compiled()
+        text = gantt_chart(c.schedule, max_cycles=3)
+        assert "more cycles" in text
+
+    def test_gantt_full(self):
+        c = compiled()
+        text = gantt_chart(c.schedule)
+        assert text.count("\n") == c.schedule.length
+
+    def test_summary_mentions_everything(self):
+        text = summary_report(compiled())
+        assert "tiny_audio" in text
+        assert "audio" in text
+        assert "classes" in text
+        assert "ABC" in text
+        assert "cycles" in text

@@ -1,0 +1,236 @@
+"""Tests for RT generation: binding, routing, memory layout, emission."""
+
+import pytest
+
+from repro.arch import audio_core, fir_core, tiny_core
+from repro.errors import BindingError, RoutingError
+from repro.lang import DfgBuilder, parse_source
+from repro.rtgen import MemoryLayout, bind, generate_rts, live_nodes
+
+TREBLE = """
+app treble;
+param d1 = 0.40, d2 = -0.20, e1 = 0.30;
+input IN; output out;
+state u(2), v(2);
+loop {
+  u  = IN;
+  x0 := u@2;
+  m  := mlt(d2, x0);
+  a  := pass(m);
+  x2 := v@1;
+  m  := mlt(e1, x2);
+  a  := add(m, a);
+  x1 := u@1;
+  m  := mlt(d1, x1);
+  rd := add_clip(m, a);
+  v  = rd;
+  out = rd;
+}
+"""
+
+
+def treble_program():
+    return generate_rts(parse_source(TREBLE), audio_core())
+
+
+class TestMemoryLayout:
+    def layout(self):
+        return MemoryLayout.for_dfg(parse_source(TREBLE), ram_size=128)
+
+    def test_window_and_modulus(self):
+        layout = self.layout()
+        assert layout.n_states == 2
+        assert layout.window == 3      # max depth 2 -> slots for 3 frames
+        assert layout.modulus == 6
+
+    def test_slots_never_collide_within_a_frame(self):
+        layout = self.layout()
+        for frame in range(10):
+            fp = layout.frame_pointer(frame)
+            addresses = set()
+            for state in ("u", "v"):
+                addresses.add((fp + layout.write_offset(state)) % layout.modulus)
+                for k in (1, 2):
+                    addresses.add((fp + layout.read_offset(state, k)) % layout.modulus)
+            assert len(addresses) == 6  # 2 writes + 4 reads, all distinct
+
+    def test_read_offset_addresses_past_write(self):
+        layout = self.layout()
+        for frame in range(3, 12):
+            for k in (1, 2):
+                read_addr = (
+                    layout.frame_pointer(frame) + layout.read_offset("u", k)
+                ) % layout.modulus
+                write_addr = (
+                    layout.frame_pointer(frame - k) + layout.write_offset("u")
+                ) % layout.modulus
+                assert read_addr == write_addr
+
+    def test_ram_too_small(self):
+        with pytest.raises(RoutingError, match="RAM words"):
+            MemoryLayout.for_dfg(parse_source(TREBLE), ram_size=4)
+
+
+class TestBinding:
+    def test_audio_binding_is_forced(self):
+        dfg = parse_source(TREBLE)
+        binding = bind(dfg, audio_core())
+        assert binding.state_ram == {"u": "ram", "v": "ram"}
+        assert binding.ram_acu == {"ram": "acu"}
+        assert binding.rom_opu == "rom"
+        assert binding.const_opu == "prg_c"
+        assert binding.input_opu == {"IN": "ipb"}
+        assert binding.output_opu == {"out": "opb_1"}
+
+    def test_round_robin_output_binding(self):
+        b = DfgBuilder("x")
+        i = b.input("i")
+        for port in ("o0", "o1", "o2", "o3"):
+            b.output(port, b.op("pass", b.op("pass_clip", i)))
+        binding = bind(b.build(), audio_core())
+        assert binding.output_opu == {
+            "o0": "opb_1", "o1": "opb_2", "o2": "opb_1", "o3": "opb_2",
+        }
+
+    def test_explicit_io_binding(self):
+        b = DfgBuilder("x")
+        b.output("o0", b.op("pass_clip", b.input("i")))
+        binding = bind(b.build(), audio_core(), io_binding={"o0": "opb_2"})
+        assert binding.output_opu == {"o0": "opb_2"}
+
+    def test_unknown_io_binding_rejected(self):
+        b = DfgBuilder("x")
+        b.output("o0", b.op("pass_clip", b.input("i")))
+        with pytest.raises(BindingError, match="unknown"):
+            bind(b.build(), audio_core(), io_binding={"o0": "nonexistent"})
+
+    def test_state_needs_ram(self):
+        dfg = parse_source(TREBLE)
+        with pytest.raises(BindingError, match="no RAM"):
+            bind(dfg, tiny_core())
+
+    def test_unsupported_operation(self):
+        b = DfgBuilder("x")
+        b.output("o", b.op("fft", b.input("i")))
+        with pytest.raises(BindingError, match="supports operation 'fft'"):
+            bind(b.build(), tiny_core())
+
+
+class TestLiveness:
+    def test_dead_code_is_dropped(self):
+        b = DfgBuilder("dead")
+        i = b.input("i")
+        b.op("pass", i)  # dead
+        b.output("o", b.op("pass", i))
+        dfg = b.build()
+        live = live_nodes(dfg)
+        assert len(live) == 3  # input, one pass, output
+
+    def test_dead_param_not_fetched(self):
+        b = DfgBuilder("deadparam")
+        b.param("unused", 0.5)
+        b.output("o", b.op("pass", b.input("i")))
+        program = generate_rts(b.build(), tiny_core())
+        assert all(rt.operation != "const" for rt in program.rts)
+
+
+class TestTrebleGeneration:
+    def test_opu_histogram_matches_structure(self):
+        program = treble_program()
+        histogram = program.opu_histogram()
+        # 3 delay reads + 2 state writes (u = IN, v = rd) -> 5 RAM ops,
+        # 5 address computations + 1 frame-pointer advance -> 6 ACU ops.
+        assert histogram["ram"] == 5
+        assert histogram["acu"] == 6
+        assert histogram["mult"] == 3
+        assert histogram["alu"] == 3          # pass, add, add_clip
+        assert histogram["rom"] == 3          # three coefficients
+        assert histogram["prg_c"] == 3        # their ROM addresses
+        assert histogram["ipb"] == 1
+        assert histogram["opb_1"] == 1
+
+    def test_rom_layout_covers_params(self):
+        program = treble_program()
+        assert set(program.rom.address) == {"d1", "d2", "e1"}
+        assert len(program.rom.words) == 3
+
+    def test_loop_carry_for_frame_pointer(self):
+        program = treble_program()
+        assert len(program.loop_carries) == 1
+        carry = program.loop_carries[0]
+        assert carry.register_file == "rf_acu"
+        producers = program.producers()
+        assert carry.new in producers
+        assert carry.old not in producers  # live-in, produced last iteration
+
+    def test_multicast_of_state_value(self):
+        # rd goes both to the state write (rf_ram_data) and the output
+        # port (rf_opb1): one RT, two destinations.
+        program = treble_program()
+        add_clips = [rt for rt in program.rts if rt.operation == "add_clip"]
+        assert len(add_clips) == 1
+        dest_rfs = {d.register_file for d in add_clips[0].destinations}
+        assert dest_rfs == {"rf_ram_data", "rf_opb1"}
+
+    def test_every_register_operand_has_a_producer_or_live_in(self):
+        program = treble_program()
+        producers = program.producers()
+        live_ins = program.live_in_values()
+        for rt in program.rts:
+            for value in rt.read_values:
+                assert value in producers or value in live_ins
+
+    def test_operand_register_files_match_destinations(self):
+        # Every value read from register file F must have been written
+        # into F by its producer (multicast included).
+        program = treble_program()
+        written: dict[tuple[int, str], bool] = {}
+        for rt in program.rts:
+            for dest in rt.destinations:
+                written[(dest.value, dest.register_file)] = True
+        live_ins = program.live_in_values()
+        for rt in program.rts:
+            for operand in rt.operands:
+                if not operand.is_register:
+                    continue
+                if operand.value in live_ins:
+                    assert live_ins[operand.value].register_file == operand.register_file
+                    continue
+                assert written.get((operand.value, operand.register_file)), (
+                    f"{rt}: reads v{operand.value} from "
+                    f"{operand.register_file}, never written there"
+                )
+
+    def test_mult_operands_in_port_order(self):
+        # Port 0 = data, port 1 = coefficient: the generator must swap
+        # mlt(d2, x0) so the coefficient reaches rf_mult_coef.
+        program = treble_program()
+        for rt in program.rts:
+            if rt.operation != "mult":
+                continue
+            assert rt.operands[0].register_file == "rf_mult_data"
+            assert rt.operands[1].register_file == "rf_mult_coef"
+
+    def test_fir_core_params_skip_rom(self):
+        program = generate_rts(parse_source(TREBLE), fir_core())
+        # No ROM on the FIR core: coefficients are immediate constants.
+        consts = [rt for rt in program.rts if rt.operation == "const"]
+        assert len(consts) == 3
+        assert all(not rt.operands[0].is_register for rt in consts)
+
+
+class TestCopyInsertion:
+    def test_input_to_output_needs_alu_copy_on_audio_core(self):
+        b = DfgBuilder("io")
+        b.output("o", b.input("i"))
+        program = generate_rts(b.build(), audio_core())
+        operations = [(rt.opu, rt.operation) for rt in program.rts]
+        assert ("alu", "pass") in operations  # inserted data-routing hop
+        assert ("ipb", "read") in operations
+        assert ("opb_1", "write") in operations
+
+    def test_direct_route_needs_no_copy_on_tiny_core(self):
+        b = DfgBuilder("io")
+        b.output("o", b.input("i"))
+        program = generate_rts(b.build(), tiny_core())
+        assert [rt.operation for rt in program.rts] == ["read", "write"]

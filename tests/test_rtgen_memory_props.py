@@ -1,0 +1,92 @@
+"""Property-based tests on the delay-line memory layout invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang.dfg import StateSpec
+from repro.rtgen import MemoryLayout, RomLayout
+
+
+@st.composite
+def state_sets(draw):
+    n = draw(st.integers(min_value=1, max_value=6))
+    return [
+        StateSpec(f"s{i}", draw(st.integers(min_value=1, max_value=5)))
+        for i in range(n)
+    ]
+
+
+class TestLayoutProperties:
+    @given(state_sets())
+    @settings(max_examples=80)
+    def test_no_intra_frame_collisions(self, states):
+        """All reads and the write of one frame hit distinct slots."""
+        layout = MemoryLayout.for_states(states, ram_size=4096)
+        for frame in range(layout.window * 2 + 3):
+            fp = layout.frame_pointer(frame)
+            addresses = []
+            for spec in states:
+                addresses.append((fp + layout.write_offset(spec.name))
+                                 % layout.modulus)
+                for k in range(1, spec.depth + 1):
+                    addresses.append((fp + layout.read_offset(spec.name, k))
+                                     % layout.modulus)
+            assert len(addresses) == len(set(addresses))
+
+    @given(state_sets())
+    @settings(max_examples=80)
+    def test_reads_return_what_was_written(self, states):
+        """Reading s@k at frame f addresses the slot written at f - k."""
+        layout = MemoryLayout.for_states(states, ram_size=4096)
+        for spec in states:
+            for frame in range(spec.depth, spec.depth + layout.window + 2):
+                for k in range(1, spec.depth + 1):
+                    read_addr = (layout.frame_pointer(frame)
+                                 + layout.read_offset(spec.name, k)) \
+                        % layout.modulus
+                    write_addr = (layout.frame_pointer(frame - k)
+                                  + layout.write_offset(spec.name)) \
+                        % layout.modulus
+                    assert read_addr == write_addr
+
+    @given(state_sets())
+    @settings(max_examples=40)
+    def test_advance_matches_frame_pointer(self, states):
+        layout = MemoryLayout.for_states(states, ram_size=4096)
+        fp = 0
+        for frame in range(1, layout.window * 3):
+            fp = (fp + layout.advance_offset()) % layout.modulus
+            assert fp == layout.frame_pointer(frame)
+
+    @given(state_sets())
+    @settings(max_examples=40)
+    def test_all_slots_within_modulus(self, states):
+        layout = MemoryLayout.for_states(states, ram_size=4096)
+        for spec in states:
+            for frame in range(layout.window + 1):
+                assert 0 <= layout.slot(spec.name, frame) < layout.modulus
+
+
+class TestRomLayout:
+    def test_addresses_dense_and_sorted(self):
+        layout = RomLayout.for_params({"b": 2, "a": 1, "c": 3}, rom_size=8)
+        assert layout.address == {"a": 0, "b": 1, "c": 2}
+        assert layout.words == (1, 2, 3)
+
+    def test_word_lookup_matches_address(self):
+        values = {"x": 17, "y": -4, "z": 900}
+        layout = RomLayout.for_params(values, rom_size=8)
+        for name, value in values.items():
+            assert layout.words[layout.address[name]] == value
+
+    @given(st.dictionaries(
+        st.text(alphabet="abcdefgh", min_size=1, max_size=3),
+        st.integers(min_value=-32768, max_value=32767),
+        min_size=1, max_size=16,
+    ))
+    @settings(max_examples=50)
+    def test_roundtrip_property(self, values):
+        layout = RomLayout.for_params(values, rom_size=64)
+        assert len(layout.words) == len(values)
+        for name, value in values.items():
+            assert layout.words[layout.address[name]] == value

@@ -1,0 +1,95 @@
+"""Unit tests for the baseline schedulers (vertical / dynamic check)."""
+
+import pytest
+
+from repro.arch import audio_core
+from repro.core import ClassTable, InstructionSet
+from repro.errors import BudgetExceededError
+from repro.lang import parse_source
+from repro.rtgen import generate_rts
+from repro.sched import (
+    build_dependence_graph,
+    dynamic_check_schedule,
+    list_schedule,
+    vertical_schedule,
+)
+
+SOURCE = """
+app base;
+param k0 = 0.5, k1 = 0.25;
+input i;
+output o0, o1;
+state s(1);
+loop {
+  s = i;
+  m0 := mlt(k0, s@1);
+  a  := pass(m0);
+  m1 := mlt(k1, i);
+  r  := add_clip(m1, a);
+  o0 = r;
+  o1 = pass_clip(r);
+}
+"""
+
+
+def setup():
+    core = audio_core()
+    program = generate_rts(parse_source(SOURCE), core)
+    table = ClassTable.from_core(core)
+    iset = InstructionSet.from_desired(table.names, core.instruction_types)
+    graph = build_dependence_graph(program)
+    return core, program, table, iset, graph
+
+
+class TestDynamicCheck:
+    def test_respects_io_exclusivity_without_artificial_resources(self):
+        _, _, table, iset, graph = setup()
+        schedule = dynamic_check_schedule(graph, table, iset)
+        schedule.validate(graph)
+        io_cycles = [
+            cycle for rt, cycle in schedule.cycle_of.items()
+            if rt.rt_class in ("A", "B", "C")
+        ]
+        assert len(io_cycles) == len(set(io_cycles))
+
+    def test_budget_enforced(self):
+        _, _, table, iset, graph = setup()
+        with pytest.raises(BudgetExceededError):
+            dynamic_check_schedule(graph, table, iset, budget=3)
+
+    def test_same_quality_as_static_single_pass(self):
+        # Both models express the same legality; schedules may differ
+        # by heuristic tie-breaks but at most marginally.
+        core, program, table, iset, graph = setup()
+        dynamic = dynamic_check_schedule(graph, table, iset)
+
+        from repro.core import impose_instruction_set
+
+        program2 = generate_rts(parse_source(SOURCE), core)
+        program2.rts = impose_instruction_set(program2.rts, table, iset).rts
+        static_graph = build_dependence_graph(program2)
+        static = list_schedule(static_graph)
+        assert abs(dynamic.length - static.length) <= 2
+
+
+class TestVertical:
+    def test_every_cycle_has_one_rt(self):
+        *_, graph = setup()
+        schedule = vertical_schedule(graph)
+        schedule.validate(graph)
+        cycles = sorted(schedule.cycle_of.values())
+        assert len(cycles) == len(set(cycles))
+
+    def test_length_at_least_rt_count(self):
+        *_, graph = setup()
+        schedule = vertical_schedule(graph)
+        assert schedule.length >= len(graph.rts)
+
+    def test_dependences_hold(self):
+        *_, graph = setup()
+        schedule = vertical_schedule(graph)
+        for edge in graph.edges:
+            if edge.distance:
+                continue
+            assert schedule.cycle_of[edge.dst] >= \
+                schedule.cycle_of[edge.src] + edge.delay

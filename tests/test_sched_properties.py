@@ -1,0 +1,97 @@
+"""Property-based scheduler tests over randomised filter networks."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import stress_application
+from repro.arch import audio_core
+from repro.core import ClassTable, InstructionSet, impose_instruction_set
+from repro.errors import BudgetExceededError
+from repro.rtgen import generate_rts
+from repro.sched import (
+    build_dependence_graph,
+    compute_intervals,
+    execution_intervals,
+    list_schedule,
+    vertical_schedule,
+)
+
+CORE = audio_core(ram_size=256, rom_size=128, rf_scale=4, program_size=512)
+
+
+def graph_for(n_sections, seed):
+    program = generate_rts(stress_application(n_sections, seed=seed), CORE)
+    table = ClassTable.from_core(CORE)
+    iset = InstructionSet.from_desired(table.names, CORE.instruction_types)
+    program.rts = impose_instruction_set(program.rts, table, iset).rts
+    return program, build_dependence_graph(program)
+
+
+sizes = st.integers(min_value=1, max_value=6)
+seeds = st.integers(min_value=0, max_value=10**6)
+
+
+class TestSchedulerProperties:
+    @given(sizes, seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_schedules_always_validate(self, n, seed):
+        _, graph = graph_for(n, seed)
+        schedule = list_schedule(graph)
+        schedule.validate(graph)
+
+    @given(sizes, seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_vliw_never_longer_than_vertical(self, n, seed):
+        _, graph = graph_for(n, seed)
+        assert list_schedule(graph).length <= vertical_schedule(graph).length
+
+    @given(sizes, seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_budget_monotone(self, n, seed):
+        # If a budget B is feasible, every budget >= B is feasible and
+        # yields the same (minimised) length.
+        _, graph = graph_for(n, seed)
+        base = list_schedule(graph)
+        tight = list_schedule(graph, budget=base.length)
+        loose = list_schedule(graph, budget=base.length + 16)
+        assert tight.length <= base.length
+        assert loose.length <= base.length
+
+    @given(sizes, seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_schedule_within_intervals(self, n, seed):
+        _, graph = graph_for(n, seed)
+        schedule = list_schedule(graph)
+        intervals = execution_intervals(graph, schedule.length)
+        for rt, cycle in schedule.cycle_of.items():
+            assert intervals[rt].contains(cycle)
+
+    @given(sizes, seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_infeasible_budget_raises_cleanly(self, n, seed):
+        _, graph = graph_for(n, seed)
+        minimum = max(1, len(graph.rts) // 20)
+        try:
+            schedule = list_schedule(graph, budget=minimum)
+            assert schedule.length <= minimum
+        except BudgetExceededError as exc:
+            assert exc.achieved > exc.budget == minimum
+
+    @given(sizes, seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_lifetimes_cover_all_reads(self, n, seed):
+        program, graph = graph_for(n, seed)
+        schedule = list_schedule(graph)
+        intervals = compute_intervals(program, schedule)
+        spans = {
+            (rf, interval.value): interval
+            for rf, file_intervals in intervals.items()
+            for interval in file_intervals
+        }
+        for rt, cycle in schedule.cycle_of.items():
+            for operand in rt.operands:
+                if not operand.is_register:
+                    continue
+                interval = spans[(operand.register_file, operand.value)]
+                assert interval.birth <= cycle <= interval.death

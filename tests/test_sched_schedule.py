@@ -1,0 +1,123 @@
+"""Unit tests for the reservation table and schedule validation."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.rtgen import RT, Destination, Operand, ResourceUse
+from repro.sched import DependenceGraph, ReservationTable, Schedule
+from repro.sched.dependence import Edge, EdgeKind
+
+
+def rt_using(*uses, opu="alu", operation="add", latency=1):
+    return RT(
+        opu=opu, operation=operation, operands=(), destinations=(),
+        uses=tuple(ResourceUse(*u) for u in uses), latency=latency,
+    )
+
+
+class TestReservationTable:
+    def test_same_usage_shares(self):
+        table = ReservationTable()
+        a = rt_using(("bus", "v1"))
+        b = rt_using(("bus", "v1"))
+        table.place(a, 0)
+        assert table.fits(b, 0)
+        table.place(b, 0)
+        assert table.usage_at("bus", 0) == "v1"
+
+    def test_different_usage_conflicts(self):
+        table = ReservationTable()
+        table.place(rt_using(("bus", "v1")), 0)
+        blocked = rt_using(("bus", "v2"))
+        assert not table.fits(blocked, 0)
+        with pytest.raises(SchedulingError, match="resource conflict"):
+            table.place(blocked, 0)
+
+    def test_reference_counted_removal(self):
+        # Removing one sharer must not free the other's booking.
+        table = ReservationTable()
+        a = rt_using(("bus", "v1"))
+        b = rt_using(("bus", "v1"))
+        table.place(a, 0)
+        table.place(b, 0)
+        table.remove(a, 0)
+        assert not table.fits(rt_using(("bus", "v2")), 0)
+        table.remove(b, 0)
+        assert table.fits(rt_using(("bus", "v2")), 0)
+
+    def test_failed_place_rolls_back(self):
+        table = ReservationTable()
+        table.place(rt_using(("y", "q")), 0)
+        # This RT books x first, then conflicts on y: x must be released.
+        bad = rt_using(("x", "v1"), ("y", "different"))
+        with pytest.raises(SchedulingError):
+            table.place(bad, 0)
+        assert table.fits(rt_using(("x", "other")), 0)
+
+    def test_offsets_book_later_cycles(self):
+        table = ReservationTable()
+        pipelined = rt_using(("bus", "v1", 1), latency=2)
+        table.place(pipelined, 3)
+        assert table.usage_at("bus", 4) == "v1"
+        assert table.usage_at("bus", 3) is None
+
+
+class TestScheduleValidation:
+    def graph_pair(self):
+        a = rt_using(("alu", "add"))
+        b = rt_using(("mult", "mult"), opu="mult", operation="mult")
+        graph = DependenceGraph(
+            rts=[a, b],
+            edges=[Edge(a, b, 1, EdgeKind.RAW)],
+        )
+        return a, b, graph
+
+    def test_valid_schedule_passes(self):
+        a, b, graph = self.graph_pair()
+        Schedule(cycle_of={a: 0, b: 1}, length=2).validate(graph)
+
+    def test_dependence_violation_caught(self):
+        a, b, graph = self.graph_pair()
+        with pytest.raises(SchedulingError, match="dependence violated"):
+            Schedule(cycle_of={a: 1, b: 0}, length=2).validate(graph)
+
+    def test_missing_rt_caught(self):
+        a, b, graph = self.graph_pair()
+        with pytest.raises(SchedulingError, match="never scheduled"):
+            Schedule(cycle_of={a: 0}, length=1).validate(graph)
+
+    def test_negative_cycle_caught(self):
+        a, b, graph = self.graph_pair()
+        with pytest.raises(SchedulingError, match="negative"):
+            Schedule(cycle_of={a: -1, b: 1}, length=2).validate(graph)
+
+    def test_overrun_caught(self):
+        a, b, graph = self.graph_pair()
+        with pytest.raises(SchedulingError, match="spills past"):
+            Schedule(cycle_of={a: 0, b: 2}, length=2).validate(graph)
+
+    def test_budget_overrun_caught(self):
+        a, b, graph = self.graph_pair()
+        schedule = Schedule(cycle_of={a: 0, b: 1}, length=2, budget=1)
+        with pytest.raises(SchedulingError, match="exceeds budget"):
+            schedule.validate(graph)
+
+    def test_usage_conflict_caught(self):
+        a = rt_using(("bus", "v1"))
+        b = rt_using(("bus", "v2"))
+        graph = DependenceGraph(rts=[a, b], edges=[])
+        with pytest.raises(SchedulingError, match="resource conflict"):
+            Schedule(cycle_of={a: 0, b: 0}, length=1).validate(graph)
+
+    def test_instructions_grouping(self):
+        a, b, graph = self.graph_pair()
+        schedule = Schedule(cycle_of={a: 0, b: 1}, length=2)
+        instructions = schedule.instructions()
+        assert instructions[0] == [a]
+        assert instructions[1] == [b]
+
+    def test_busy_cycle_queries(self):
+        a, b, graph = self.graph_pair()
+        schedule = Schedule(cycle_of={a: 0, b: 1}, length=2)
+        assert schedule.opu_busy_cycles() == {"alu": {0}, "mult": {1}}
+        assert schedule.resource_busy_cycles()["alu"] == {0}
