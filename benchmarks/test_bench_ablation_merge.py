@@ -22,10 +22,11 @@ def build(merges=None, budget=None):
     # The longer merged schedules stretch value lifetimes, so this
     # ablation runs on the wide-register variant of the core: register
     # pressure must not mask the schedule-length effect under study.
+    # -O0 keeps the paper's exact 58-write / 116-value counts.
     core = audio_core(rf_scale=4) if merges is not None else audio_core()
     return compile_application(
         audio_application(), core, budget=budget,
-        io_binding=audio_io_binding(), merges=merges,
+        io_binding=audio_io_binding(), merges=merges, opt_level=0,
     )
 
 

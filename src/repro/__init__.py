@@ -20,20 +20,24 @@ from .arch import CoreSpec, audio_core, fir_core, tiny_core
 from .errors import ReproError
 from .fixed import Q15, FixedFormat
 from .lang import DfgBuilder, parse_source, run_reference
+from .opt import OptReport, PassManager, optimize
 from .pipeline import CompiledProgram, compile_application
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CompiledProgram",
     "CoreSpec",
     "DfgBuilder",
     "FixedFormat",
+    "OptReport",
+    "PassManager",
     "Q15",
     "ReproError",
     "audio_core",
     "compile_application",
     "fir_core",
+    "optimize",
     "parse_source",
     "run_reference",
     "tiny_core",

@@ -225,6 +225,16 @@ def standard_acu_operations() -> list[Operation]:
     ]
 
 
+def standard_shift_operations(max_shift: int = 4) -> list[Operation]:
+    """Step shifter: one unary arithmetic-shift-right operation per
+    distance (``asr1`` .. ``asr<max_shift>``), the distance encoded in
+    the opcode as small in-house shifters do.  The optimizer's strength
+    reduction targets these (:mod:`repro.opt`)."""
+    if max_shift < 1:
+        raise ArchitectureError("shifter needs at least distance 1")
+    return [Operation(f"asr{k}", arity=1) for k in range(1, max_shift + 1)]
+
+
 def standard_const_operations() -> list[Operation]:
     """Program constant generator PRG_C (class M)."""
     return [Operation("const", arity=1)]

@@ -74,6 +74,7 @@ def cmd_compile(args: argparse.Namespace) -> int:
         source, core, budget=args.budget,
         cover_algorithm=args.cover,
         mode=args.mode, repeat_count=args.repeat,
+        opt_level=args.opt,
     )
     print(summary_report(compiled))
     if args.occupation:
@@ -94,7 +95,8 @@ def cmd_compile(args: argparse.Namespace) -> int:
 def cmd_run(args: argparse.Namespace) -> int:
     core = resolve_core(args.core)
     source = Path(args.source).read_text()
-    compiled = compile_application(source, core, budget=args.budget)
+    compiled = compile_application(source, core, budget=args.budget,
+                                   opt_level=args.opt)
     fmt = FixedFormat(core.data_width, core.frac_bits)
     inputs = dict(parse_stream(spec, fmt) for spec in args.input)
     outputs = compiled.run(inputs, args.frames)
@@ -155,6 +157,8 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("source")
     c.add_argument("--core", default="audio")
     c.add_argument("--budget", type=int, default=None)
+    c.add_argument("-O", "--opt", type=int, choices=[0, 1, 2], default=1,
+                   help="machine-independent optimization level (default 1)")
     c.add_argument("--cover", default="greedy",
                    choices=["greedy", "exact", "edge"])
     c.add_argument("--mode", default="loop", choices=["loop", "once", "repeat"])
@@ -169,6 +173,8 @@ def build_parser() -> argparse.ArgumentParser:
     r.add_argument("source")
     r.add_argument("--core", default="audio")
     r.add_argument("--budget", type=int, default=None)
+    r.add_argument("-O", "--opt", type=int, choices=[0, 1, 2], default=1,
+                   help="machine-independent optimization level (default 1)")
     r.add_argument("--input", action="append", default=[],
                    metavar="PORT=V1,V2,...")
     r.add_argument("--frames", type=int, default=None)

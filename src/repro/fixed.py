@@ -95,12 +95,25 @@ class FixedFormat:
     def pass_clip(self, a: int) -> int:
         return self.clip(a)
 
+    def asr(self, a: int, shift: int) -> int:
+        """Arithmetic shift right: scaling by ``2**-shift`` with floor
+        rounding — bit-identical to ``mult`` by the power-of-two
+        coefficient ``2**(frac_bits - shift)``."""
+        return self.wrap(a >> shift)
+
     def apply(self, operation: str, *args: int) -> int:
-        """Dispatch by operation usage name (shared op semantics table)."""
-        try:
-            handler = _OPERATIONS[operation]
-        except KeyError:
-            raise ValueError(f"no fixed-point semantics for operation {operation!r}") from None
+        """Dispatch by operation usage name (shared op semantics table).
+
+        ``asr<k>`` names (shift distance encoded in the opcode, see
+        :func:`repro.arch.opu.standard_shift_operations`) dispatch to
+        :meth:`asr` for any distance.
+        """
+        handler = _OPERATIONS.get(operation)
+        if handler is None:
+            if (operation.startswith("asr") and operation[3:].isdigit()
+                    and len(args) == 1):
+                return self.asr(args[0], int(operation[3:]))
+            raise ValueError(f"no fixed-point semantics for operation {operation!r}")
         return handler(self, *args)
 
 

@@ -74,6 +74,13 @@ class Dfg:
     inputs: list[str]
     outputs: list[str]
     states: dict[str, StateSpec]
+    #: Lazily-built consumer index (node id -> consuming nodes).  Keyed
+    #: on the node-list length so append/remove rebuilds automatically;
+    #: same-length in-place edits must call :meth:`invalidate_consumers`.
+    _consumer_cache: dict[int, tuple[Node, ...]] | None = field(
+        default=None, init=False, repr=False, compare=False)
+    _consumer_cache_len: int = field(
+        default=-1, init=False, repr=False, compare=False)
 
     def node(self, node_id: int) -> Node:
         return self.nodes[node_id]
@@ -82,8 +89,35 @@ class Dfg:
         """Map node id → node (all nodes produce at most one value)."""
         return {n.id: n for n in self.nodes}
 
+    def consumer_index(self) -> dict[int, tuple[Node, ...]]:
+        """Map node id → the nodes reading its value, in definition
+        order (each consumer listed once, even when it reads the value
+        on several operand positions).
+
+        Built in one O(nodes + edges) sweep and cached; repeated
+        consumer queries — the optimizer and the RT generator's route
+        planning ask for every node's readers — stay linear instead of
+        the quadratic per-node scan.
+        """
+        if (self._consumer_cache is None
+                or self._consumer_cache_len != len(self.nodes)):
+            index: dict[int, list[Node]] = {n.id: [] for n in self.nodes}
+            for node in self.nodes:
+                for arg in dict.fromkeys(node.args):
+                    index[arg].append(node)
+            self._consumer_cache = {
+                node_id: tuple(readers) for node_id, readers in index.items()
+            }
+            self._consumer_cache_len = len(self.nodes)
+        return self._consumer_cache
+
+    def invalidate_consumers(self) -> None:
+        """Drop the cached consumer index after in-place node edits."""
+        self._consumer_cache = None
+        self._consumer_cache_len = -1
+
     def consumers(self, node_id: int) -> list[Node]:
-        return [n for n in self.nodes if node_id in n.args]
+        return list(self.consumer_index().get(node_id, ()))
 
     def op_histogram(self) -> dict[str, int]:
         """Count OP nodes per operation name (workload profile)."""

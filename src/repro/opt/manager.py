@@ -1,0 +1,148 @@
+"""Pass manager and optimization levels.
+
+The manager runs a named pipeline of passes over a DFG and records
+what every pass did in an :class:`OptReport`.  Levels mirror the
+classic compiler convention:
+
+``-O0``
+    Nothing.  The graph is lowered exactly as written — the mode every
+    paper-reproduction bench pins, since the published figures describe
+    unoptimized source.
+``-O1`` (default)
+    One sweep of constant folding, algebraic identity simplification,
+    common-subexpression elimination and dead-code elimination.
+``-O2``
+    The ``-O1`` pipeline plus core-aware strength reduction, iterated
+    to a fixpoint (each sweep can expose work for the next: a folded
+    constant enables an identity, the identity exposes a common
+    subexpression, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ReproError
+from ..fixed import FixedFormat, Q15
+from ..lang.dfg import Dfg
+from .passes import (
+    AlgebraicSimplifyPass,
+    ConstantFoldingPass,
+    CsePass,
+    DcePass,
+    Pass,
+    PassContext,
+    PassStats,
+    StrengthReductionPass,
+)
+
+#: Safety cap on fixpoint iteration; real graphs settle in 2-3 sweeps.
+MAX_ITERATIONS = 10
+
+
+class OptimizationError(ReproError):
+    """The optimizer was configured inconsistently."""
+
+
+@dataclass
+class OptReport:
+    """Per-pass statistics of one optimizer run (a compile artifact)."""
+
+    level: int
+    nodes_before: int = 0
+    nodes_after: int = 0
+    iterations: int = 0
+    passes: list[PassStats] = field(default_factory=list)
+
+    @property
+    def nodes_removed(self) -> int:
+        return self.nodes_before - self.nodes_after
+
+    @property
+    def changed(self) -> bool:
+        return any(stats.changed for stats in self.passes)
+
+    def totals(self) -> dict[str, int]:
+        """Aggregate rewrite counts per pass name over all iterations."""
+        totals: dict[str, int] = {}
+        for stats in self.passes:
+            work = stats.rewrites + stats.removed
+            if work:
+                totals[stats.name] = totals.get(stats.name, 0) + work
+        return totals
+
+    def summary(self) -> str:
+        """One-line digest, e.g. ``fold 2, cse 5, dce 9``."""
+        totals = self.totals()
+        if not totals:
+            return "no rewrites"
+        return ", ".join(f"{name} {count}" for name, count in totals.items())
+
+
+class PassManager:
+    """Run a pass pipeline over a DFG, once or to a fixpoint."""
+
+    def __init__(self, passes: list[Pass], iterate: bool = False,
+                 level: int = 0):
+        self.passes = list(passes)
+        self.iterate = iterate
+        self.level = level
+
+    def run(self, dfg: Dfg, core=None,
+            fmt: FixedFormat | None = None) -> tuple[Dfg, OptReport]:
+        if fmt is None:
+            fmt = (FixedFormat(core.data_width, core.frac_bits)
+                   if core is not None else Q15)
+        ctx = PassContext(fmt=fmt, core=core)
+        report = OptReport(level=self.level, nodes_before=len(dfg.nodes))
+        if not self.passes:
+            report.nodes_after = len(dfg.nodes)
+            return dfg, report
+        dfg.validate()      # passes rely on topological node order
+        max_sweeps = MAX_ITERATIONS if self.iterate else 1
+        for _ in range(max_sweeps):
+            report.iterations += 1
+            sweep_changed = False
+            for pass_ in self.passes:
+                dfg, stats = pass_.run(dfg, ctx)
+                report.passes.append(stats)
+                sweep_changed = sweep_changed or stats.changed
+            if not sweep_changed:
+                break
+        report.nodes_after = len(dfg.nodes)
+        dfg.validate()
+        return dfg, report
+
+
+def passes_for_level(level: int) -> list[Pass]:
+    """The pass pipeline of one ``-O`` level."""
+    if level == 0:
+        return []
+    base: list[Pass] = [
+        ConstantFoldingPass(),
+        AlgebraicSimplifyPass(),
+        CsePass(),
+    ]
+    if level == 1:
+        return base + [DcePass()]
+    if level == 2:
+        return base + [StrengthReductionPass(), DcePass()]
+    raise OptimizationError(
+        f"unknown optimization level {level!r}: expected 0, 1 or 2"
+    )
+
+
+def manager_for_level(level: int) -> PassManager:
+    return PassManager(passes_for_level(level), iterate=(level >= 2),
+                       level=level)
+
+
+def optimize(dfg: Dfg, core=None, level: int = 1,
+             fmt: FixedFormat | None = None) -> tuple[Dfg, OptReport]:
+    """Optimize ``dfg`` at ``level``; the main entry point.
+
+    ``core`` enables the core-aware passes (and provides the
+    fixed-point format); ``fmt`` overrides the format for core-less
+    use in tests and tools.
+    """
+    return manager_for_level(level).run(dfg, core=core, fmt=fmt)

@@ -1,7 +1,12 @@
 """The complete code generator: source → running microcode.
 
-This is figure 1b end to end:
+This is figure 1b end to end, with a machine-independent optimizer
+layered in front:
 
+0. **DFG optimization** (:mod:`repro.opt`) — constant folding, common
+   subexpressions, algebraic identities, strength reduction and dead
+   code removed from the data-flow graph (``-O0``/``-O1``/``-O2``,
+   default ``-O1``).
 1. **RT generation** (:mod:`repro.rtgen`) — lower the application's
    data-flow graph onto the core's datapath.
 2. **RT modification** (:mod:`repro.core`) — merge register files and
@@ -28,6 +33,7 @@ from .core.rtclass import ClassTable
 from .encode.assembler import EncodedProgram, assemble
 from .lang.dfg import Dfg
 from .lang.parser import parse_source
+from .opt import OptReport, optimize
 from .rtgen.generator import generate_rts
 from .rtgen.program import RTProgram
 from .sched.dependence import DependenceGraph, build_dependence_graph
@@ -39,7 +45,12 @@ from .sim.machine import run_program
 
 @dataclass
 class CompiledProgram:
-    """Every artifact of one compilation, ready for inspection."""
+    """Every artifact of one compilation, ready for inspection.
+
+    ``dfg`` is the graph actually lowered (post-optimizer);
+    ``source_dfg`` preserves the application as written and
+    ``opt_report`` records what the optimizer did between the two.
+    """
 
     core: CoreSpec
     dfg: Dfg
@@ -49,6 +60,8 @@ class CompiledProgram:
     schedule: Schedule
     allocation: Allocation
     binary: EncodedProgram
+    source_dfg: Dfg | None = None
+    opt_report: OptReport | None = None
 
     @property
     def n_cycles(self) -> int:
@@ -72,6 +85,7 @@ def compile_application(
     seed: int = 0,
     mode: str = "loop",
     repeat_count: int = 1,
+    opt_level: int = 1,
 ) -> CompiledProgram:
     """Compile an application (source text or DFG) onto a core.
 
@@ -88,8 +102,13 @@ def compile_application(
         Edge-clique-cover algorithm for the artificial resources.
     restarts:
         Extra list-scheduler attempts with jittered priorities.
+    opt_level:
+        Machine-independent optimization level (0, 1 or 2, see
+        :mod:`repro.opt`).  ``0`` lowers the graph exactly as written.
     """
-    dfg = parse_source(application) if isinstance(application, str) else application
+    source_dfg = (parse_source(application) if isinstance(application, str)
+                  else application)
+    dfg, opt_report = optimize(source_dfg, core=core, level=opt_level)
     rt_program = generate_rts(dfg, core, io_binding)
     base_program = rt_program
     base_rts = list(rt_program.rts)
@@ -143,4 +162,6 @@ def compile_application(
         schedule=schedule,
         allocation=allocation,
         binary=binary,
+        source_dfg=source_dfg,
+        opt_report=opt_report,
     )

@@ -5,6 +5,7 @@ from .tables import (
     class_table_report,
     conflict_report,
     gantt_chart,
+    optimization_report,
     summary_report,
 )
 
@@ -15,5 +16,6 @@ __all__ = [
     "gantt_chart",
     "occupation_chart",
     "occupation_rows",
+    "optimization_report",
     "summary_report",
 ]

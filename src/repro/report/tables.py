@@ -1,10 +1,12 @@
 """Textual reports: RT class tables (figures 5/8), conflict graphs
-(figure 6), schedule Gantt charts and compilation summaries."""
+(figure 6), optimizer statistics, schedule Gantt charts and
+compilation summaries."""
 
 from __future__ import annotations
 
 from ..core.conflict_graph import ConflictGraph
 from ..core.rtclass import ClassTable
+from ..opt import OptReport
 from ..sched.schedule import Schedule
 
 
@@ -52,6 +54,40 @@ def gantt_chart(schedule: Schedule, max_cycles: int | None = None) -> str:
     return "\n".join(lines)
 
 
+def optimization_report(report: OptReport) -> str:
+    """Per-pass optimizer statistics, one line per executed pass::
+
+        optimizer report (-O2, 2 iterations, 41 -> 28 nodes)
+          fold       1 rewrite   [folds 1]
+          cse        5 rewrites  [delay_merged 4, param_merged 1]
+          dce        12 removed
+    """
+    header = (
+        f"optimizer report (-O{report.level}, "
+        f"{report.iterations} iteration{'s' if report.iterations != 1 else ''}, "
+        f"{report.nodes_before} -> {report.nodes_after} nodes)"
+    )
+    lines = [header]
+    for stats in report.passes:
+        if not stats.changed:
+            continue
+        work = []
+        if stats.rewrites:
+            work.append(f"{stats.rewrites} rewrite"
+                        f"{'s' if stats.rewrites != 1 else ''}")
+        if stats.removed:
+            work.append(f"{stats.removed} removed")
+        detail = ""
+        if stats.detail:
+            detail = "  [" + ", ".join(
+                f"{k} {v}" for k, v in sorted(stats.detail.items())
+            ) + "]"
+        lines.append(f"  {stats.name:<10} {', '.join(work)}{detail}")
+    if len(lines) == 1:
+        lines.append("  (no rewrites)")
+    return "\n".join(lines)
+
+
 def summary_report(compiled) -> str:
     """One-paragraph compile summary (for examples and benches)."""
     program = compiled.rt_program
@@ -62,9 +98,21 @@ def summary_report(compiled) -> str:
     ) or "(none)"
     budget = compiled.schedule.budget
     budget_text = f" (budget {budget})" if budget is not None else ""
-    return "\n".join([
+    lines = [
         f"application  : {compiled.dfg.name}",
         f"core         : {compiled.core.name}",
+    ]
+    report = getattr(compiled, "opt_report", None)
+    if report is not None:
+        if report.level == 0:
+            opt_text = "-O0 (disabled)"
+        else:
+            opt_text = (
+                f"-O{report.level}, {report.nodes_before} -> "
+                f"{report.nodes_after} nodes ({report.summary()})"
+            )
+        lines.append(f"optimizer    : {opt_text}")
+    lines += [
         f"transfers    : {len(program.rts)} RTs [{ops}]",
         f"classes      : {len(compiled.conflict_model.table)} "
         f"({', '.join(compiled.conflict_model.table.names)})",
@@ -72,4 +120,5 @@ def summary_report(compiled) -> str:
         f"schedule     : {compiled.schedule.length} cycles{budget_text}",
         f"word width   : {compiled.binary.word_width} bits, "
         f"{len(compiled.binary.words)} words",
-    ])
+    ]
+    return "\n".join(lines)

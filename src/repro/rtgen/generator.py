@@ -190,39 +190,55 @@ class _Generator:
             self.port_of[(node.id, arg_index)] = port_index
 
     def _plan_routes(self) -> None:
-        """Decide destination register files and copies for every value."""
-        consumers: dict[int, list[_Consumer]] = {}
-        for node in self.dfg.nodes:
-            if node.id not in self.live:
-                continue
-            for arg_index, arg in enumerate(node.args):
-                consumers.setdefault(arg, []).append(_Consumer(node, arg_index))
+        """Decide destination register files and copies for every value.
 
-        for value, readers in consumers.items():
-            value_node = self.dfg.node(value)
-            producer = self._producer_opu(value_node)
-            direct: list[str] = []
-            plans: list[_CopyPlan] = []
-            reachable = {r.register_file.name for r in self.dp.routes_from(producer)}
-            for reader in readers:
-                consumer_opu = self.dp.opu(self.binding.opu_of_node(reader.node))
-                port_index = self.port_of[(reader.node.id, reader.arg_index)]
-                target = self.dp.port_register_file(consumer_opu, port_index).name
-                if target in reachable:
-                    if target not in direct:
-                        direct.append(target)
-                    self.operand_source[(reader.node.id, reader.arg_index)] = (
-                        target, value,
-                    )
+        Values are planned in first-use order (the order their first
+        live consumer appears); each value's readers come from the
+        DFG's cached consumer index.
+        """
+        index = self.dfg.consumer_index()
+        planned: set[int] = set()
+        for consumer_node in self.dfg.nodes:
+            if consumer_node.id not in self.live:
+                continue
+            for value in consumer_node.args:
+                if value in planned:
                     continue
-                plan = self._find_copy(plans, producer, target, value_node)
-                if plan.copier.ports[0].register_file.name not in direct:
-                    direct.append(plan.copier.ports[0].register_file.name)
+                planned.add(value)
+                readers = [
+                    _Consumer(reader, arg_index)
+                    for reader in index[value]
+                    if reader.id in self.live
+                    for arg_index, arg in enumerate(reader.args)
+                    if arg == value
+                ]
+                self._plan_value(value, readers)
+
+    def _plan_value(self, value: int, readers: list[_Consumer]) -> None:
+        value_node = self.dfg.node(value)
+        producer = self._producer_opu(value_node)
+        direct: list[str] = []
+        plans: list[_CopyPlan] = []
+        reachable = {r.register_file.name for r in self.dp.routes_from(producer)}
+        for reader in readers:
+            consumer_opu = self.dp.opu(self.binding.opu_of_node(reader.node))
+            port_index = self.port_of[(reader.node.id, reader.arg_index)]
+            target = self.dp.port_register_file(consumer_opu, port_index).name
+            if target in reachable:
+                if target not in direct:
+                    direct.append(target)
                 self.operand_source[(reader.node.id, reader.arg_index)] = (
-                    target, plan.copy_value,
+                    target, value,
                 )
-            self.dest_rfs[value] = direct
-            self.copies[value] = plans
+                continue
+            plan = self._find_copy(plans, producer, target, value_node)
+            if plan.copier.ports[0].register_file.name not in direct:
+                direct.append(plan.copier.ports[0].register_file.name)
+            self.operand_source[(reader.node.id, reader.arg_index)] = (
+                target, plan.copy_value,
+            )
+        self.dest_rfs[value] = direct
+        self.copies[value] = plans
 
     def _find_copy(self, plans: list[_CopyPlan], producer: Opu, target: str,
                    value_node: Node) -> _CopyPlan:

@@ -15,11 +15,30 @@ input i; output o;
 loop { o = mlt(g, i); }
 """
 
+CHAIN = """
+app chain;
+param g = 0.5;
+input i; output o;
+loop {
+  m := mlt(g, i);
+  a := pass(m);
+  b := pass(a);
+  o = pass_clip(b);
+}
+"""
+
 
 @pytest.fixture
 def source_file(tmp_path):
     path = tmp_path / "gain.dsp"
     path.write_text(GAIN)
+    return str(path)
+
+
+@pytest.fixture
+def chain_file(tmp_path):
+    path = tmp_path / "chain.dsp"
+    path.write_text(CHAIN)
     return str(path)
 
 
@@ -99,6 +118,38 @@ class TestCommands:
         assert "RT Class identification" in out
         assert "instruction set" in out
         assert "{A, D, G, L, M, X, Y}" in out
+
+    def test_compile_defaults_to_o1(self, source_file, capsys):
+        assert main(["compile", source_file, "--core", "fir"]) == 0
+        assert "optimizer    : -O1" in capsys.readouterr().out
+
+    def test_compile_opt_disabled(self, chain_file, capsys):
+        assert main([
+            "compile", chain_file, "--core", "fir", "-O0",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "optimizer    : -O0 (disabled)" in out
+        assert "alu: 3" in out          # the pass chain survives
+
+    def test_compile_opt_level_two_reports_rewrites(self, chain_file, capsys):
+        assert main([
+            "compile", chain_file, "--core", "fir", "--opt", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "optimizer    : -O2" in out
+        assert "algebraic 3" in out     # three collapsed passes
+        assert "dce 3" in out
+
+    def test_run_output_invariant_across_levels(self, chain_file, capsys):
+        streams = []
+        for level in ("0", "2"):
+            assert main([
+                "run", chain_file, "--core", "fir",
+                "-O", level, "--input", "i=0.5,-0.25,0.125",
+            ]) == 0
+            streams.append(capsys.readouterr().out)
+        assert streams[0] == streams[1]
+        assert f"o: [{Q15.from_float(0.25)}" in streams[0]
 
     def test_budget_failure_is_reported(self, source_file, capsys):
         code = main([
