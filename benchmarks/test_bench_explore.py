@@ -1,0 +1,168 @@
+"""Experiment: design-space exploration throughput.
+
+Phase 1 of the paper's methodology is a *loop* — the core designer
+sweeps allocations, reads the quantitative feedback, narrows the
+ranges and sweeps again.  The seed explorer re-ran the monolithic
+compiler end to end for every (application × allocation) pair; the
+staged explorer optimizes every application exactly once per opt
+level, stops each candidate at register allocation (schedule length is
+the feedback — no encoding needed), can fan candidates out over a
+process pool, and memoizes evaluated candidates across sweeps.
+
+This bench measures all of that against the seed behavior, asserts the
+feedback is unchanged, and writes the measured numbers to
+``BENCH_explore.json`` (uploaded as a CI artifact).
+"""
+
+from __future__ import annotations
+
+import importlib
+import json
+import os
+import time
+from pathlib import Path
+
+from repro import compile_application
+from repro.apps import fir_application, stress_application
+from repro.arch import Allocation, ExploreCache, explore, intermediate_architecture
+from repro.errors import ReproError
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_explore.json"
+
+
+def application_set():
+    return [
+        stress_application(6, seed=2),
+        stress_application(8, seed=3),
+        fir_application([0.05 * (k + 1) for k in range(6)], name="fir6"),
+    ]
+
+
+def allocation_sweep():
+    return [
+        Allocation(n_mult=m, n_alu=a, n_ram=r)
+        for m in (1, 2) for a in (1, 2) for r in (1, 2)
+    ]
+
+
+def seed_explore(dfgs, allocations, budget=None):
+    """The pre-staged-pipeline explorer, verbatim: one monolithic
+    ``compile_application`` per (application × allocation) pair,
+    re-parsing and re-optimizing every time, infeasible points
+    silently dropped."""
+    points = []
+    for allocation in allocations:
+        core = intermediate_architecture(dfgs, allocation)
+        lengths = {}
+        feasible = True
+        for dfg in dfgs:
+            try:
+                compiled = compile_application(dfg, core, budget=budget)
+            except ReproError:
+                feasible = False
+                break
+            lengths[dfg.name] = compiled.n_cycles
+        if feasible:
+            points.append((allocation, lengths, len(core.datapath.opus)))
+    return points
+
+
+def test_bench_explore_speedup(monkeypatch):
+    """Staged explorer vs the sequential seed, plus warm-cache re-sweep.
+
+    The wall-clock assertions are deliberately loose (CI machines are
+    noisy); the load-bearing checks are exact — identical feedback, the
+    machine-independent optimizer runs once per application, and a
+    repeated sweep is served from the candidate cache.
+    """
+    dfgs = application_set()
+    allocations = allocation_sweep()
+
+    t0 = time.perf_counter()
+    seed_points = seed_explore(dfgs, allocations)
+    seed_seconds = time.perf_counter() - t0
+
+    explore_module = importlib.import_module("repro.arch.explore")
+    mi_calls: list[str] = []
+    real_mi = explore_module.optimize_machine_independent
+
+    def counting(dfg, level=1, fmt=None):
+        mi_calls.append(dfg.name)
+        return real_mi(dfg, level=level, fmt=fmt)
+
+    monkeypatch.setattr(explore_module, "optimize_machine_independent",
+                        counting)
+    cache = ExploreCache()
+    t0 = time.perf_counter()
+    staged_points = explore(dfgs, allocations, cache=cache)
+    staged_seconds = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    warm_points = explore(dfgs, allocations, cache=cache)
+    warm_seconds = time.perf_counter() - t0
+
+    # Identical quantitative feedback, point for point.
+    assert [lengths for _, lengths, _ in seed_points] == \
+        [p.schedule_lengths for p in staged_points]
+    assert [n for _, _, n in seed_points] == [p.n_opus for p in staged_points]
+    assert [p.schedule_lengths for p in warm_points] == \
+        [p.schedule_lengths for p in staged_points]
+
+    # Each application optimized exactly once per sweep (the warm sweep
+    # re-optimizes to key the cache, so two sweeps = 2 × len(dfgs)).
+    assert mi_calls[:len(dfgs)] == [d.name for d in dfgs]
+    assert len(mi_calls) == 2 * len(dfgs)
+    assert cache.hits == len(allocations)
+
+    # Wall clock: the staged sweep must not regress, and the cached
+    # re-sweep must be dramatically cheaper (it compiles nothing).
+    assert staged_seconds <= seed_seconds * 1.25, \
+        f"staged sweep slower than seed: {staged_seconds:.2f}s " \
+        f"vs {seed_seconds:.2f}s"
+    assert warm_seconds <= staged_seconds * 0.5
+
+    results = {
+        "applications": [d.name for d in dfgs],
+        "n_allocations": len(allocations),
+        "seed_seconds": round(seed_seconds, 4),
+        "staged_seconds": round(staged_seconds, 4),
+        "warm_cache_seconds": round(warm_seconds, 4),
+        "staged_speedup": round(seed_seconds / staged_seconds, 3),
+        "warm_cache_speedup": round(seed_seconds / warm_seconds, 1),
+        "cpu_count": os.cpu_count(),
+    }
+
+    if (os.cpu_count() or 1) >= 2:
+        t0 = time.perf_counter()
+        parallel_points = explore(dfgs, allocations, jobs=2)
+        parallel_seconds = time.perf_counter() - t0
+        assert [p.schedule_lengths for p in parallel_points] == \
+            [p.schedule_lengths for p in staged_points]
+        results["parallel_jobs"] = 2
+        results["parallel_seconds"] = round(parallel_seconds, 4)
+        results["parallel_speedup"] = round(seed_seconds / parallel_seconds, 3)
+
+    RESULTS_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    print("\nexplore sweep ({} allocations x {} applications):".format(
+        len(allocations), len(dfgs)))
+    print(f"  seed (monolithic, sequential) : {seed_seconds:8.3f}s")
+    print(f"  staged (shared MI-opt)        : {staged_seconds:8.3f}s "
+          f"({seed_seconds / staged_seconds:.2f}x)")
+    if "parallel_seconds" in results:
+        print(f"  staged --jobs 2               : "
+              f"{results['parallel_seconds']:8.3f}s "
+              f"({results['parallel_speedup']:.2f}x)")
+    print(f"  warm candidate cache          : {warm_seconds:8.3f}s "
+          f"({seed_seconds / warm_seconds:.0f}x)")
+    print(f"  results -> {RESULTS_PATH.name}")
+
+
+def test_bench_explore_cached_resweep(benchmark):
+    """The designer's inner loop: re-sweeping with a warm cache."""
+    dfgs = application_set()
+    allocations = allocation_sweep()
+    cache = ExploreCache()
+    explore(dfgs, allocations, cache=cache)  # cold fill
+    points = benchmark(lambda: explore(dfgs, allocations, cache=cache))
+    assert all(p.feasible for p in points)
+    assert cache.hits >= len(allocations)

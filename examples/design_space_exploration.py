@@ -10,13 +10,16 @@ This example plays core designer: a representative application set
 (two filter networks and an 8-tap FIR) is compiled onto intermediate
 architectures with varying multiplier/ALU/RAM allocations, and the
 schedule lengths guide the allocation choice against a 48-cycle domain
-budget.
+budget.  The explorer is optimizer-aware (each application is
+machine-independently optimized once, candidates are sized from the
+optimized graphs) and reports every candidate — including infeasible
+ones, with the reason — plus the Pareto front of the sweep.
 
 Run:  python examples/design_space_exploration.py
 """
 
 from repro.apps import fir_application, stress_application
-from repro.arch import Allocation, explore
+from repro.arch import Allocation, explore, pareto_front
 
 BUDGET = 48
 
@@ -39,21 +42,28 @@ def main() -> None:
         for a in (1, 2)
         for r in (1, 2)
     ]
-    points = explore(applications, candidates)
+    points = explore(applications, candidates, opt_level=1)
+    front = set(id(p) for p in pareto_front(points))
 
     print(f"{'mult':>4} {'alu':>4} {'ram':>4} {'OPUs':>5}  "
           + "".join(f"{dfg.name:>11}" for dfg in applications)
-          + f"  {'fits ' + str(BUDGET):>9}")
+          + f"  {'fits ' + str(BUDGET):>9}  pareto")
     best = None
     for point in points:
+        a = point.allocation
+        if not point.feasible:
+            reason = "; ".join(point.failures.values())
+            print(f"{a.n_mult:>4} {a.n_alu:>4} {a.n_ram:>4} "
+                  f"{point.n_opus:>5}  infeasible: {reason}")
+            continue
         lengths = "".join(
             f"{point.schedule_lengths[dfg.name]:>11}" for dfg in applications
         )
         fits = point.worst_length <= BUDGET
         marker = "yes" if fits else "no"
-        a = point.allocation
+        star = "*" if id(point) in front else ""
         print(f"{a.n_mult:>4} {a.n_alu:>4} {a.n_ram:>4} {point.n_opus:>5}  "
-              f"{lengths}  {marker:>9}")
+              f"{lengths}  {marker:>9}  {star:>6}")
         if fits and (best is None or point.n_opus < best.n_opus):
             best = point
 

@@ -16,16 +16,24 @@ Quick start::
     outputs = program.run({"IN_L": samples_l, "IN_R": samples_r})
 """
 
-from .arch import CoreSpec, audio_core, fir_core, tiny_core
+from .arch import CoreSpec, audio_core, explore, fir_core, pareto_front, tiny_core
 from .errors import ReproError
 from .fixed import Q15, FixedFormat
 from .lang import DfgBuilder, parse_source, run_reference
 from .opt import OptReport, PassManager, optimize
-from .pipeline import CompiledProgram, compile_application
+from .pipeline import (
+    CompiledProgram,
+    CompileSession,
+    CompileState,
+    StageCache,
+    compile_application,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    "CompileSession",
+    "CompileState",
     "CompiledProgram",
     "CoreSpec",
     "DfgBuilder",
@@ -34,10 +42,13 @@ __all__ = [
     "PassManager",
     "Q15",
     "ReproError",
+    "StageCache",
     "audio_core",
     "compile_application",
+    "explore",
     "fir_core",
     "optimize",
+    "pareto_front",
     "parse_source",
     "run_reference",
     "tiny_core",

@@ -11,10 +11,13 @@ interprets.
 from .controller import ControllerSpec, CtrlOp
 from .datapath import Datapath, Route
 from .explore import (
+    ARCHITECTURE_FAILURE,
     Allocation,
     ExplorationPoint,
+    ExploreCache,
     explore,
     intermediate_architecture,
+    pareto_front,
     required_operations,
 )
 from .interconnect import Bus, BusSink, Mux
@@ -49,14 +52,17 @@ from .storage import RegisterFile
 from .validate import validate_datapath
 
 __all__ = [
+    "ARCHITECTURE_FAILURE",
     "AUDIO_CLASS_TABLE_13",
     "AUDIO_CLASS_TABLE_9",
     "AUDIO_INSTRUCTION_TYPES",
     "Allocation",
     "Bus",
     "ExplorationPoint",
+    "ExploreCache",
     "explore",
     "intermediate_architecture",
+    "pareto_front",
     "required_operations",
     "BusMerge",
     "BusSink",

@@ -17,14 +17,33 @@ reaches every compatible operand file).  :func:`explore` sweeps OPU
 allocations and reports the schedule length of each candidate — the
 quantitative feedback a core designer iterates on before freezing the
 instruction set.
+
+The explorer is *optimizer-aware* and built on the staged pipeline:
+
+* each application is machine-independently optimized **once per opt
+  level** (the candidate cores are sized from the optimized graphs,
+  not the source as written); only the core-aware specialization
+  (``-O2`` strength reduction) re-runs per candidate;
+* candidates fan out over a ``concurrent.futures`` worker pool
+  (``jobs=``) and each evaluation runs the staged pipeline only
+  through register allocation — encoding is not needed for schedule
+  lengths;
+* infeasible candidates are not dropped: every
+  :class:`ExplorationPoint` records per-application failure reasons;
+* :func:`pareto_front` extracts the candidates worth a designer's
+  attention (no other candidate is both smaller and faster);
+* repeated sweeps reuse an :class:`ExploreCache` — a designer
+  narrowing the allocation ranges pays only for the new candidates.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, fields
 
-from ..errors import ArchitectureError
+from ..errors import ArchitectureError, ReproError
 from ..lang.dfg import Dfg, NodeKind
+from ..opt import optimize_machine_independent, specialize_for_core
 from .controller import ControllerSpec
 from .datapath import Datapath
 from .library import ClassDef, CoreSpec
@@ -33,6 +52,9 @@ from .opu import Operation, OpuKind
 #: Operation sets per functional-unit kind the allocator can instantiate.
 _ALU_OPS = ("add", "sub", "add_clip", "pass", "pass_clip")
 _KNOWN_ALU = set(_ALU_OPS)
+
+#: Pseudo-application key for failures of core synthesis itself.
+ARCHITECTURE_FAILURE = "(architecture)"
 
 
 @dataclass(frozen=True)
@@ -49,6 +71,9 @@ class Allocation:
     def __post_init__(self) -> None:
         if min(self.n_mult, self.n_alu, self.n_ram) < 1:
             raise ArchitectureError("allocation needs at least one unit of each kind")
+
+    def astuple(self) -> tuple[int, ...]:
+        return tuple(getattr(self, f.name) for f in fields(self))
 
 
 def required_operations(dfgs: list[Dfg]) -> set[str]:
@@ -126,13 +151,14 @@ def intermediate_architecture(
             for i in range(allocation.n_ram)
         ]
     rom = None
-    prg = None
     if needs_params:
         rom = dp.add_opu("rom", OpuKind.ROM,
                          [Operation("const", arity=1, reads_memory=True)],
                          memory_size=allocation.rom_size)
-    if needs_params or True:
-        prg = dp.add_opu("prg_c", OpuKind.CONST, [Operation("const", arity=1)])
+    # The program-constant unit is unconditional: it drives ROM
+    # addresses and supplies immediate constants, and the Cathedral-2
+    # template always carries one.
+    prg = dp.add_opu("prg_c", OpuKind.CONST, [Operation("const", arity=1)])
     ipb = dp.add_opu("ipb", OpuKind.INPUT, [Operation("read", arity=0)]) \
         if n_inputs else None
     opbs = [
@@ -165,8 +191,7 @@ def intermediate_architecture(
         feed(acu, 0)
         dp.make_immediate_port(acu, 1)
     rom_addr_file = feed(rom, 0) if rom is not None else None
-    if prg is not None:
-        dp.make_immediate_port(prg, 0)
+    dp.make_immediate_port(prg, 0)
     opb_files = [feed(opb, 0) for opb in opbs]
 
     producers = [*alus, *mults, *rams]
@@ -177,8 +202,7 @@ def intermediate_architecture(
         buses[acu.name] = dp.attach_bus(acu)
     if rom is not None:
         buses[rom.name] = dp.attach_bus(rom)
-    if prg is not None:
-        buses[prg.name] = dp.attach_bus(prg)
+    buses[prg.name] = dp.attach_bus(prg)
 
     # Full fan-out: every data producer reaches every operand file.
     data_targets = (operand_files + mult_data_files + ram_data_files
@@ -191,7 +215,7 @@ def intermediate_architecture(
         for rf in mult_coef_files:
             dp.route_bus(buses[rom.name], rf)
         dp.route_bus(buses[prg.name], rom_addr_file)
-    elif prg is not None and mult_coef_files:
+    elif mult_coef_files:
         for rf in mult_coef_files:
             dp.route_bus(buses[prg.name], rf)
     for acu, addr_file in zip(acus, ram_addr_files):
@@ -215,47 +239,196 @@ def intermediate_architecture(
 
 @dataclass
 class ExplorationPoint:
-    """One design-space candidate and its quantitative feedback."""
+    """One design-space candidate and its quantitative feedback.
+
+    ``schedule_lengths`` holds one entry per application that compiled;
+    ``failures`` maps the applications that did not (or the
+    :data:`ARCHITECTURE_FAILURE` pseudo-key when core synthesis itself
+    failed) to a human-readable reason.
+    """
 
     allocation: Allocation
     schedule_lengths: dict[str, int]
     n_opus: int
+    failures: dict[str, str] = field(default_factory=dict)
+    opt_level: int = 1
+
+    @property
+    def feasible(self) -> bool:
+        """True when every application compiled on this candidate."""
+        return not self.failures and bool(self.schedule_lengths)
 
     @property
     def worst_length(self) -> int:
+        """The binding schedule length across the application set."""
+        if not self.schedule_lengths:
+            reasons = "; ".join(
+                f"{app}: {reason}" for app, reason in self.failures.items()
+            ) or "no applications were compiled"
+            raise ArchitectureError(
+                f"candidate {self.allocation} has no schedule lengths "
+                f"({reasons})"
+            )
         return max(self.schedule_lengths.values())
+
+
+def pareto_front(points: list[ExplorationPoint]) -> list[ExplorationPoint]:
+    """The non-dominated feasible candidates.
+
+    A point dominates another when it is no worse on both axes the
+    designer trades off — worst schedule length and OPU count — and
+    strictly better on at least one.
+    """
+    feasible = [p for p in points if p.feasible]
+    front = []
+    for p in feasible:
+        dominated = any(
+            (q.worst_length <= p.worst_length and q.n_opus <= p.n_opus)
+            and (q.worst_length < p.worst_length or q.n_opus < p.n_opus)
+            for q in feasible
+        )
+        if not dominated:
+            front.append(p)
+    return front
+
+
+class ExploreCache:
+    """Memo of evaluated candidates, keyed by (applications, allocation,
+    budget, opt level).  Share one across sweeps to pay only for new
+    candidates when iterating on the allocation ranges."""
+
+    def __init__(self):
+        self._points: dict[str, ExplorationPoint] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    @staticmethod
+    def _copy(point: ExplorationPoint) -> ExplorationPoint:
+        return ExplorationPoint(
+            allocation=point.allocation,
+            schedule_lengths=dict(point.schedule_lengths),
+            n_opus=point.n_opus,
+            failures=dict(point.failures),
+            opt_level=point.opt_level,
+        )
+
+    def get(self, key: str) -> ExplorationPoint | None:
+        point = self._points.get(key)
+        if point is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return self._copy(point)
+
+    def put(self, key: str, point: ExplorationPoint) -> None:
+        # Store a copy, symmetric with get(): callers may mutate the
+        # points a sweep hands back without poisoning later sweeps.
+        self._points[key] = self._copy(point)
+
+
+@dataclass
+class _CandidateTask:
+    """Everything one worker needs to evaluate one allocation."""
+
+    allocation: Allocation
+    dfgs: list[Dfg]          # machine-independently optimized
+    budget: int | None
+    opt_level: int
+
+
+def _evaluate_candidate(task: _CandidateTask) -> ExplorationPoint:
+    """Evaluate one allocation: synthesize the core, compile every
+    application through register allocation, record lengths/failures.
+
+    Top-level so :class:`~concurrent.futures.ProcessPoolExecutor` can
+    pickle it; only compiler/architecture errors are treated as
+    infeasibility — anything else is a bug and propagates.
+    """
+    from ..pipeline import CompileSession
+
+    try:
+        core = intermediate_architecture(task.dfgs, task.allocation)
+    except ReproError as exc:
+        return ExplorationPoint(
+            allocation=task.allocation, schedule_lengths={}, n_opus=0,
+            failures={ARCHITECTURE_FAILURE: f"{type(exc).__name__}: {exc}"},
+            opt_level=task.opt_level,
+        )
+    lengths: dict[str, int] = {}
+    failures: dict[str, str] = {}
+    session = CompileSession(cache=None)
+    for dfg in task.dfgs:
+        try:
+            # Core-aware specialization (a no-op below -O2), then the
+            # staged pipeline through regalloc: schedule length is the
+            # feedback, so encoding is skipped.
+            specialized, _ = specialize_for_core(dfg, core, task.opt_level)
+            state = session.run(specialized, core, budget=task.budget,
+                                opt_level=0, stop_after="regalloc")
+            lengths[dfg.name] = state.artifacts["schedule"].length
+        except ReproError as exc:
+            failures[dfg.name] = f"{type(exc).__name__}: {exc}"
+    return ExplorationPoint(
+        allocation=task.allocation, schedule_lengths=lengths,
+        n_opus=len(core.datapath.opus), failures=failures,
+        opt_level=task.opt_level,
+    )
 
 
 def explore(
     dfgs: list[Dfg],
     allocations: list[Allocation],
     budget: int | None = None,
+    opt_level: int = 1,
+    jobs: int | None = None,
+    cache: ExploreCache | None = None,
 ) -> list[ExplorationPoint]:
     """Compile every application on every candidate architecture.
 
-    Returns one :class:`ExplorationPoint` per allocation with the
-    schedule length of each application — the feedback loop of phase 1.
-    Candidates that cannot run an application (routing or register
-    pressure) are skipped.
-    """
-    from ..pipeline import compile_application
+    Returns one :class:`ExplorationPoint` per allocation, in input
+    order, with the schedule length of each application — the feedback
+    loop of phase 1.  Candidates that cannot run an application
+    (budget, routing or register pressure) are *kept*, with the reason
+    on :attr:`ExplorationPoint.failures`; filter on
+    :attr:`ExplorationPoint.feasible` or use :func:`pareto_front`.
 
-    points: list[ExplorationPoint] = []
-    for allocation in allocations:
-        core = intermediate_architecture(dfgs, allocation)
-        lengths: dict[str, int] = {}
-        feasible = True
-        for dfg in dfgs:
-            try:
-                compiled = compile_application(dfg, core, budget=budget)
-            except Exception:
-                feasible = False
-                break
-            lengths[dfg.name] = compiled.n_cycles
-        if feasible:
-            points.append(ExplorationPoint(
-                allocation=allocation,
-                schedule_lengths=lengths,
-                n_opus=len(core.datapath.opus),
-            ))
-    return points
+    Each application is machine-independently optimized exactly once
+    (per opt level) before the sweep, and the candidate cores are sized
+    from the optimized graphs.  ``jobs`` > 1 fans candidates out over a
+    process pool; ``cache`` memoizes evaluated candidates across
+    sweeps.
+    """
+    from ..pipeline import dfg_fingerprint, fingerprint
+
+    optimized = [
+        optimize_machine_independent(dfg, level=opt_level)[0] for dfg in dfgs
+    ]
+    app_key = [dfg_fingerprint(dfg) for dfg in optimized]
+
+    results: dict[int, ExplorationPoint] = {}
+    pending: list[tuple[int, _CandidateTask, str]] = []
+    for index, allocation in enumerate(allocations):
+        key = fingerprint("explore", app_key, allocation.astuple(),
+                          budget, opt_level)
+        cached = cache.get(key) if cache is not None else None
+        if cached is not None:
+            results[index] = cached
+        else:
+            task = _CandidateTask(allocation=allocation, dfgs=optimized,
+                                  budget=budget, opt_level=opt_level)
+            pending.append((index, task, key))
+
+    if jobs is not None and jobs > 1 and len(pending) > 1:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            evaluated = list(pool.map(_evaluate_candidate,
+                                      [task for _, task, _ in pending]))
+    else:
+        evaluated = [_evaluate_candidate(task) for _, task, _ in pending]
+    for (index, _, key), point in zip(pending, evaluated):
+        results[index] = point
+        if cache is not None:
+            cache.put(key, point)
+    return [results[index] for index in range(len(allocations))]

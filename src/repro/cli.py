@@ -1,8 +1,11 @@
-"""Command-line interface: compile, run and inspect without writing code.
+"""Command-line interface: compile, explore, run and inspect without
+writing code.
 
 ::
 
     python -m repro compile app.dsp --core audio --budget 64 --listing
+    python -m repro compile app.dsp --stop-after schedule
+    python -m repro explore app1.dsp app2.dsp --mults 1-2 --alus 1,2 --jobs 4
     python -m repro run app.dsp --core fir --input x=0.5,-0.25,0.125
     python -m repro inspect-core --core audio
     python -m repro run-image program.json --input x=100,200
@@ -15,18 +18,39 @@ Cores are named library cores (``audio``, ``fir``, ``tiny``,
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
 from .apps import adaptive_core
-from .arch import CoreSpec, audio_core, fir_core, load_core, tiny_core
+from .arch import (
+    Allocation,
+    CoreSpec,
+    audio_core,
+    explore,
+    fir_core,
+    load_core,
+    pareto_front,
+    tiny_core,
+)
 from .core import ClassTable, InstructionSet
 from .encode import derive_format, dump_program, load_program
 from .errors import ReproError
 from .fixed import FixedFormat
 from .lang import parse_source
-from .pipeline import compile_application
-from .report import class_table_report, gantt_chart, occupation_chart, summary_report
+from .pipeline import (
+    PIPELINE_STAGES,
+    STAGE_NAMES,
+    CompileSession,
+    compile_application,
+)
+from .report import (
+    class_table_report,
+    exploration_report,
+    gantt_chart,
+    occupation_chart,
+    summary_report,
+)
 from .sim import run_program
 
 LIBRARY_CORES = {
@@ -67,9 +91,70 @@ def parse_stream(spec: str, fmt: FixedFormat) -> tuple[str, list[int]]:
     return port, samples
 
 
+def parse_sweep(spec: str, flag: str) -> list[int]:
+    """``1,2,4`` or ``1-4`` (or a mix) → sorted unique unit counts."""
+    counts: set[int] = set()
+    for token in spec.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        try:
+            if "-" in token:
+                low, high = token.split("-", 1)
+                counts.update(range(int(low), int(high) + 1))
+            else:
+                counts.add(int(token))
+        except ValueError:
+            raise ReproError(
+                f"bad {flag} {spec!r}: expected counts like 1,2 or 1-4"
+            ) from None
+    if not counts or min(counts) < 1:
+        raise ReproError(f"bad {flag} {spec!r}: unit counts must be >= 1")
+    return sorted(counts)
+
+
 def cmd_compile(args: argparse.Namespace) -> int:
     core = resolve_core(args.core)
     source = Path(args.source).read_text()
+    if args.stop_after:
+        state = CompileSession().run(
+            source, core, budget=args.budget,
+            cover_algorithm=args.cover,
+            mode=args.mode, repeat_count=args.repeat,
+            opt_level=args.opt, stop_after=args.stop_after,
+        )
+        provides = {s.name: "/".join(s.provides) for s in PIPELINE_STAGES}
+        print(f"partial compilation (stopped after {args.stop_after!r}):")
+        for stage in state.completed:
+            print(f"  {stage:<9} {state.fingerprints[stage][:16]}  "
+                  f"-> {provides[stage]}")
+        if "schedule" in state.artifacts:
+            print(f"schedule length: {state.schedule.length} cycles")
+        # Honor the output flags whose artifacts were produced; name the
+        # ones the partial compile stopped short of.
+        if args.occupation or args.gantt:
+            if "schedule" in state.artifacts:
+                if args.occupation:
+                    print()
+                    print(occupation_chart(state.schedule))
+                if args.gantt:
+                    print()
+                    print(gantt_chart(state.schedule))
+            else:
+                print("(--occupation/--gantt ignored: stopped before "
+                      "'schedule')", file=sys.stderr)
+        if args.listing or args.out:
+            if "binary" in state.artifacts:
+                if args.listing:
+                    print()
+                    print(state.binary.listing())
+                if args.out:
+                    Path(args.out).write_text(dump_program(state.binary))
+                    print(f"\nmicrocode image written to {args.out}")
+            else:
+                print("(--listing/--out ignored: stopped before 'assemble')",
+                      file=sys.stderr)
+        return 0
     compiled = compile_application(
         source, core, budget=args.budget,
         cover_algorithm=args.cover,
@@ -89,6 +174,51 @@ def cmd_compile(args: argparse.Namespace) -> int:
     if args.out:
         Path(args.out).write_text(dump_program(compiled.binary))
         print(f"\nmicrocode image written to {args.out}")
+    return 0
+
+
+def cmd_explore(args: argparse.Namespace) -> int:
+    dfgs = [parse_source(Path(source).read_text()) for source in args.sources]
+    allocations = [
+        Allocation(n_mult=m, n_alu=a, n_ram=r, rf_size=args.rf_size)
+        for m in parse_sweep(args.mults, "--mults")
+        for a in parse_sweep(args.alus, "--alus")
+        for r in parse_sweep(args.rams, "--rams")
+    ]
+    points = explore(dfgs, allocations, budget=args.budget,
+                     opt_level=args.opt, jobs=args.jobs)
+    front_points = pareto_front(points)
+    if args.json:
+        front = {id(p) for p in front_points}
+        payload = {
+            "applications": [dfg.name for dfg in dfgs],
+            "opt_level": args.opt,
+            "budget": args.budget,
+            "points": [
+                {
+                    "allocation": {
+                        "n_mult": p.allocation.n_mult,
+                        "n_alu": p.allocation.n_alu,
+                        "n_ram": p.allocation.n_ram,
+                        "rf_size": p.allocation.rf_size,
+                    },
+                    "n_opus": p.n_opus,
+                    "feasible": p.feasible,
+                    "schedule_lengths": p.schedule_lengths,
+                    "worst_length": (p.worst_length if p.feasible else None),
+                    "failures": p.failures,
+                    "pareto": id(p) in front,
+                }
+                for p in points
+            ],
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        print(exploration_report(points, budget=args.budget,
+                                 front=front_points))
+        feasible = sum(1 for p in points if p.feasible)
+        print(f"\n{len(points)} candidates, {feasible} feasible, "
+              f"{len(front_points)} on the Pareto front")
     return 0
 
 
@@ -167,7 +297,36 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--occupation", action="store_true")
     c.add_argument("--gantt", action="store_true")
     c.add_argument("--out", default=None, help="write the microcode image JSON")
+    c.add_argument("--stop-after", default=None, choices=list(STAGE_NAMES),
+                   help="partial compilation: stop after this stage and "
+                        "print the per-stage fingerprints")
     c.set_defaults(handler=cmd_compile)
+
+    e = sub.add_parser(
+        "explore",
+        help="design-space exploration: sweep OPU allocations over an "
+             "application set (phase 1 of the paper)",
+    )
+    e.add_argument("sources", nargs="+",
+                   help="application source files (the representative set)")
+    e.add_argument("--mults", default="1,2", metavar="SWEEP",
+                   help="multiplier counts, e.g. 1,2 or 1-4 (default 1,2)")
+    e.add_argument("--alus", default="1,2", metavar="SWEEP",
+                   help="ALU counts (default 1,2)")
+    e.add_argument("--rams", default="1,2", metavar="SWEEP",
+                   help="RAM counts (default 1,2)")
+    e.add_argument("--rf-size", type=int, default=16,
+                   help="register-file capacity per operand port")
+    e.add_argument("--budget", type=int, default=None,
+                   help="cycle budget candidates must meet")
+    e.add_argument("-O", "--opt", type=int, choices=[0, 1, 2], default=1,
+                   help="machine-independent optimization level (default 1)")
+    e.add_argument("--jobs", type=int, default=None,
+                   help="evaluate candidates in parallel over this many "
+                        "worker processes")
+    e.add_argument("--json", action="store_true",
+                   help="machine-readable output")
+    e.set_defaults(handler=cmd_explore)
 
     r = sub.add_parser("run", help="compile and simulate a source file")
     r.add_argument("source")

@@ -17,9 +17,13 @@ from .manager import (
     OptimizationError,
     OptReport,
     PassManager,
+    core_specialization_passes,
+    machine_independent_passes,
     manager_for_level,
     optimize,
+    optimize_machine_independent,
     passes_for_level,
+    specialize_for_core,
 )
 from .passes import (
     COMMUTATIVE_OPS,
@@ -47,7 +51,11 @@ __all__ = [
     "PassManager",
     "PassStats",
     "StrengthReductionPass",
+    "core_specialization_passes",
+    "machine_independent_passes",
     "manager_for_level",
     "optimize",
+    "optimize_machine_independent",
     "passes_for_level",
+    "specialize_for_core",
 ]

@@ -132,6 +132,70 @@ def passes_for_level(level: int) -> list[Pass]:
     )
 
 
+def machine_independent_passes(level: int) -> list[Pass]:
+    """The core-agnostic subset of :func:`passes_for_level`.
+
+    Everything except strength reduction: these passes depend only on
+    the fixed-point format, so their result is shared across candidate
+    cores during design-space exploration.
+    """
+    if level == 0:
+        return []
+    if level in (1, 2):
+        return [
+            ConstantFoldingPass(),
+            AlgebraicSimplifyPass(),
+            CsePass(),
+            DcePass(),
+        ]
+    raise OptimizationError(
+        f"unknown optimization level {level!r}: expected 0, 1 or 2"
+    )
+
+
+def core_specialization_passes(level: int) -> list[Pass]:
+    """The core-aware subset: what must re-run per candidate core.
+
+    Only ``-O2`` has core-aware work — strength reduction rewrites
+    power-of-two multiplies into the ``asr<k>`` shifts *this* core can
+    execute, after which CSE/DCE clean up the exposed redundancy.
+    """
+    if level < 2:
+        return []
+    return [StrengthReductionPass(), CsePass(), DcePass()]
+
+
+def optimize_machine_independent(
+    dfg: Dfg, level: int = 1, fmt: FixedFormat | None = None
+) -> tuple[Dfg, OptReport]:
+    """Run only the core-agnostic passes of ``level``.
+
+    The shared half of a design-space sweep: optimize each application
+    once per opt level here, then :func:`specialize_for_core` per
+    candidate.  ``fmt`` defaults to Q15, the format of every core the
+    intermediate-architecture generator synthesizes.
+    """
+    passes = machine_independent_passes(level)
+    manager = PassManager(passes, iterate=(level >= 2), level=level)
+    return manager.run(dfg, fmt=fmt)
+
+
+def specialize_for_core(
+    dfg: Dfg, core, level: int = 1
+) -> tuple[Dfg, OptReport]:
+    """Re-run the core-aware passes of ``level`` against ``core``.
+
+    A no-op below ``-O2``.  Together with
+    :func:`optimize_machine_independent` this factors :func:`optimize`
+    into a shared prefix and a cheap per-core suffix; both halves are
+    semantics-preserving, so any interleaving is bit-exact with the
+    reference interpreter.
+    """
+    passes = core_specialization_passes(level)
+    manager = PassManager(passes, iterate=bool(passes), level=level)
+    return manager.run(dfg, core=core)
+
+
 def manager_for_level(level: int) -> PassManager:
     return PassManager(passes_for_level(level), iterate=(level >= 2),
                        level=level)

@@ -1,0 +1,103 @@
+"""The staged code generator: source → running microcode.
+
+This is figure 1b end to end, with a machine-independent optimizer
+layered in front, built as a *staged pipeline*:
+
+0. **DFG optimization** (:mod:`repro.opt`) — constant folding, common
+   subexpressions, algebraic identities, strength reduction and dead
+   code removed from the data-flow graph (``-O0``/``-O1``/``-O2``,
+   default ``-O1``).
+1. **RT generation** (:mod:`repro.rtgen`) — lower the application's
+   data-flow graph onto the core's datapath.
+2. **RT modification** (:mod:`repro.core`) — merge register files and
+   buses, then impose the instruction set by adding artificial conflict
+   resources (sections 6.1-6.3).
+3. **Scheduling & instruction encoding** (:mod:`repro.sched`,
+   :mod:`repro.encode`) — pack RTs into VLIW instructions within the
+   cycle budget, allocate registers, emit binary microcode.
+
+Each phase is a first-class :class:`~repro.pipeline.stages.Stage`
+consuming and producing typed artifacts with content fingerprints.
+:class:`CompileSession` drives the chain with per-stage caching,
+partial compilation (``stop_after=``) and resumption from a cached
+prefix; :func:`compile_application` is the classic one-shot entry
+point, preserved exactly, returning a :class:`CompiledProgram` with
+all intermediate artifacts so reports and benches can inspect every
+stage.
+"""
+
+from __future__ import annotations
+
+from ..arch.library import CoreSpec
+from ..arch.merge import MergeSpec
+from ..lang.dfg import Dfg
+from .artifacts import (
+    CompileRequest,
+    CompileState,
+    core_fingerprint,
+    dfg_fingerprint,
+    fingerprint,
+)
+from .program import CompiledProgram
+from .session import CacheStats, CompileSession, StageCache
+from .stages import PIPELINE_STAGES, STAGE_NAMES, Stage
+
+__all__ = [
+    "CacheStats",
+    "CompileRequest",
+    "CompileSession",
+    "CompileState",
+    "CompiledProgram",
+    "PIPELINE_STAGES",
+    "STAGE_NAMES",
+    "Stage",
+    "StageCache",
+    "compile_application",
+    "core_fingerprint",
+    "dfg_fingerprint",
+    "fingerprint",
+]
+
+
+def compile_application(
+    application: Dfg | str,
+    core: CoreSpec,
+    budget: int | None = None,
+    io_binding: dict[str, str] | None = None,
+    merges: MergeSpec | None = None,
+    cover_algorithm: str = "greedy",
+    restarts: int = 0,
+    seed: int = 0,
+    mode: str = "loop",
+    repeat_count: int = 1,
+    opt_level: int = 1,
+) -> CompiledProgram:
+    """Compile an application (source text or DFG) onto a core.
+
+    A thin wrapper over :class:`CompileSession` with caching disabled —
+    one cold run of the stage chain, byte-for-byte the classic
+    behavior.  Use a session directly for cached re-compiles, partial
+    compilation or design-space sweeps.
+
+    Parameters
+    ----------
+    budget:
+        The user-specified time-loop cycle budget (section 2: "the
+        cycle budget is specified by the user").  ``None`` compiles for
+        minimum length.
+    merges:
+        Register-file/bus merges of the final core (applied as RT
+        modifications, step 2a).
+    cover_algorithm:
+        Edge-clique-cover algorithm for the artificial resources.
+    restarts:
+        Extra list-scheduler attempts with jittered priorities.
+    opt_level:
+        Machine-independent optimization level (0, 1 or 2, see
+        :mod:`repro.opt`).  ``0`` lowers the graph exactly as written.
+    """
+    return CompileSession(cache=None).compile(
+        application, core, budget=budget, io_binding=io_binding,
+        merges=merges, cover_algorithm=cover_algorithm, restarts=restarts,
+        seed=seed, mode=mode, repeat_count=repeat_count, opt_level=opt_level,
+    )

@@ -1,0 +1,174 @@
+"""The stage driver: sessions, caching, partial compiles, resumption.
+
+A :class:`CompileSession` runs the stage chain of
+:mod:`repro.pipeline.stages` over a :class:`CompileState`.  With a
+:class:`StageCache` attached, the session snapshots the cumulative
+artifact state after every stage under that stage's content key; a
+later compile whose chain reaches the same key restores the snapshot
+and skips straight past it — so an identical re-compile costs eight
+cache lookups, and a compile that differs only late in the chain
+(say a new cycle budget) reuses everything up to the schedule stage.
+
+Snapshots are deep copies taken at store *and* restore time, so
+downstream stages (which mutate RT programs in place, exactly like the
+old monolith) can never poison a cached prefix.  The immutable request
+inputs — the core above all — are shared across snapshots rather than
+copied.
+"""
+
+from __future__ import annotations
+
+import copy
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any
+
+from ..arch.library import CoreSpec
+from ..arch.merge import MergeSpec
+from ..lang.dfg import Dfg
+from .artifacts import CompileRequest, CompileState
+from .stages import PIPELINE_STAGES, STAGE_NAMES
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/store counters of one :class:`StageCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+
+
+class StageCache:
+    """LRU cache of per-stage artifact snapshots, keyed by fingerprint.
+
+    Thread-safe: explore workers running in threads may share one
+    cache.  Entries are cumulative artifact dicts; both :meth:`put` and
+    :meth:`get` deep-copy so cached state is immutable from the
+    outside.
+    """
+
+    def __init__(self, max_entries: int = 256):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+        self._entries: OrderedDict[str, dict[str, Any]] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: str, shared: dict[int, Any]) -> dict[str, Any] | None:
+        """Return a private copy of the snapshot under ``key``, or None.
+
+        ``shared`` is a deepcopy memo pre-seeded with the objects the
+        copy must alias rather than duplicate (the core spec).
+        """
+        with self._lock:
+            snapshot = self._entries.get(key)
+            if snapshot is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+        return copy.deepcopy(snapshot, dict(shared))
+
+    def put(self, key: str, artifacts: dict[str, Any],
+            shared: dict[int, Any]) -> None:
+        snapshot = copy.deepcopy(artifacts, dict(shared))
+        with self._lock:
+            self._entries[key] = snapshot
+            self._entries.move_to_end(key)
+            self.stats.stores += 1
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+
+#: Sentinel: "create a private cache for this session".
+_DEFAULT_CACHE = object()
+
+
+class CompileSession:
+    """Drives the stage chain; the composable face of the compiler.
+
+    ``CompileSession()`` owns a private :class:`StageCache`; pass
+    ``cache=None`` to disable caching (the classic
+    :func:`compile_application` path — no snapshot cost), or share one
+    :class:`StageCache` between sessions to reuse artifacts across
+    them.
+    """
+
+    def __init__(self, cache: StageCache | None | object = _DEFAULT_CACHE):
+        self.cache: StageCache | None = (
+            StageCache() if cache is _DEFAULT_CACHE else cache  # type: ignore[assignment]
+        )
+        self.stages = PIPELINE_STAGES
+
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        application: Dfg | str,
+        core: CoreSpec,
+        budget: int | None = None,
+        io_binding: dict[str, str] | None = None,
+        merges: MergeSpec | None = None,
+        cover_algorithm: str = "greedy",
+        restarts: int = 0,
+        seed: int = 0,
+        mode: str = "loop",
+        repeat_count: int = 1,
+        opt_level: int = 1,
+        stop_after: str | None = None,
+    ) -> CompileState:
+        """Run the pipeline, optionally stopping after ``stop_after``.
+
+        Returns the :class:`CompileState` with every artifact produced
+        so far.  A later :meth:`run` with the same session resumes from
+        the cached prefix (each already-computed stage is a cache hit).
+        """
+        if stop_after is not None and stop_after not in STAGE_NAMES:
+            raise ValueError(
+                f"unknown stage {stop_after!r}: expected one of "
+                f"{', '.join(STAGE_NAMES)}"
+            )
+        request = CompileRequest(
+            application=application, core=core, budget=budget,
+            io_binding=io_binding, merges=merges,
+            cover_algorithm=cover_algorithm, restarts=restarts, seed=seed,
+            mode=mode, repeat_count=repeat_count, opt_level=opt_level,
+        )
+        state = CompileState(request=request)
+        shared = {id(core): core}
+        for stage in self.stages:
+            if self.cache is None:
+                stage.run(state)
+                state.completed.append(stage.name)
+            else:
+                key = stage.key(state)
+                restored = self.cache.get(key, shared)
+                if restored is not None:
+                    state.artifacts = restored
+                    state.cache_hits[stage.name] = True
+                else:
+                    stage.run(state)
+                    state.cache_hits[stage.name] = False
+                state.fingerprints[stage.name] = key
+                state.completed.append(stage.name)
+                if restored is None:
+                    self.cache.put(key, state.artifacts, shared)
+            if stage.name == stop_after:
+                break
+        return state
+
+    def compile(self, application: Dfg | str, core: CoreSpec, **options):
+        """Run the full pipeline and return a :class:`CompiledProgram`."""
+        return self.run(application, core, **options).as_compiled()

@@ -1,0 +1,285 @@
+"""First-class compilation stages.
+
+The monolithic ``compile_application`` body, split along the paper's
+phase boundaries (figure 1b) into eight composable stages::
+
+    parse -> optimize -> rtgen -> merge -> impose -> schedule
+          -> regalloc -> assemble
+
+Each stage declares the artifacts it produces and a :meth:`Stage.key`
+— the content fingerprint of everything that determines its output.
+The :class:`~repro.pipeline.session.CompileSession` driver runs the
+chain, consults the cache keyed on these fingerprints, and can stop
+after any stage (partial compilation) or resume from a cached prefix.
+
+Keys are chained: every stage's key folds in the key of the stage
+before it, so a hit at stage *k* certifies the entire prefix.  Where a
+stage's output is insensitive to part of the request, the key omits it
+— e.g. the optimize stage keys on the core only at ``-O2`` (the sole
+level with a core-aware pass), so one optimized DFG is shared across
+candidate cores during design-space exploration.
+"""
+
+from __future__ import annotations
+
+from ..core.artificial import impose_instruction_set
+from ..core.instruction_set import InstructionSet
+from ..core.merge import apply_merges, merged_register_file_sizes
+from ..core.rtclass import ClassTable
+from ..encode.assembler import assemble
+from ..lang.parser import parse_source
+from ..opt import optimize
+from ..rtgen.generator import generate_rts
+from ..sched.dependence import build_dependence_graph
+from ..sched.list_scheduler import list_schedule
+from ..sched.regalloc import allocate_registers
+from ..sched.schedule import Schedule
+from .artifacts import (
+    PIPELINE_VERSION,
+    CompileState,
+    dfg_fingerprint,
+    fingerprint,
+    merges_key,
+)
+
+
+class Stage:
+    """One pipeline phase: a name, the artifacts it provides, a content
+    key and a body operating on the shared :class:`CompileState`."""
+
+    name: str = "?"
+    provides: tuple[str, ...] = ()
+
+    def key(self, state: CompileState) -> str:
+        raise NotImplementedError
+
+    def run(self, state: CompileState) -> None:
+        raise NotImplementedError
+
+    def _chain(self, state: CompileState, *parts) -> str:
+        """Fingerprint ``parts`` chained onto the previous stage's key."""
+        upstream = state.fingerprints.get(state.completed[-1], "") \
+            if state.completed else ""
+        return fingerprint(self.name, PIPELINE_VERSION, upstream, *parts)
+
+
+class ParseStage(Stage):
+    """Source text → DFG (pass-through when handed a DFG directly)."""
+
+    name = "parse"
+    provides = ("source_dfg",)
+
+    def key(self, state: CompileState) -> str:
+        application = state.request.application
+        if isinstance(application, str):
+            return fingerprint(self.name, PIPELINE_VERSION, "text", application)
+        return fingerprint(self.name, PIPELINE_VERSION, "dfg",
+                           dfg_fingerprint(application))
+
+    def run(self, state: CompileState) -> None:
+        application = state.request.application
+        state.artifacts["source_dfg"] = (
+            parse_source(application) if isinstance(application, str)
+            else application
+        )
+
+
+class OptimizeStage(Stage):
+    """Machine-independent DFG optimization (:mod:`repro.opt`).
+
+    Content-keyed on the *parsed graph*, not on the source text, so
+    equivalent sources converge here.  The core enters the key only at
+    ``-O2`` — the one level with a core-aware pass (strength reduction);
+    below that, only the core's fixed-point format matters.
+    """
+
+    name = "optimize"
+    provides = ("dfg", "opt_report")
+
+    def key(self, state: CompileState) -> str:
+        request = state.request
+        core = request.core
+        core_part = (state.core_fp() if request.opt_level >= 2
+                     else ("fmt", core.data_width, core.frac_bits))
+        return fingerprint(
+            self.name, PIPELINE_VERSION,
+            dfg_fingerprint(state.artifacts["source_dfg"]),
+            request.opt_level, core_part,
+        )
+
+    def run(self, state: CompileState) -> None:
+        request = state.request
+        dfg, report = optimize(state.artifacts["source_dfg"],
+                               core=request.core, level=request.opt_level)
+        state.artifacts["dfg"] = dfg
+        state.artifacts["opt_report"] = report
+
+
+class RtGenStage(Stage):
+    """Lower the (optimized) DFG onto the core's datapath (step 1)."""
+
+    name = "rtgen"
+    provides = ("base_program",)
+
+    def key(self, state: CompileState) -> str:
+        binding = state.request.io_binding
+        return fingerprint(
+            self.name, PIPELINE_VERSION,
+            dfg_fingerprint(state.artifacts["dfg"]),
+            state.core_fp(),
+            sorted(binding.items()) if binding else None,
+        )
+
+    def run(self, state: CompileState) -> None:
+        request = state.request
+        state.artifacts["base_program"] = generate_rts(
+            state.artifacts["dfg"], request.core, request.io_binding
+        )
+
+
+class MergeStage(Stage):
+    """Apply register-file/bus merges as RT modifications (step 2a).
+
+    ``base_program`` (the unmerged lowering) is kept for binary
+    generation on the physical core; ``program`` is what the scheduler
+    sees.  Without merges the two are the same object.
+    """
+
+    name = "merge"
+    provides = ("program", "base_rts", "capacities", "merged")
+
+    def key(self, state: CompileState) -> str:
+        return self._chain(state, merges_key(state.request.merges))
+
+    def run(self, state: CompileState) -> None:
+        merges = state.request.merges
+        base = state.artifacts["base_program"]
+        state.artifacts["base_rts"] = list(base.rts)
+        merged = merges is not None and not merges.is_empty
+        state.artifacts["merged"] = merged
+        if merged:
+            state.artifacts["capacities"] = \
+                merged_register_file_sizes(base, merges)
+            state.artifacts["program"] = apply_merges(base, merges)
+        else:
+            state.artifacts["capacities"] = None
+            state.artifacts["program"] = base
+
+
+class ImposeStage(Stage):
+    """Impose the instruction set via artificial resources (step 2b)."""
+
+    name = "impose"
+    provides = ("conflict_model",)
+
+    def key(self, state: CompileState) -> str:
+        return self._chain(state, state.request.cover_algorithm)
+
+    def run(self, state: CompileState) -> None:
+        request = state.request
+        core = request.core
+        program = state.artifacts["program"]
+        table = ClassTable.from_core(core)
+        instruction_set = InstructionSet.from_desired(
+            table.names, core.instruction_types
+        )
+        model = impose_instruction_set(
+            program.rts, table, instruction_set,
+            cover_algorithm=request.cover_algorithm,
+        )
+        program.rts = model.rts
+        state.artifacts["conflict_model"] = model
+
+
+class ScheduleStage(Stage):
+    """Pack RTs into VLIW instructions within the cycle budget."""
+
+    name = "schedule"
+    provides = ("dependence_graph", "schedule")
+
+    def key(self, state: CompileState) -> str:
+        request = state.request
+        return self._chain(state, request.budget, request.restarts,
+                           request.seed)
+
+    def run(self, state: CompileState) -> None:
+        request = state.request
+        graph = build_dependence_graph(state.artifacts["program"])
+        schedule = list_schedule(graph, budget=request.budget,
+                                 restarts=request.restarts,
+                                 seed=request.seed)
+        schedule.validate(graph)
+        state.artifacts["dependence_graph"] = graph
+        state.artifacts["schedule"] = schedule
+
+
+class RegallocStage(Stage):
+    """Bind virtual values to physical registers along the schedule."""
+
+    name = "regalloc"
+    provides = ("allocation",)
+
+    def key(self, state: CompileState) -> str:
+        return self._chain(state)
+
+    def run(self, state: CompileState) -> None:
+        state.artifacts["allocation"] = allocate_registers(
+            state.artifacts["program"], state.artifacts["schedule"],
+            state.artifacts["capacities"],
+        )
+
+
+class AssembleStage(Stage):
+    """Emit binary microcode.
+
+    For a merged core the schedule was computed against the *merged*
+    resources; merging only restricts parallelism, so the cycles are
+    transplanted onto the original RTs and encoding targets the
+    physical (unmerged) datapath — exactly the monolith's behavior.
+    """
+
+    name = "assemble"
+    provides = ("binary",)
+
+    def key(self, state: CompileState) -> str:
+        request = state.request
+        return self._chain(state, request.mode, request.repeat_count)
+
+    def run(self, state: CompileState) -> None:
+        request = state.request
+        a = state.artifacts
+        schedule = a["schedule"]
+        if a["merged"]:
+            base_program = a["base_program"]
+            encode_cycles = {
+                base: schedule.cycle_of[scheduled]
+                for base, scheduled in zip(a["base_rts"], a["program"].rts)
+            }
+            encode_schedule = Schedule(
+                cycle_of=encode_cycles, length=schedule.length,
+                budget=schedule.budget,
+            )
+            encode_allocation = allocate_registers(base_program,
+                                                   encode_schedule)
+            a["binary"] = assemble(base_program, encode_schedule,
+                                   encode_allocation, mode=request.mode,
+                                   repeat_count=request.repeat_count)
+        else:
+            a["binary"] = assemble(a["program"], schedule, a["allocation"],
+                                   mode=request.mode,
+                                   repeat_count=request.repeat_count)
+
+
+#: The canonical stage chain, in execution order.
+PIPELINE_STAGES: tuple[Stage, ...] = (
+    ParseStage(),
+    OptimizeStage(),
+    RtGenStage(),
+    MergeStage(),
+    ImposeStage(),
+    ScheduleStage(),
+    RegallocStage(),
+    AssembleStage(),
+)
+
+STAGE_NAMES: tuple[str, ...] = tuple(s.name for s in PIPELINE_STAGES)

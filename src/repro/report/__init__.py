@@ -4,6 +4,7 @@ from .occupation import OccupationRow, occupation_chart, occupation_rows
 from .tables import (
     class_table_report,
     conflict_report,
+    exploration_report,
     gantt_chart,
     optimization_report,
     summary_report,
@@ -13,6 +14,7 @@ __all__ = [
     "OccupationRow",
     "class_table_report",
     "conflict_report",
+    "exploration_report",
     "gantt_chart",
     "occupation_chart",
     "occupation_rows",

@@ -88,6 +88,57 @@ def optimization_report(report: OptReport) -> str:
     return "\n".join(lines)
 
 
+def exploration_report(points, budget: int | None = None,
+                       front=None) -> str:
+    """Render a design-space sweep as the phase-1 feedback table.
+
+    One row per candidate allocation: unit counts, OPU total, per-
+    application schedule lengths, the worst length, a Pareto marker
+    (``*`` = no other candidate is both smaller and faster) and —
+    instead of silently dropping them — the failure reason of every
+    infeasible candidate.  Pass ``front`` (from
+    :func:`repro.arch.pareto_front`) to reuse an already-computed
+    Pareto front.
+    """
+    from ..arch.explore import pareto_front
+
+    app_names: list[str] = []
+    for point in points:
+        for name in point.schedule_lengths:
+            if name not in app_names:
+                app_names.append(name)
+    if front is None:
+        front = pareto_front(list(points))
+    front = {id(p) for p in front}
+    width = max([9] + [len(name) + 2 for name in app_names])
+    header = (f"{'mult':>4} {'alu':>4} {'ram':>4} {'OPUs':>5} "
+              + "".join(f"{name:>{width}}" for name in app_names)
+              + f" {'worst':>6}"
+              + (f" {'fits':>5}" if budget is not None else "")
+              + "  pareto")
+    lines = [header]
+    for point in points:
+        a = point.allocation
+        prefix = f"{a.n_mult:>4} {a.n_alu:>4} {a.n_ram:>4} {point.n_opus:>5} "
+        if not point.feasible:
+            reasons = "; ".join(
+                f"{app}: {reason}" for app, reason in point.failures.items()
+            )
+            lines.append(f"{prefix} infeasible — {reasons}")
+            continue
+        cells = "".join(
+            f"{point.schedule_lengths.get(name, '-'):>{width}}"
+            for name in app_names
+        )
+        row = f"{prefix}{cells} {point.worst_length:>6}"
+        if budget is not None:
+            fits = "yes" if point.worst_length <= budget else "no"
+            row += f" {fits:>5}"
+        row += "       *" if id(point) in front else ""
+        lines.append(row)
+    return "\n".join(lines)
+
+
 def summary_report(compiled) -> str:
     """One-paragraph compile summary (for examples and benches)."""
     program = compiled.rt_program

@@ -5,9 +5,13 @@ import pytest
 from repro import Q15, compile_application, run_reference
 from repro.apps import fir_application, stress_application
 from repro.arch import (
+    ARCHITECTURE_FAILURE,
     Allocation,
+    ExplorationPoint,
+    ExploreCache,
     explore,
     intermediate_architecture,
+    pareto_front,
     required_operations,
     validate_datapath,
 )
@@ -95,7 +99,108 @@ class TestExploration:
         point = points[0]
         assert point.worst_length == max(point.schedule_lengths.values())
 
-    def test_budget_filters_infeasible(self):
+    def test_budget_infeasibility_is_recorded_not_dropped(self):
         dfgs = [stress_application(6, seed=2)]
         points = explore(dfgs, [Allocation()], budget=2)
-        assert points == []
+        assert len(points) == 1
+        point = points[0]
+        assert not point.feasible
+        assert "BudgetExceededError" in point.failures["stress_6"]
+        assert point.schedule_lengths == {}
+
+    def test_worst_length_guard_on_empty_lengths(self):
+        point = ExplorationPoint(
+            allocation=Allocation(), schedule_lengths={}, n_opus=9,
+            failures={"fir8": "BudgetExceededError: ..."},
+        )
+        with pytest.raises(ArchitectureError, match="no schedule lengths"):
+            point.worst_length
+
+    def test_architecture_failure_recorded(self):
+        b = DfgBuilder("weird")
+        b.output("o", b.op("fft", b.input("i")))
+        points = explore([b.build()], [Allocation()])
+        assert not points[0].feasible
+        assert "fft" in points[0].failures[ARCHITECTURE_FAILURE]
+
+    def test_points_preserve_allocation_order(self):
+        dfgs = [stress_application(4, seed=1)]
+        allocations = [Allocation(n_alu=a) for a in (2, 1, 3)]
+        points = explore(dfgs, allocations)
+        assert [p.allocation for p in points] == allocations
+
+    def test_machine_independent_optimization_runs_once_per_dfg(
+            self, monkeypatch):
+        import importlib
+        explore_module = importlib.import_module("repro.arch.explore")
+        calls = []
+        real = explore_module.optimize_machine_independent
+
+        def counting(dfg, level=1, fmt=None):
+            calls.append(dfg.name)
+            return real(dfg, level=level, fmt=fmt)
+
+        monkeypatch.setattr(explore_module,
+                            "optimize_machine_independent", counting)
+        dfgs = app_set()
+        allocations = [Allocation(n_mult=m, n_alu=a)
+                       for m in (1, 2) for a in (1, 2)]
+        explore_module.explore(dfgs, allocations, opt_level=1)
+        assert sorted(calls) == sorted(d.name for d in dfgs)
+
+    def test_parallel_matches_sequential(self):
+        dfgs = app_set()
+        allocations = [Allocation(n_mult=m, n_alu=a)
+                       for m in (1, 2) for a in (1, 2)]
+        sequential = explore(dfgs, allocations)
+        parallel = explore(dfgs, allocations, jobs=2)
+        assert [p.schedule_lengths for p in parallel] == \
+            [p.schedule_lengths for p in sequential]
+        assert [p.n_opus for p in parallel] == [p.n_opus for p in sequential]
+
+    def test_cache_reuses_candidates_across_sweeps(self):
+        dfgs = [stress_application(4, seed=1)]
+        cache = ExploreCache()
+        first = explore(dfgs, [Allocation(), Allocation(n_alu=2)],
+                        cache=cache)
+        assert (cache.hits, cache.misses) == (0, 2)
+        second = explore(dfgs, [Allocation(n_alu=2), Allocation(n_alu=3)],
+                         cache=cache)
+        assert cache.hits == 1
+        assert second[0].schedule_lengths == first[1].schedule_lengths
+
+    def test_opt_level_shortens_or_keeps_lengths(self):
+        dfgs = [stress_application(6, seed=2)]
+        unoptimized = explore(dfgs, [Allocation()], opt_level=0)
+        optimized = explore(dfgs, [Allocation()], opt_level=2)
+        assert optimized[0].schedule_lengths["stress_6"] <= \
+            unoptimized[0].schedule_lengths["stress_6"]
+
+
+class TestParetoFront:
+    @staticmethod
+    def point(length, n_opus, feasible=True):
+        return ExplorationPoint(
+            allocation=Allocation(),
+            schedule_lengths={"a": length} if feasible else {},
+            n_opus=n_opus,
+            failures={} if feasible else {"a": "RoutingError: ..."},
+        )
+
+    def test_dominated_points_are_excluded(self):
+        fast_big = self.point(10, 12)
+        slow_small = self.point(20, 8)
+        dominated = self.point(20, 12)
+        front = pareto_front([fast_big, slow_small, dominated])
+        assert front == [fast_big, slow_small]
+
+    def test_infeasible_points_never_on_front(self):
+        feasible = self.point(10, 12)
+        infeasible = self.point(0, 1, feasible=False)
+        assert pareto_front([feasible, infeasible]) == [feasible]
+
+    def test_explore_front_is_nonempty(self):
+        points = explore(app_set(), [Allocation(), Allocation(n_alu=2)])
+        front = pareto_front(points)
+        assert front
+        assert all(p.feasible for p in front)

@@ -140,6 +140,66 @@ class TestCommands:
         assert "algebraic 3" in out     # three collapsed passes
         assert "dce 3" in out
 
+    def test_compile_stop_after_prints_stage_fingerprints(
+            self, source_file, capsys):
+        assert main([
+            "compile", source_file, "--core", "fir",
+            "--stop-after", "schedule",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "partial compilation" in out
+        assert "schedule length:" in out
+        for stage in ("parse", "optimize", "rtgen", "schedule"):
+            assert stage in out
+        assert "regalloc" not in out
+
+
+class TestExploreCommand:
+    def test_explore_table(self, source_file, chain_file, capsys):
+        assert main([
+            "explore", source_file, chain_file,
+            "--mults", "1-2", "--alus", "1", "--rams", "1",
+            "--budget", "32",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "mult" in out and "pareto" in out
+        assert "gain" in out and "chain" in out
+        assert "2 candidates" in out
+
+    def test_explore_json(self, source_file, capsys):
+        assert main([
+            "explore", source_file, "--mults", "1", "--alus", "1",
+            "--rams", "1", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["applications"] == ["gain"]
+        point = payload["points"][0]
+        assert point["feasible"] is True
+        assert point["schedule_lengths"]["gain"] >= 1
+        assert point["pareto"] is True
+
+    def test_explore_infeasible_budget_reported(self, chain_file, capsys):
+        assert main([
+            "explore", chain_file, "--mults", "1", "--alus", "1",
+            "--rams", "1", "--budget", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "infeasible" in out
+        assert "BudgetExceededError" in out
+
+    def test_explore_sweep_ranges(self, source_file, capsys):
+        assert main([
+            "explore", source_file, "--mults", "1,3", "--alus", "1-2",
+            "--rams", "1",
+        ]) == 0
+        assert "4 candidates" in capsys.readouterr().out
+
+    def test_explore_bad_sweep_rejected(self, source_file, capsys):
+        assert main([
+            "explore", source_file, "--mults", "zero",
+        ]) == 1
+        assert "bad --mults" in capsys.readouterr().err
+
     def test_run_output_invariant_across_levels(self, chain_file, capsys):
         streams = []
         for level in ("0", "2"):

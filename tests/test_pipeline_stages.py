@@ -1,0 +1,219 @@
+"""Tests for the staged pipeline: sessions, caching, partial compiles.
+
+Satellite coverage of the stage cache: hit on identical re-compile,
+invalidation when the source / core / opt level changes, and
+bit-identical binaries between cached and cold compiles.
+"""
+
+import pytest
+
+from repro import Q15, audio_core, compile_application, run_reference, tiny_core
+from repro.pipeline import (
+    PIPELINE_STAGES,
+    STAGE_NAMES,
+    CompileSession,
+    StageCache,
+    core_fingerprint,
+    dfg_fingerprint,
+)
+from repro.lang import parse_source
+
+SOURCE = """
+app opts;
+param k = 0.5;
+input i; output o;
+state s(1);
+loop {
+  s = i;
+  m := mlt(k, s@1);
+  o = add_clip(m, i);
+}
+"""
+
+VARIANT = SOURCE.replace("0.5", "0.25")
+
+N_STAGES = len(PIPELINE_STAGES)
+
+
+def stimulus():
+    return {"i": [Q15.from_float(v) for v in (0.5, -0.25, 0.125, 0.0, 0.9)]}
+
+
+class TestSessionBasics:
+    def test_wrapper_and_session_binaries_identical(self):
+        wrapped = compile_application(SOURCE, audio_core(), budget=64)
+        session = CompileSession().compile(SOURCE, audio_core(), budget=64)
+        assert wrapped.binary.words == session.binary.words
+
+    def test_stage_chain_names(self):
+        assert STAGE_NAMES == ("parse", "optimize", "rtgen", "merge",
+                               "impose", "schedule", "regalloc", "assemble")
+
+    def test_unknown_stop_stage_rejected(self):
+        with pytest.raises(ValueError, match="unknown stage"):
+            CompileSession().run(SOURCE, audio_core(), stop_after="codegen")
+
+    def test_partial_compile_stops_after_stage(self):
+        state = CompileSession().run(SOURCE, audio_core(), budget=64,
+                                     stop_after="schedule")
+        assert state.completed == list(STAGE_NAMES[:6])
+        assert not state.is_complete
+        assert state.schedule.length <= 64
+        assert "binary" not in state.artifacts
+        with pytest.raises(ValueError, match="stopped after"):
+            state.as_compiled()
+
+    def test_partial_then_full_resumes_from_cached_prefix(self):
+        session = CompileSession()
+        session.run(SOURCE, audio_core(), budget=64, stop_after="schedule")
+        state = session.run(SOURCE, audio_core(), budget=64)
+        assert all(state.cache_hits[name] for name in STAGE_NAMES[:6])
+        assert not state.cache_hits["regalloc"]
+        compiled = state.as_compiled()
+        assert compiled.run(stimulus()) == \
+            run_reference(compiled.dfg, stimulus())
+
+
+class TestStageCache:
+    def test_cache_hit_on_identical_recompile(self):
+        session = CompileSession()
+        first = session.compile(SOURCE, audio_core(), budget=64)
+        second = session.compile(SOURCE, audio_core(), budget=64)
+        assert session.cache.stats.hits == N_STAGES
+        assert session.cache.stats.misses == N_STAGES
+        assert first.binary.words == second.binary.words
+
+    def test_cached_and_cold_binaries_bit_identical(self):
+        cold = CompileSession(cache=None).compile(SOURCE, audio_core(),
+                                                  budget=64)
+        session = CompileSession()
+        session.compile(SOURCE, audio_core(), budget=64)
+        warm = session.compile(SOURCE, audio_core(), budget=64)
+        assert warm.binary.words == cold.binary.words
+        assert warm.binary.rom_words == cold.binary.rom_words
+        assert warm.run(stimulus()) == cold.run(stimulus())
+
+    def test_source_change_invalidates_everything(self):
+        session = CompileSession()
+        session.compile(SOURCE, audio_core(), budget=64)
+        state = session.run(VARIANT, audio_core(), budget=64)
+        assert not any(state.cache_hits.values())
+
+    def test_opt_level_change_invalidates_optimize(self):
+        # A common subexpression -O1 removes, so -O0 and -O1 lower
+        # different graph content.
+        cse_source = """
+        app cse;
+        param k = 0.5;
+        input i; output o;
+        loop {
+          a := mlt(k, i);
+          b := mlt(k, i);
+          o = add_clip(a, b);
+        }
+        """
+        session = CompileSession()
+        session.compile(cse_source, audio_core(), opt_level=1)
+        state = session.run(cse_source, audio_core(), opt_level=0)
+        assert state.cache_hits["parse"]
+        assert not state.cache_hits["optimize"]
+        # -O0 lowers the unoptimized graph: different content, so the
+        # downstream stages must re-run too.
+        assert not state.cache_hits["rtgen"]
+
+    def test_opt_level_change_with_identical_graph_reconverges(self):
+        # -O2 adds only strength reduction; on a graph it does not
+        # rewrite, the optimize *stage* re-runs but its output content
+        # is identical, so lowering and everything after it are reused.
+        session = CompileSession()
+        session.compile(SOURCE, audio_core(), opt_level=1)
+        state = session.run(SOURCE, audio_core(), opt_level=2)
+        assert not state.cache_hits["optimize"]
+        assert state.cache_hits["rtgen"]
+        assert state.cache_hits["assemble"]
+
+    def test_core_change_keeps_machine_independent_prefix(self):
+        session = CompileSession()
+        session.compile("app g; input i; output o; loop { o = pass(i); }",
+                        audio_core())
+        state = session.run("app g; input i; output o; loop { o = pass(i); }",
+                            tiny_core())
+        # audio and tiny share the fixed-point format, so parse AND the
+        # machine-independent optimize stage are reused; lowering is not.
+        assert state.cache_hits["parse"]
+        assert state.cache_hits["optimize"]
+        assert not state.cache_hits["rtgen"]
+
+    def test_budget_change_reuses_prefix_through_impose(self):
+        session = CompileSession()
+        session.compile(SOURCE, audio_core(), budget=64)
+        state = session.run(SOURCE, audio_core(), budget=32)
+        for name in ("parse", "optimize", "rtgen", "merge", "impose"):
+            assert state.cache_hits[name], name
+        assert not state.cache_hits["schedule"]
+
+    def test_text_and_dfg_sources_converge_at_optimize(self):
+        session = CompileSession()
+        session.compile(SOURCE, audio_core(), budget=64)
+        state = session.run(parse_source(SOURCE), audio_core(), budget=64)
+        assert not state.cache_hits["parse"]      # different parse key...
+        assert state.cache_hits["optimize"]       # ...same graph content
+        assert state.cache_hits["assemble"]
+
+    def test_downstream_mutation_cannot_poison_cache(self):
+        session = CompileSession()
+        first = session.compile(SOURCE, audio_core(), budget=64)
+        first.rt_program.rts.clear()
+        first.binary.words.clear()
+        second = session.compile(SOURCE, audio_core(), budget=64)
+        assert second.binary.words
+        assert second.run(stimulus()) == \
+            run_reference(second.dfg, stimulus())
+
+    def test_shared_cache_across_sessions(self):
+        cache = StageCache()
+        CompileSession(cache=cache).compile(SOURCE, audio_core(), budget=64)
+        state = CompileSession(cache=cache).run(SOURCE, audio_core(),
+                                                budget=64)
+        assert all(state.cache_hits.values())
+
+    def test_lru_eviction(self):
+        cache = StageCache(max_entries=4)
+        CompileSession(cache=cache).compile(SOURCE, audio_core(), budget=64)
+        assert len(cache) == 4
+        assert cache.stats.evictions == N_STAGES - 4
+
+
+class TestFingerprints:
+    def test_dfg_fingerprint_is_content_keyed(self):
+        assert dfg_fingerprint(parse_source(SOURCE)) == \
+            dfg_fingerprint(parse_source(SOURCE))
+        assert dfg_fingerprint(parse_source(SOURCE)) != \
+            dfg_fingerprint(parse_source(VARIANT))
+
+    def test_core_fingerprint_distinguishes_cores(self):
+        assert core_fingerprint(audio_core()) == core_fingerprint(audio_core())
+        assert core_fingerprint(audio_core()) != core_fingerprint(tiny_core())
+
+
+class TestOptSplit:
+    """The explore-facing optimizer split stays bit-exact."""
+
+    @pytest.mark.parametrize("level", [0, 1, 2])
+    def test_split_optimizer_preserves_semantics(self, level):
+        from repro.opt import optimize_machine_independent, specialize_for_core
+
+        core = audio_core()
+        source_dfg = parse_source(SOURCE)
+        mi_dfg, _ = optimize_machine_independent(source_dfg, level=level)
+        specialized, _ = specialize_for_core(mi_dfg, core, level=level)
+        compiled = compile_application(specialized, core, opt_level=0)
+        assert compiled.run(stimulus()) == run_reference(source_dfg, stimulus())
+
+    def test_specialization_is_noop_below_o2(self):
+        from repro.opt import specialize_for_core
+
+        dfg = parse_source(SOURCE)
+        specialized, report = specialize_for_core(dfg, audio_core(), level=1)
+        assert specialized is dfg
+        assert not report.changed
