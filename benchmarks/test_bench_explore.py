@@ -26,6 +26,7 @@ from repro import compile_application
 from repro.apps import fir_application, stress_application
 from repro.arch import Allocation, ExploreCache, explore, intermediate_architecture
 from repro.errors import ReproError
+from repro.pipeline import DiskCache
 
 RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_explore.json"
 
@@ -67,8 +68,10 @@ def seed_explore(dfgs, allocations, budget=None):
     return points
 
 
-def test_bench_explore_speedup(monkeypatch):
-    """Staged explorer vs the sequential seed, plus warm-cache re-sweep.
+def test_bench_explore_speedup(monkeypatch, tmp_path):
+    """Staged explorer vs the sequential seed, plus warm-cache re-sweep
+    and the persistent disk cache (cold fill vs a new process's warm
+    sweep over the same directory).
 
     The wall-clock assertions are deliberately loose (CI machines are
     noisy); the load-bearing checks are exact — identical feedback, the
@@ -121,6 +124,29 @@ def test_bench_explore_speedup(monkeypatch):
         f"vs {seed_seconds:.2f}s"
     assert warm_seconds <= staged_seconds * 0.5
 
+    # Persistent disk cache: a cold sweep fills the store; the "next
+    # morning's" sweep — a fresh process, empty memory tiers, the same
+    # cache directory — must come from disk, not from recompiling.
+    cache_dir = tmp_path / "diskcache"
+    t0 = time.perf_counter()
+    disk_cold_points = explore(dfgs, allocations,
+                               cache_dir=str(cache_dir))
+    disk_cold_seconds = time.perf_counter() - t0
+
+    new_process_cache = ExploreCache(disk=DiskCache(cache_dir))
+    t0 = time.perf_counter()
+    disk_warm_points = explore(dfgs, allocations, cache=new_process_cache)
+    disk_warm_seconds = time.perf_counter() - t0
+
+    assert [p.schedule_lengths for p in disk_cold_points] == \
+        [p.schedule_lengths for p in staged_points]
+    assert [p.schedule_lengths for p in disk_warm_points] == \
+        [p.schedule_lengths for p in staged_points]
+    assert new_process_cache.disk_hits == len(allocations)
+    assert disk_warm_seconds < disk_cold_seconds, \
+        f"warm-disk sweep not faster: {disk_warm_seconds:.3f}s " \
+        f"vs {disk_cold_seconds:.3f}s cold"
+
     results = {
         "applications": [d.name for d in dfgs],
         "n_allocations": len(allocations),
@@ -129,6 +155,9 @@ def test_bench_explore_speedup(monkeypatch):
         "warm_cache_seconds": round(warm_seconds, 4),
         "staged_speedup": round(seed_seconds / staged_seconds, 3),
         "warm_cache_speedup": round(seed_seconds / warm_seconds, 1),
+        "disk_cold_seconds": round(disk_cold_seconds, 4),
+        "disk_warm_seconds": round(disk_warm_seconds, 4),
+        "disk_warm_speedup": round(disk_cold_seconds / disk_warm_seconds, 1),
         "cpu_count": os.cpu_count(),
     }
 
@@ -154,6 +183,9 @@ def test_bench_explore_speedup(monkeypatch):
               f"({results['parallel_speedup']:.2f}x)")
     print(f"  warm candidate cache          : {warm_seconds:8.3f}s "
           f"({seed_seconds / warm_seconds:.0f}x)")
+    print(f"  disk cache, cold fill         : {disk_cold_seconds:8.3f}s")
+    print(f"  disk cache, new process       : {disk_warm_seconds:8.3f}s "
+          f"({disk_cold_seconds / disk_warm_seconds:.0f}x)")
     print(f"  results -> {RESULTS_PATH.name}")
 
 

@@ -16,37 +16,58 @@ Quick start::
     outputs = program.run({"IN_L": samples_l, "IN_R": samples_r})
 """
 
-from .arch import CoreSpec, audio_core, explore, fir_core, pareto_front, tiny_core
+from .apps import adaptive_core
+from .arch import (
+    Allocation,
+    CoreSpec,
+    ExploreCache,
+    audio_core,
+    explore,
+    fir_core,
+    intermediate_architecture,
+    pareto_front,
+    tiny_core,
+)
 from .errors import ReproError
 from .fixed import Q15, FixedFormat
 from .lang import DfgBuilder, parse_source, run_reference
 from .opt import OptReport, PassManager, optimize
 from .pipeline import (
+    BatchResult,
+    BatchSession,
     CompiledProgram,
     CompileSession,
     CompileState,
+    DiskCache,
     StageCache,
     compile_application,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
+    "Allocation",
+    "BatchResult",
+    "BatchSession",
     "CompileSession",
     "CompileState",
     "CompiledProgram",
     "CoreSpec",
     "DfgBuilder",
+    "DiskCache",
+    "ExploreCache",
     "FixedFormat",
     "OptReport",
     "PassManager",
     "Q15",
     "ReproError",
     "StageCache",
+    "adaptive_core",
     "audio_core",
     "compile_application",
     "explore",
     "fir_core",
+    "intermediate_architecture",
     "optimize",
     "pareto_front",
     "parse_source",

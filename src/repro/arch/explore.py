@@ -292,15 +292,32 @@ def pareto_front(points: list[ExplorationPoint]) -> list[ExplorationPoint]:
     return front
 
 
+#: Serialization version of :class:`ExplorationPoint` in the disk
+#: cache; bump when the dataclass shape changes.
+EXPLORATION_POINT_VERSION = 1
+
+_POINT_SCHEMA = {"exploration_point": EXPLORATION_POINT_VERSION}
+
+
 class ExploreCache:
     """Memo of evaluated candidates, keyed by (applications, allocation,
     budget, opt level).  Share one across sweeps to pay only for new
-    candidates when iterating on the allocation ranges."""
+    candidates when iterating on the allocation ranges.
 
-    def __init__(self):
+    ``disk`` layers a persistent
+    :class:`~repro.pipeline.diskcache.DiskCache` underneath: a memory
+    miss falls through to the store, and evaluated candidates are
+    written through — so the morning's warm re-sweep in a *new process*
+    reads yesterday's feedback from disk instead of recompiling it.
+    """
+
+    def __init__(self, disk=None):
         self._points: dict[str, ExplorationPoint] = {}
+        self.disk = disk
         self.hits = 0
         self.misses = 0
+        #: subset of ``hits`` served by the on-disk layer
+        self.disk_hits = 0
 
     def __len__(self) -> int:
         return len(self._points)
@@ -317,16 +334,25 @@ class ExploreCache:
 
     def get(self, key: str) -> ExplorationPoint | None:
         point = self._points.get(key)
-        if point is None:
-            self.misses += 1
-            return None
-        self.hits += 1
-        return self._copy(point)
+        if point is not None:
+            self.hits += 1
+            return self._copy(point)
+        if self.disk is not None:
+            point = self.disk.get(key, schema=_POINT_SCHEMA)
+            if point is not None:
+                self._points[key] = self._copy(point)
+                self.hits += 1
+                self.disk_hits += 1
+                return point
+        self.misses += 1
+        return None
 
     def put(self, key: str, point: ExplorationPoint) -> None:
         # Store a copy, symmetric with get(): callers may mutate the
         # points a sweep hands back without poisoning later sweeps.
         self._points[key] = self._copy(point)
+        if self.disk is not None:
+            self.disk.put(key, self._points[key], schema=_POINT_SCHEMA)
 
 
 @dataclass
@@ -385,6 +411,7 @@ def explore(
     opt_level: int = 1,
     jobs: int | None = None,
     cache: ExploreCache | None = None,
+    cache_dir: str | None = None,
 ) -> list[ExplorationPoint]:
     """Compile every application on every candidate architecture.
 
@@ -399,9 +426,14 @@ def explore(
     (per opt level) before the sweep, and the candidate cores are sized
     from the optimized graphs.  ``jobs`` > 1 fans candidates out over a
     process pool; ``cache`` memoizes evaluated candidates across
-    sweeps.
+    sweeps.  ``cache_dir`` (when no ``cache`` is handed in) builds a
+    disk-backed :class:`ExploreCache` on that directory, so repeated
+    sweeps hit disk across processes.
     """
-    from ..pipeline import dfg_fingerprint, fingerprint
+    from ..pipeline import DiskCache, dfg_fingerprint, fingerprint
+
+    if cache is None and cache_dir is not None:
+        cache = ExploreCache(disk=DiskCache(cache_dir))
 
     optimized = [
         optimize_machine_independent(dfg, level=opt_level)[0] for dfg in dfgs

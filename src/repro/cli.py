@@ -1,10 +1,11 @@
-"""Command-line interface: compile, explore, run and inspect without
-writing code.
+"""Command-line interface: compile, batch, explore, run and inspect
+without writing code.
 
 ::
 
     python -m repro compile app.dsp --core audio --budget 64 --listing
     python -m repro compile app.dsp --stop-after schedule
+    python -m repro batch app1.dsp app2.dsp --core audio --budget 64
     python -m repro explore app1.dsp app2.dsp --mults 1-2 --alus 1,2 --jobs 4
     python -m repro run app.dsp --core fir --input x=0.5,-0.25,0.125
     python -m repro inspect-core --core audio
@@ -13,6 +14,13 @@ writing code.
 Cores are named library cores (``audio``, ``fir``, ``tiny``,
 ``adaptive``) or paths to JSON core descriptions produced by
 :func:`repro.arch.dump_core`.
+
+``compile``, ``batch`` and ``explore`` keep a persistent stage cache
+under ``~/.cache/repro`` (override with ``--cache-dir`` or
+``$REPRO_CACHE_DIR``; disable with ``--no-disk-cache``), so re-runs in
+new processes restore artifacts instead of recompiling.  The complete
+reference, including exit codes and JSON output shapes, is in
+``docs/cli.md``.
 """
 
 from __future__ import annotations
@@ -26,6 +34,7 @@ from .apps import adaptive_core
 from .arch import (
     Allocation,
     CoreSpec,
+    ExploreCache,
     audio_core,
     explore,
     fir_core,
@@ -41,10 +50,14 @@ from .lang import parse_source
 from .pipeline import (
     PIPELINE_STAGES,
     STAGE_NAMES,
+    BatchSession,
     CompileSession,
+    DiskCache,
+    StageCache,
     compile_application,
 )
 from .report import (
+    batch_report,
     class_table_report,
     exploration_report,
     gantt_chart,
@@ -113,21 +126,49 @@ def parse_sweep(spec: str, flag: str) -> list[int]:
     return sorted(counts)
 
 
+def disk_cache_from_args(args: argparse.Namespace) -> DiskCache | None:
+    """The persistent stage cache a command should use, or ``None``.
+
+    ``--no-disk-cache`` disables persistence; otherwise ``--cache-dir``
+    (default ``$REPRO_CACHE_DIR`` / ``~/.cache/repro``) names the
+    store.
+    """
+    if args.no_disk_cache:
+        return None
+    return DiskCache(args.cache_dir)
+
+
+def cache_summary_line(state) -> str:
+    """One line describing where a compile's stages came from."""
+    counts = state.cache_counts()
+    cached = counts["memory"] + counts["disk"]
+    return (f"stage cache  : {cached}/{len(state.completed)} stages cached "
+            f"({counts['disk']} disk)")
+
+
 def cmd_compile(args: argparse.Namespace) -> int:
     core = resolve_core(args.core)
     source = Path(args.source).read_text()
+    disk = disk_cache_from_args(args)
+    # Without a disk store, a full compile needs no snapshots at all
+    # (the classic cold path); --stop-after always needs a cache so the
+    # per-stage fingerprints are recorded.
+    cache = (StageCache(disk=disk) if disk is not None
+             else (StageCache() if args.stop_after else None))
+    state = CompileSession(cache=cache).run(
+        source, core, budget=args.budget,
+        cover_algorithm=args.cover,
+        mode=args.mode, repeat_count=args.repeat,
+        opt_level=args.opt, stop_after=args.stop_after or None,
+    )
     if args.stop_after:
-        state = CompileSession().run(
-            source, core, budget=args.budget,
-            cover_algorithm=args.cover,
-            mode=args.mode, repeat_count=args.repeat,
-            opt_level=args.opt, stop_after=args.stop_after,
-        )
         provides = {s.name: "/".join(s.provides) for s in PIPELINE_STAGES}
         print(f"partial compilation (stopped after {args.stop_after!r}):")
         for stage in state.completed:
+            source_tag = state.cache_sources.get(stage)
+            cached = f"  [{source_tag}]" if source_tag else ""
             print(f"  {stage:<9} {state.fingerprints[stage][:16]}  "
-                  f"-> {provides[stage]}")
+                  f"-> {provides[stage]}{cached}")
         if "schedule" in state.artifacts:
             print(f"schedule length: {state.schedule.length} cycles")
         # Honor the output flags whose artifacts were produced; name the
@@ -155,13 +196,10 @@ def cmd_compile(args: argparse.Namespace) -> int:
                 print("(--listing/--out ignored: stopped before 'assemble')",
                       file=sys.stderr)
         return 0
-    compiled = compile_application(
-        source, core, budget=args.budget,
-        cover_algorithm=args.cover,
-        mode=args.mode, repeat_count=args.repeat,
-        opt_level=args.opt,
-    )
+    compiled = state.as_compiled()
     print(summary_report(compiled))
+    if disk is not None:
+        print(cache_summary_line(state))
     if args.occupation:
         print()
         print(occupation_chart(compiled.schedule))
@@ -177,6 +215,64 @@ def cmd_compile(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_batch(args: argparse.Namespace) -> int:
+    core = resolve_core(args.core)
+    sources = [Path(source).read_text() for source in args.sources]
+    names = [Path(source).name for source in args.sources]
+    batch = BatchSession(disk=disk_cache_from_args(args))
+    result = batch.compile_many(
+        sources, core, names=names, budget=args.budget,
+        cover_algorithm=args.cover, opt_level=args.opt,
+    )
+    if args.out_dir:
+        out_dir = Path(args.out_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        used: dict[str, int] = {}
+        for entry in result.entries:
+            if entry.state is not None:
+                stem = Path(entry.name).stem
+                # Sources from different directories may share a stem;
+                # never let one image clobber another.
+                count = used.get(stem, 0)
+                used[stem] = count + 1
+                suffix = f"-{count + 1}" if count else ""
+                image = out_dir / f"{stem}{suffix}.json"
+                image.write_text(dump_program(entry.state.binary))
+    if args.json:
+        counts = result.stage_counts()
+        payload = {
+            "core": core.name,
+            "opt_level": args.opt,
+            "budget": args.budget,
+            "seconds": round(result.seconds, 4),
+            "cache": counts,
+            "applications": [
+                {
+                    "source": name,
+                    "application": (entry.state.dfg.name
+                                    if entry.state is not None else None),
+                    "ok": entry.ok,
+                    "n_cycles": (entry.state.schedule.length
+                                 if entry.state is not None else None),
+                    "seconds": round(entry.seconds, 4),
+                    "error": entry.error,
+                }
+                for name, entry in zip(args.sources, result.entries)
+            ],
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        print(batch_report(result))
+        counts = result.stage_counts()
+        ok = sum(1 for entry in result.entries if entry.ok)
+        print(f"\n{ok}/{len(result.entries)} applications compiled in "
+              f"{result.seconds:.3f}s; stages: {counts['executed']} executed, "
+              f"{counts['memory']} memory hits, {counts['disk']} disk hits")
+        if args.out_dir and ok:
+            print(f"microcode images written to {args.out_dir}")
+    return 0 if result.ok else 1
+
+
 def cmd_explore(args: argparse.Namespace) -> int:
     dfgs = [parse_source(Path(source).read_text()) for source in args.sources]
     allocations = [
@@ -185,8 +281,10 @@ def cmd_explore(args: argparse.Namespace) -> int:
         for a in parse_sweep(args.alus, "--alus")
         for r in parse_sweep(args.rams, "--rams")
     ]
+    disk = disk_cache_from_args(args)
+    cache = ExploreCache(disk=disk) if disk is not None else None
     points = explore(dfgs, allocations, budget=args.budget,
-                     opt_level=args.opt, jobs=args.jobs)
+                     opt_level=args.opt, jobs=args.jobs, cache=cache)
     front_points = pareto_front(points)
     if args.json:
         front = {id(p) for p in front_points}
@@ -275,6 +373,17 @@ def cmd_inspect_core(args: argparse.Namespace) -> int:
     return 0
 
 
+def add_cache_arguments(parser: argparse.ArgumentParser) -> None:
+    """The persistent-cache flags shared by compile/batch/explore."""
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persistent stage-cache directory (default $REPRO_CACHE_DIR "
+             "or ~/.cache/repro)")
+    parser.add_argument(
+        "--no-disk-cache", action="store_true",
+        help="do not read or write the on-disk stage cache")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -300,7 +409,27 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--stop-after", default=None, choices=list(STAGE_NAMES),
                    help="partial compilation: stop after this stage and "
                         "print the per-stage fingerprints")
+    add_cache_arguments(c)
     c.set_defaults(handler=cmd_compile)
+
+    b = sub.add_parser(
+        "batch",
+        help="compile an application set against one core in a single "
+             "cached session",
+    )
+    b.add_argument("sources", nargs="+", help="application source files")
+    b.add_argument("--core", default="audio")
+    b.add_argument("--budget", type=int, default=None)
+    b.add_argument("-O", "--opt", type=int, choices=[0, 1, 2], default=1,
+                   help="machine-independent optimization level (default 1)")
+    b.add_argument("--cover", default="greedy",
+                   choices=["greedy", "exact", "edge"])
+    b.add_argument("--out-dir", default=None, metavar="DIR",
+                   help="write one microcode image JSON per application")
+    b.add_argument("--json", action="store_true",
+                   help="machine-readable output")
+    add_cache_arguments(b)
+    b.set_defaults(handler=cmd_batch)
 
     e = sub.add_parser(
         "explore",
@@ -326,6 +455,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "worker processes")
     e.add_argument("--json", action="store_true",
                    help="machine-readable output")
+    add_cache_arguments(e)
     e.set_defaults(handler=cmd_explore)
 
     r = sub.add_parser("run", help="compile and simulate a source file")
@@ -362,7 +492,9 @@ def main(argv: list[str] | None = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
-    except FileNotFoundError as exc:
+    except OSError as exc:
+        # Missing/unreadable source files, a directory where a file
+        # was expected, ... — user errors, not tracebacks.
         print(f"error: {exc}", file=sys.stderr)
         return 1
 

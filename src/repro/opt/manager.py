@@ -56,10 +56,12 @@ class OptReport:
 
     @property
     def nodes_removed(self) -> int:
+        """Net node-count reduction over the whole pipeline."""
         return self.nodes_before - self.nodes_after
 
     @property
     def changed(self) -> bool:
+        """True when any pass rewrote or removed anything."""
         return any(stats.changed for stats in self.passes)
 
     def totals(self) -> dict[str, int]:
@@ -90,6 +92,13 @@ class PassManager:
 
     def run(self, dfg: Dfg, core=None,
             fmt: FixedFormat | None = None) -> tuple[Dfg, OptReport]:
+        """Run the pass pipeline over ``dfg`` (to a fixpoint when
+        ``iterate``), returning the rewritten graph and its report.
+
+        ``core`` feeds the core-aware passes and supplies the
+        fixed-point format; ``fmt`` overrides the format when no core
+        is at hand.
+        """
         if fmt is None:
             fmt = (FixedFormat(core.data_width, core.frac_bits)
                    if core is not None else Q15)
@@ -197,6 +206,7 @@ def specialize_for_core(
 
 
 def manager_for_level(level: int) -> PassManager:
+    """The canonical :class:`PassManager` of an ``-O`` level."""
     return PassManager(passes_for_level(level), iterate=(level >= 2),
                        level=level)
 

@@ -62,9 +62,11 @@ class PassStats:
 
     @property
     def changed(self) -> bool:
+        """True when the pass rewrote or removed anything."""
         return bool(self.rewrites or self.removed)
 
     def count(self, what: str, n: int = 1) -> None:
+        """Record ``n`` rewrites of kind ``what`` (e.g. ``x*0``)."""
         self.detail[what] = self.detail.get(what, 0) + n
         self.rewrites += n
 
@@ -75,6 +77,9 @@ class Pass:
     name = "?"
 
     def run(self, dfg: Dfg, ctx: PassContext) -> tuple[Dfg, PassStats]:
+        """Rewrite ``dfg`` under ``ctx``; must return a new,
+        semantically equivalent graph plus the pass statistics (the
+        input graph is never mutated)."""
         raise NotImplementedError
 
 

@@ -24,6 +24,14 @@ prefix; :func:`compile_application` is the classic one-shot entry
 point, preserved exactly, returning a :class:`CompiledProgram` with
 all intermediate artifacts so reports and benches can inspect every
 stage.
+
+Caching is two-tiered: the in-process LRU :class:`StageCache` can be
+layered over a persistent, content-addressed
+:class:`~repro.pipeline.diskcache.DiskCache`, so a second process (or
+a warm design-space sweep) restores stage artifacts from disk instead
+of recomputing them.  :class:`BatchSession` compiles a whole
+application set through one shared cache.  See ``docs/architecture.md``
+for the full walk-through.
 """
 
 from __future__ import annotations
@@ -32,28 +40,49 @@ from ..arch.library import CoreSpec
 from ..arch.merge import MergeSpec
 from ..lang.dfg import Dfg
 from .artifacts import (
+    ARTIFACT_VERSIONS,
+    PIPELINE_VERSION,
     CompileRequest,
     CompileState,
+    artifact_schema,
     core_fingerprint,
     dfg_fingerprint,
     fingerprint,
 )
+from .diskcache import DiskCache, DiskCacheStats, default_cache_dir
 from .program import CompiledProgram
-from .session import CacheStats, CompileSession, StageCache
-from .stages import PIPELINE_STAGES, STAGE_NAMES, Stage
+from .session import (
+    BatchEntry,
+    BatchResult,
+    BatchSession,
+    CacheStats,
+    CompileSession,
+    StageCache,
+)
+from .stages import PIPELINE_STAGES, STAGE_EXECUTIONS, STAGE_NAMES, Stage
 
 __all__ = [
+    "ARTIFACT_VERSIONS",
+    "BatchEntry",
+    "BatchResult",
+    "BatchSession",
     "CacheStats",
     "CompileRequest",
     "CompileSession",
     "CompileState",
     "CompiledProgram",
+    "DiskCache",
+    "DiskCacheStats",
     "PIPELINE_STAGES",
+    "PIPELINE_VERSION",
+    "STAGE_EXECUTIONS",
     "STAGE_NAMES",
     "Stage",
     "StageCache",
+    "artifact_schema",
     "compile_application",
     "core_fingerprint",
+    "default_cache_dir",
     "dfg_fingerprint",
     "fingerprint",
 ]

@@ -31,6 +31,37 @@ from ..lang.dfg import Dfg
 #: artifacts computed by an older pipeline.
 PIPELINE_VERSION = 1
 
+#: Serialization version of every artifact type the stages produce.
+#: Bump an entry whenever the artifact's Python shape changes (fields
+#: added/renamed, invariants altered) so on-disk entries written by an
+#: older checkout invalidate instead of deserializing into nonsense.
+#: :mod:`repro.pipeline.diskcache` embeds these in every entry.
+ARTIFACT_VERSIONS: dict[str, int] = {
+    "source_dfg": 1,        # parse: repro.lang.dfg.Dfg
+    "dfg": 1,               # optimize: repro.lang.dfg.Dfg
+    "opt_report": 1,        # optimize: repro.opt.OptReport
+    "base_program": 1,      # rtgen: repro.rtgen.program.RTProgram
+    "program": 1,           # merge: repro.rtgen.program.RTProgram
+    "base_rts": 1,          # merge: list[repro.rtgen.rt.RT]
+    "capacities": 1,        # merge: dict[str, int] | None
+    "merged": 1,            # merge: bool
+    "conflict_model": 1,    # impose: repro.core.artificial.ConflictModel
+    "dependence_graph": 1,  # schedule: repro.sched.dependence.DependenceGraph
+    "schedule": 1,          # schedule: repro.sched.schedule.Schedule
+    "allocation": 1,        # regalloc: repro.sched.regalloc.Allocation
+    "binary": 1,            # assemble: repro.encode.assembler.EncodedProgram
+}
+
+
+def artifact_schema(artifacts: dict[str, Any]) -> dict[str, int]:
+    """The ``name -> version`` schema of one artifact snapshot.
+
+    Unknown names (a stage added without a version entry) are pinned at
+    version 0 so they can never silently round-trip across checkouts
+    that disagree about them.
+    """
+    return {name: ARTIFACT_VERSIONS.get(name, 0) for name in artifacts}
+
 
 def fingerprint(*parts: Any) -> str:
     """SHA-256 digest of a canonical JSON rendering of ``parts``."""
@@ -65,6 +96,7 @@ def core_fingerprint(core: CoreSpec) -> str:
 
 
 def merges_key(merges: MergeSpec | None) -> list:
+    """Canonical, fingerprintable rendering of a merge spec."""
     if merges is None or merges.is_empty:
         return []
     return [
@@ -114,6 +146,8 @@ class CompileState:
     completed: list[str] = field(default_factory=list)
     #: stage name -> True when the stage was restored from cache
     cache_hits: dict[str, bool] = field(default_factory=dict)
+    #: stage name -> "memory" | "disk", for stages restored from cache
+    cache_sources: dict[str, str] = field(default_factory=dict)
     _core_fp: str | None = field(default=None, repr=False)
 
     def __getattr__(self, name: str) -> Any:
@@ -125,6 +159,18 @@ class CompileState:
             f"(available: {sorted(artifacts)})"
         )
 
+    def cache_counts(self) -> dict[str, int]:
+        """``{"executed": n, "memory": n, "disk": n}`` over the stages
+        this compile ran — the one tally the CLI summary line, the
+        batch table and the batch JSON all derive from."""
+        counts = {"executed": 0, "memory": 0, "disk": 0}
+        for name, hit in self.cache_hits.items():
+            if hit:
+                counts[self.cache_sources[name]] += 1
+            else:
+                counts["executed"] += 1
+        return counts
+
     def core_fp(self) -> str:
         """Memoized core fingerprint (several stages key on it)."""
         if self._core_fp is None:
@@ -133,6 +179,7 @@ class CompileState:
 
     @property
     def is_complete(self) -> bool:
+        """True when the chain ran to the end (a binary exists)."""
         return "binary" in self.artifacts
 
     def as_compiled(self):

@@ -1,0 +1,317 @@
+"""Content-addressed on-disk artifact store (the persistent cache layer).
+
+The in-memory :class:`~repro.pipeline.session.StageCache` makes
+re-compiles inside one process nearly free, but a compiler that is
+re-run constantly while a core design is iterated pays the full cold
+path on every new process.  :class:`DiskCache` closes that gap: a
+SHA-256 content fingerprint maps to one file holding a *versioned
+serialization* of the cached object, so a second process (or a second
+machine sharing the directory) restores stage artifacts instead of
+recomputing them.
+
+Design constraints, in order:
+
+* **A bad entry is a miss, never a crash.**  Truncated files, foreign
+  bytes, stale pickles, concurrent half-writes — every read failure is
+  absorbed, counted on :attr:`DiskCacheStats.corrupt`, and the entry is
+  dropped so it cannot fail twice.
+* **Versioned.**  Every entry carries the envelope format version, the
+  pipeline version (:data:`~repro.pipeline.artifacts.PIPELINE_VERSION`)
+  and a per-artifact-type schema (``artifact name -> version`` from
+  :data:`~repro.pipeline.artifacts.ARTIFACT_VERSIONS`).  Any skew is a
+  miss (:attr:`DiskCacheStats.version_skips`), so a cache written by an
+  older checkout can never serve artifacts a newer pipeline would
+  misread.
+* **Atomic.**  Entries are written to a temporary file in the target
+  directory and published with :func:`os.replace`; concurrent writers
+  on one cache directory race benignly (last write wins, readers see
+  either a complete entry or none).
+* **Bounded.**  ``max_bytes`` caps the store; eviction removes the
+  least-recently-used entries (reads refresh an entry's mtime).
+
+Entry layout on disk (``<dir>/objects/<aa>/<fingerprint>.rpdc``)::
+
+    MAGIC 'RPDC' | header length (4 bytes LE) | header JSON | payload
+
+where the header records the versions above plus the payload's SHA-256,
+and the payload is a pickle of the cached object.  Pickle is safe here
+because the cache directory is the user's own (the same trust domain as
+the source being compiled); the digest guards against corruption, not
+against an adversary.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from .artifacts import PIPELINE_VERSION
+
+#: Bump when the on-disk envelope itself changes shape.
+FORMAT_VERSION = 1
+
+_MAGIC = b"RPDC"
+_SUFFIX = ".rpdc"
+_HEADER_LIMIT = 1 << 20  # a sane bound; a bigger claim means corruption
+
+
+class CacheEntryError(Exception):
+    """Internal: an entry cannot be used (corrupt or truncated)."""
+
+
+class CacheVersionError(CacheEntryError):
+    """Internal: an entry is intact but was written by a different
+    pipeline/format/schema version."""
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR``, else ``$XDG_CACHE_HOME/repro``, else
+    ``~/.cache/repro``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro"
+
+
+def serialize(obj: Any, schema: dict[str, int] | None = None) -> bytes:
+    """Wrap ``obj`` in the versioned envelope described above."""
+    payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    header = json.dumps(
+        {
+            "format": FORMAT_VERSION,
+            "pipeline": PIPELINE_VERSION,
+            "schema": schema or {},
+            "payload_sha256": hashlib.sha256(payload).hexdigest(),
+        },
+        sort_keys=True, separators=(",", ":"),
+    ).encode("utf-8")
+    return _MAGIC + len(header).to_bytes(4, "little") + header + payload
+
+
+def deserialize(blob: bytes, expected_schema: dict[str, int] | None = None) -> Any:
+    """Unwrap an envelope; raise :class:`CacheEntryError` on any defect.
+
+    ``expected_schema`` maps artifact-type name to the version the
+    *current* code writes; the entry is usable when every type it
+    actually contains matches (an entry never has to contain every
+    known type — a partial compile stores a prefix).
+    """
+    if blob[:4] != _MAGIC:
+        raise CacheEntryError("bad magic")
+    if len(blob) < 8:
+        raise CacheEntryError("truncated header length")
+    header_len = int.from_bytes(blob[4:8], "little")
+    if header_len > _HEADER_LIMIT or len(blob) < 8 + header_len:
+        raise CacheEntryError("truncated header")
+    try:
+        header = json.loads(blob[8:8 + header_len].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise CacheEntryError(f"unreadable header: {exc}") from None
+    if not isinstance(header, dict):
+        raise CacheEntryError(f"header is {type(header).__name__}, not object")
+    if header.get("format") != FORMAT_VERSION:
+        raise CacheVersionError(f"format {header.get('format')!r}")
+    if header.get("pipeline") != PIPELINE_VERSION:
+        raise CacheVersionError(f"pipeline {header.get('pipeline')!r}")
+    stored_schema = header.get("schema") or {}
+    if not isinstance(stored_schema, dict):
+        raise CacheEntryError("schema is not an object")
+    expected = expected_schema or {}
+    for name, version in stored_schema.items():
+        if expected.get(name) != version:
+            raise CacheVersionError(f"artifact {name!r} v{version}")
+    payload = blob[8 + header_len:]
+    if hashlib.sha256(payload).hexdigest() != header.get("payload_sha256"):
+        raise CacheEntryError("payload digest mismatch")
+    try:
+        return pickle.loads(payload)
+    except Exception as exc:  # noqa: BLE001 — any unpickling defect is a miss
+        raise CacheEntryError(f"unpicklable payload: {exc}") from None
+
+
+@dataclass
+class DiskCacheStats:
+    """Counters of one :class:`DiskCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+    #: entries dropped because they could not be read back
+    corrupt: int = 0
+    #: intact entries skipped because of format/pipeline/schema skew
+    version_skips: int = 0
+    #: stores abandoned because the directory was unwritable/full
+    write_errors: int = 0
+
+
+class DiskCache:
+    """SHA-256 fingerprint → versioned serialized object, on disk.
+
+    The generic persistence layer: :class:`.session.StageCache` stores
+    cumulative artifact snapshots under stage keys, and
+    :class:`repro.arch.explore.ExploreCache` stores evaluated sweep
+    candidates — both through this one store, distinguished by their
+    fingerprint namespaces and their schemas.
+
+    Safe to share one directory between concurrent processes; see the
+    module docstring for the guarantees.
+    """
+
+    def __init__(self, cache_dir: str | Path | None = None,
+                 max_bytes: int = 256 * 1024 * 1024):
+        if max_bytes < 1:
+            raise ValueError("max_bytes must be >= 1")
+        self.root = Path(cache_dir) if cache_dir is not None \
+            else default_cache_dir()
+        self.objects = self.root / "objects"
+        self.max_bytes = max_bytes
+        self.stats = DiskCacheStats()
+        self._lock = threading.Lock()
+        #: running size guess; None until the first put scans the store.
+        #: Only gates *when* the real (scanning) eviction runs — drift
+        #: from concurrent processes cannot over- or under-delete.
+        self._size_estimate: int | None = None
+
+    # -- paths ---------------------------------------------------------
+
+    def path_for(self, key: str) -> Path:
+        """The entry file a fingerprint maps to (existing or not)."""
+        return self.objects / key[:2] / f"{key}{_SUFFIX}"
+
+    def _entries(self) -> list[Path]:
+        if not self.objects.is_dir():
+            return []
+        return [p for p in self.objects.glob(f"*/*{_SUFFIX}") if p.is_file()]
+
+    def __len__(self) -> int:
+        return len(self._entries())
+
+    def size_bytes(self) -> int:
+        """Total bytes currently stored (best effort under concurrency)."""
+        total = 0
+        for path in self._entries():
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue
+        return total
+
+    # -- get / put -----------------------------------------------------
+
+    def get(self, key: str, schema: dict[str, int] | None = None) -> Any:
+        """The object stored under ``key``, or ``None`` on any miss."""
+        path = self.path_for(key)
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            with self._lock:
+                self.stats.misses += 1
+            return None
+        try:
+            obj = deserialize(blob, schema)
+        except CacheVersionError:
+            with self._lock:
+                self.stats.version_skips += 1
+                self.stats.misses += 1
+            self._drop(path)
+            return None
+        except CacheEntryError:
+            with self._lock:
+                self.stats.corrupt += 1
+                self.stats.misses += 1
+            self._drop(path)
+            return None
+        try:
+            os.utime(path)  # LRU recency for eviction
+        except OSError:
+            pass
+        with self._lock:
+            self.stats.hits += 1
+        return obj
+
+    def put(self, key: str, obj: Any,
+            schema: dict[str, int] | None = None) -> None:
+        """Atomically publish ``obj`` under ``key`` and enforce the
+        size bound.
+
+        Write failures (unwritable directory, full disk) degrade to an
+        uncached compile — counted on ``stats.write_errors``, never
+        raised: a broken cache must not break the compiler.
+        """
+        path = self.path_for(key)
+        tmp = None
+        try:
+            blob = serialize(obj, schema)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(blob)
+            os.replace(tmp, path)
+        except Exception:  # noqa: BLE001 — OSError *or* pickling failure
+            if tmp is not None:
+                self._drop(Path(tmp))
+            with self._lock:
+                self.stats.write_errors += 1
+            return
+        with self._lock:
+            self.stats.stores += 1
+            if self._size_estimate is None:
+                self._size_estimate = self.size_bytes()
+            else:
+                self._size_estimate += len(blob)
+            over_bound = self._size_estimate > self.max_bytes
+        if over_bound:
+            self._evict()
+
+    def clear(self) -> None:
+        """Delete every entry (the directory itself is kept)."""
+        for path in self._entries():
+            self._drop(path)
+        with self._lock:
+            self._size_estimate = 0
+
+    # -- eviction ------------------------------------------------------
+
+    def _drop(self, path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    def _evict(self) -> None:
+        """Delete least-recently-used entries until under ``max_bytes``.
+
+        This is the scanning pass — :meth:`put` only triggers it when
+        the running size estimate crosses the bound, so steady-state
+        fills stay O(1) per store.  Competing evictors racing on the
+        same directory simply find some files already gone; that is
+        fine.
+        """
+        stamped = []
+        total = 0
+        for path in self._entries():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            stamped.append((stat.st_mtime, stat.st_size, path))
+            total += stat.st_size
+        for _, size, path in sorted(stamped):
+            if total <= self.max_bytes:
+                break
+            self._drop(path)
+            with self._lock:
+                self.stats.evictions += 1
+            total -= size
+        with self._lock:
+            self._size_estimate = total

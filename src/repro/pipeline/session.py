@@ -1,4 +1,4 @@
-"""The stage driver: sessions, caching, partial compiles, resumption.
+"""The stage driver: sessions, caching, partial compiles, batching.
 
 A :class:`CompileSession` runs the stage chain of
 :mod:`repro.pipeline.stages` over a :class:`CompileState`.  With a
@@ -8,6 +8,14 @@ later compile whose chain reaches the same key restores the snapshot
 and skips straight past it — so an identical re-compile costs eight
 cache lookups, and a compile that differs only late in the chain
 (say a new cycle budget) reuses everything up to the schedule stage.
+
+The memory cache can be layered over a
+:class:`~repro.pipeline.diskcache.DiskCache`: misses fall through to
+the on-disk store, hydrate the memory tier, and stores are written
+through — which is what makes a *second process* (or a warm design
+sweep the next morning) start from the artifacts instead of the source.
+:class:`BatchSession` compiles a whole application set through one
+shared cache so identical prefixes are computed once across the batch.
 
 Snapshots are deep copies taken at store *and* restore time, so
 downstream stages (which mutate RT programs in place, exactly like the
@@ -20,25 +28,33 @@ from __future__ import annotations
 
 import copy
 import threading
+import time
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any
 
 from ..arch.library import CoreSpec
 from ..arch.merge import MergeSpec
+from ..errors import ReproError
 from ..lang.dfg import Dfg
-from .artifacts import CompileRequest, CompileState
+from .artifacts import CompileRequest, CompileState, artifact_schema
+from .diskcache import DiskCache
 from .stages import PIPELINE_STAGES, STAGE_NAMES
 
 
 @dataclass
 class CacheStats:
-    """Hit/miss/store counters of one :class:`StageCache`."""
+    """Hit/miss/store counters of one :class:`StageCache`.
+
+    ``hits`` counts restores from either tier; ``disk_hits`` the subset
+    served by the on-disk layer (and hydrated into memory).
+    """
 
     hits: int = 0
     misses: int = 0
     stores: int = 0
     evictions: int = 0
+    disk_hits: int = 0
 
 
 class StageCache:
@@ -48,12 +64,27 @@ class StageCache:
     cache.  Entries are cumulative artifact dicts; both :meth:`put` and
     :meth:`get` deep-copy so cached state is immutable from the
     outside.
+
+    ``disk`` layers a persistent :class:`DiskCache` underneath: a
+    memory miss consults the store (a disk hit hydrates the memory
+    tier), and every store is written through, so the artifacts survive
+    the process.
+
+    Entries are deliberately *cumulative* (each stage's snapshot holds
+    the whole prefix), so any prefix restores with exactly one read —
+    the price is that a cold compile writes each upstream artifact into
+    every downstream entry.  Reads dominate writes in the workloads
+    this serves (re-compile loops, warm sweeps), so the trade goes to
+    read speed; store-one-delta-per-stage is the alternative if write
+    volume ever matters.
     """
 
-    def __init__(self, max_entries: int = 256):
+    def __init__(self, max_entries: int = 256,
+                 disk: DiskCache | None = None):
         if max_entries < 1:
             raise ValueError("max_entries must be >= 1")
         self.max_entries = max_entries
+        self.disk = disk
         self.stats = CacheStats()
         self._entries: OrderedDict[str, dict[str, Any]] = OrderedDict()
         self._lock = threading.Lock()
@@ -67,29 +98,85 @@ class StageCache:
         ``shared`` is a deepcopy memo pre-seeded with the objects the
         copy must alias rather than duplicate (the core spec).
         """
+        snapshot, _ = self.get_entry(key, shared)
+        return snapshot
+
+    def get_entry(
+        self, key: str, shared: dict[int, Any],
+    ) -> tuple[dict[str, Any] | None, str | None]:
+        """Like :meth:`get`, also naming the serving tier.
+
+        Returns ``(snapshot, "memory" | "disk")`` on a hit and
+        ``(None, None)`` on a miss.
+        """
         with self._lock:
             snapshot = self._entries.get(key)
-            if snapshot is None:
-                self.stats.misses += 1
-                return None
-            self._entries.move_to_end(key)
-            self.stats.hits += 1
-        return copy.deepcopy(snapshot, dict(shared))
+            if snapshot is not None:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+        if snapshot is not None:
+            # Deep-copy outside the lock: snapshots are never mutated
+            # once stored, and the copy is the expensive part.
+            return copy.deepcopy(snapshot, dict(shared)), "memory"
+        if self.disk is not None:
+            from .artifacts import ARTIFACT_VERSIONS
+
+            snapshot = self.disk.get(key, schema=ARTIFACT_VERSIONS)
+            if snapshot is not None:
+                snapshot = _realias_core(snapshot, shared)
+                with self._lock:
+                    self._insert(key, snapshot)
+                    self.stats.hits += 1
+                    self.stats.disk_hits += 1
+                return copy.deepcopy(snapshot, dict(shared)), "disk"
+        with self._lock:
+            self.stats.misses += 1
+        return None, None
 
     def put(self, key: str, artifacts: dict[str, Any],
             shared: dict[int, Any]) -> None:
+        """Snapshot ``artifacts`` under ``key`` (and write through to
+        disk when layered).  ``shared`` as in :meth:`get`."""
         snapshot = copy.deepcopy(artifacts, dict(shared))
         with self._lock:
-            self._entries[key] = snapshot
-            self._entries.move_to_end(key)
+            self._insert(key, snapshot)
             self.stats.stores += 1
-            while len(self._entries) > self.max_entries:
-                self._entries.popitem(last=False)
-                self.stats.evictions += 1
+        if self.disk is not None:
+            self.disk.put(key, snapshot, schema=artifact_schema(snapshot))
+
+    def _insert(self, key: str, snapshot: dict[str, Any]) -> None:
+        """Install an entry and enforce the LRU bound (lock held)."""
+        self._entries[key] = snapshot
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
 
     def clear(self) -> None:
+        """Drop the memory tier (the disk store is untouched)."""
         with self._lock:
             self._entries.clear()
+
+
+def _realias_core(snapshot: dict[str, Any],
+                  shared: dict[int, Any]) -> dict[str, Any]:
+    """Swap the core unpickled inside a disk-loaded snapshot for the
+    session's canonical core object.
+
+    Content equality is guaranteed (core-dependent stage keys include
+    the core fingerprint); restoring *identity* makes the shared-core
+    deepcopy memo apply to every later memory-tier hit and keeps
+    restored artifacts referencing ``request.core`` itself.  Snapshots
+    from the core-independent prefix embed no core and pass through.
+    """
+    program = snapshot.get("base_program")
+    if program is None or len(shared) != 1:
+        return snapshot
+    [canonical] = shared.values()
+    embedded = getattr(program, "core", None)
+    if embedded is None or embedded is canonical:
+        return snapshot
+    return copy.deepcopy(snapshot, {id(embedded): canonical})
 
 
 #: Sentinel: "create a private cache for this session".
@@ -150,16 +237,17 @@ class CompileSession:
         shared = {id(core): core}
         for stage in self.stages:
             if self.cache is None:
-                stage.run(state)
+                stage.execute(state)
                 state.completed.append(stage.name)
             else:
                 key = stage.key(state)
-                restored = self.cache.get(key, shared)
+                restored, source = self.cache.get_entry(key, shared)
                 if restored is not None:
                     state.artifacts = restored
                     state.cache_hits[stage.name] = True
+                    state.cache_sources[stage.name] = source
                 else:
-                    stage.run(state)
+                    stage.execute(state)
                     state.cache_hits[stage.name] = False
                 state.fingerprints[stage.name] = key
                 state.completed.append(stage.name)
@@ -172,3 +260,131 @@ class CompileSession:
     def compile(self, application: Dfg | str, core: CoreSpec, **options):
         """Run the full pipeline and return a :class:`CompiledProgram`."""
         return self.run(application, core, **options).as_compiled()
+
+
+# ----------------------------------------------------------------------
+# Batched multi-application sessions
+
+
+@dataclass
+class BatchEntry:
+    """One application's outcome within a :class:`BatchResult`.
+
+    Exactly one of ``state`` / ``error`` is set; ``seconds`` is the
+    wall-clock cost of this application inside the batch.
+    """
+
+    name: str
+    state: CompileState | None = None
+    error: str | None = None
+    seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """True when this application compiled."""
+        return self.state is not None
+
+
+@dataclass
+class BatchResult:
+    """The outcome of one :meth:`BatchSession.compile_many` call."""
+
+    entries: list[BatchEntry] = field(default_factory=list)
+    seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """True when every application in the batch compiled."""
+        return all(entry.ok for entry in self.entries)
+
+    @property
+    def states(self) -> list[CompileState]:
+        """The states of the applications that compiled, batch order."""
+        return [e.state for e in self.entries if e.state is not None]
+
+    def stage_counts(self) -> dict[str, int]:
+        """``{"executed": n, "memory": n, "disk": n}`` over the batch."""
+        counts = {"executed": 0, "memory": 0, "disk": 0}
+        for entry in self.entries:
+            if entry.state is None:
+                continue
+            for tier, n in entry.state.cache_counts().items():
+                counts[tier] += n
+        return counts
+
+
+class BatchSession:
+    """Compile a set of applications against a shared core in one go.
+
+    The batch shares a single :class:`StageCache` (optionally
+    disk-backed), so identical prefixes — the same application at two
+    budgets, duplicated sources across a project, re-runs of yesterday's
+    set against today's core — are computed once and restored everywhere
+    else, across the batch *and*, with ``disk``, across processes.
+
+    A failing application does not abort the batch: its error lands on
+    the :class:`BatchEntry` and the remaining applications still
+    compile.
+
+    ::
+
+        batch = BatchSession(disk=DiskCache(cache_dir))
+        result = batch.compile_many(sources, core, budget=64)
+        for entry in result.entries:
+            print(entry.name, entry.state.schedule.length)
+    """
+
+    def __init__(self, cache: StageCache | None | object = _DEFAULT_CACHE,
+                 disk: DiskCache | None = None):
+        if cache is _DEFAULT_CACHE:
+            cache = StageCache(disk=disk)
+        elif disk is not None:
+            raise ValueError("pass either a prebuilt cache or disk=, not both")
+        self.session = CompileSession(cache=cache)
+
+    @property
+    def cache(self) -> StageCache | None:
+        """The stage cache the whole batch shares."""
+        return self.session.cache
+
+    def compile_many(
+        self,
+        applications: list[Dfg | str],
+        core: CoreSpec,
+        names: list[str] | None = None,
+        stop_after: str | None = None,
+        **options,
+    ) -> BatchResult:
+        """Run every application through the shared session.
+
+        ``names`` labels the batch entries (defaults to the DFG names /
+        ``app[i]`` for text sources); ``options`` are the usual
+        :meth:`CompileSession.run` keywords, applied to every
+        application.  Only compiler errors (:class:`ReproError`) are
+        captured per-entry; anything else is a bug and propagates.
+        """
+        if names is not None and len(names) != len(applications):
+            raise ValueError(
+                f"{len(names)} names for {len(applications)} applications"
+            )
+        result = BatchResult()
+        batch_start = time.perf_counter()
+        for index, application in enumerate(applications):
+            if names is not None:
+                name = names[index]
+            elif isinstance(application, Dfg):
+                name = application.name
+            else:
+                name = f"app[{index}]"
+            start = time.perf_counter()
+            entry = BatchEntry(name=name)
+            try:
+                entry.state = self.session.run(
+                    application, core, stop_after=stop_after, **options
+                )
+            except ReproError as exc:
+                entry.error = f"{type(exc).__name__}: {exc}"
+            entry.seconds = time.perf_counter() - start
+            result.entries.append(entry)
+        result.seconds = time.perf_counter() - batch_start
+        return result

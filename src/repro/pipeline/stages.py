@@ -22,6 +22,8 @@ candidate cores during design-space exploration.
 
 from __future__ import annotations
 
+from collections import Counter
+
 from ..core.artificial import impose_instruction_set
 from ..core.instruction_set import InstructionSet
 from ..core.merge import apply_merges, merged_register_file_sizes
@@ -43,6 +45,12 @@ from .artifacts import (
 )
 
 
+#: Process-wide tally of actual stage-body executions (cache restores
+#: do not count).  The cross-process cache tests assert a warm compile
+#: leaves every counter untouched.
+STAGE_EXECUTIONS: Counter[str] = Counter()
+
+
 class Stage:
     """One pipeline phase: a name, the artifacts it provides, a content
     key and a body operating on the shared :class:`CompileState`."""
@@ -51,10 +59,22 @@ class Stage:
     provides: tuple[str, ...] = ()
 
     def key(self, state: CompileState) -> str:
+        """Content fingerprint of everything that determines this
+        stage's output on ``state`` (chained onto the upstream key)."""
         raise NotImplementedError
 
     def run(self, state: CompileState) -> None:
+        """Produce this stage's artifacts into ``state.artifacts``."""
         raise NotImplementedError
+
+    def execute(self, state: CompileState) -> None:
+        """Run the stage body, counting the execution.
+
+        The session driver calls this (never :meth:`run` directly) so
+        :data:`STAGE_EXECUTIONS` stays an exact record of work done.
+        """
+        STAGE_EXECUTIONS[self.name] += 1
+        self.run(state)
 
     def _chain(self, state: CompileState, *parts) -> str:
         """Fingerprint ``parts`` chained onto the previous stage's key."""

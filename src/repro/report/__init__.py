@@ -2,6 +2,7 @@
 
 from .occupation import OccupationRow, occupation_chart, occupation_rows
 from .tables import (
+    batch_report,
     class_table_report,
     conflict_report,
     exploration_report,
@@ -12,6 +13,7 @@ from .tables import (
 
 __all__ = [
     "OccupationRow",
+    "batch_report",
     "class_table_report",
     "conflict_report",
     "exploration_report",

@@ -173,3 +173,34 @@ def summary_report(compiled) -> str:
         f"{len(compiled.binary.words)} words",
     ]
     return "\n".join(lines)
+
+
+def batch_report(result) -> str:
+    """Render a :class:`~repro.pipeline.session.BatchResult` as the
+    per-application outcome table of the ``batch`` CLI command.
+
+    One row per application: schedule length, how many stages actually
+    executed versus were restored from the memory/disk cache tiers,
+    wall-clock seconds, and the error for applications that failed.
+    """
+    name_width = max([len(e.name) for e in result.entries] + [len("application")])
+    header = (f"{'application':<{name_width}}  cycles  executed  "
+              f"memory  disk  seconds  status")
+    lines = [header, "-" * len(header)]
+    for entry in result.entries:
+        if entry.state is not None:
+            state = entry.state
+            cycles = (str(state.schedule.length)
+                      if "schedule" in state.artifacts else "-")
+            counts = state.cache_counts()
+            executed, memory, disk = (counts["executed"], counts["memory"],
+                                      counts["disk"])
+            status = "ok"
+        else:
+            cycles, executed, memory, disk = "-", "-", "-", "-"
+            status = entry.error or "failed"
+        lines.append(
+            f"{entry.name:<{name_width}}  {cycles:>6}  {executed!s:>8}  "
+            f"{memory!s:>6}  {disk!s:>4}  {entry.seconds:7.3f}  {status}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,16 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def hermetic_disk_cache(tmp_path, monkeypatch):
+    """Point the default persistent stage cache at a per-test directory.
+
+    CLI commands keep a disk cache under ``~/.cache/repro`` by default;
+    tests must neither read a developer's warm cache (hiding cold-path
+    bugs) nor litter it.
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))

@@ -204,3 +204,46 @@ class TestParetoFront:
         front = pareto_front(points)
         assert front
         assert all(p.feasible for p in front)
+
+
+class TestDiskBackedSweeps:
+    """Warm sweeps across processes: the candidate memo persists."""
+
+    def test_warm_sweep_hits_disk(self, tmp_path):
+        from repro.pipeline import DiskCache
+
+        dfgs = app_set()
+        allocations = [Allocation(), Allocation(n_alu=2)]
+        cold = explore(dfgs, allocations, cache_dir=str(tmp_path))
+
+        # A fresh cache over the same directory is what a new process
+        # starts with: every candidate restores from disk.
+        warm_cache = ExploreCache(disk=DiskCache(tmp_path))
+        warm = explore(dfgs, allocations, cache=warm_cache)
+        assert warm_cache.disk_hits == len(allocations)
+        assert warm_cache.misses == 0
+        assert [p.schedule_lengths for p in warm] == \
+            [p.schedule_lengths for p in cold]
+        assert [p.n_opus for p in warm] == [p.n_opus for p in cold]
+
+    def test_corrupt_candidate_entry_is_recomputed(self, tmp_path):
+        from repro.pipeline import DiskCache
+
+        dfgs = app_set()
+        allocations = [Allocation()]
+        explore(dfgs, allocations, cache_dir=str(tmp_path))
+        disk = DiskCache(tmp_path)
+        for path in disk.objects.glob("*/*.rpdc"):
+            path.write_bytes(b"junk")
+        warm_cache = ExploreCache(disk=DiskCache(tmp_path))
+        warm = explore(dfgs, allocations, cache=warm_cache)
+        assert warm_cache.disk_hits == 0
+        assert warm[0].feasible
+
+    def test_failures_persist_too(self, tmp_path):
+        dfgs = app_set()
+        allocations = [Allocation()]
+        cold = explore(dfgs, allocations, budget=1, cache_dir=str(tmp_path))
+        warm = explore(dfgs, allocations, budget=1, cache_dir=str(tmp_path))
+        assert not cold[0].feasible
+        assert warm[0].failures == cold[0].failures

@@ -1,6 +1,10 @@
 """Tests for the command-line interface."""
 
 import json
+import os
+import subprocess
+import sys
+from pathlib import Path
 
 import pytest
 
@@ -211,6 +215,31 @@ class TestExploreCommand:
         assert streams[0] == streams[1]
         assert f"o: [{Q15.from_float(0.25)}" in streams[0]
 
+    def test_compile_reports_cache_line(self, source_file, capsys):
+        assert main(["compile", source_file, "--core", "fir"]) == 0
+        assert "stage cache  : 0/8 stages cached" in capsys.readouterr().out
+        assert main(["compile", source_file, "--core", "fir"]) == 0
+        assert "stage cache  : 8/8 stages cached" in capsys.readouterr().out
+
+    def test_compile_no_disk_cache_is_cold(self, source_file, capsys):
+        for _ in range(2):
+            assert main([
+                "compile", source_file, "--core", "fir", "--no-disk-cache",
+            ]) == 0
+            out = capsys.readouterr().out
+            assert "stage cache" not in out
+            assert "schedule" in out
+
+    def test_stop_after_marks_cache_sources(self, source_file, tmp_path,
+                                            capsys):
+        cache = str(tmp_path / "cache")
+        args = ["compile", source_file, "--core", "fir",
+                "--stop-after", "schedule", "--cache-dir", cache]
+        assert main(args) == 0
+        assert "[disk]" not in capsys.readouterr().out
+        assert main(args) == 0
+        assert "[disk]" in capsys.readouterr().out
+
     def test_budget_failure_is_reported(self, source_file, capsys):
         code = main([
             "compile", source_file, "--core", "fir", "--budget", "1",
@@ -221,3 +250,116 @@ class TestExploreCommand:
     def test_missing_file_is_reported(self, capsys):
         assert main(["compile", "/no/such/file.dsp", "--core", "fir"]) == 1
         assert "error:" in capsys.readouterr().err
+
+
+class TestBatchCommand:
+    def test_batch_table(self, source_file, chain_file, capsys):
+        assert main([
+            "batch", source_file, chain_file, "--core", "fir",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "application" in out and "cycles" in out
+        assert "gain.dsp" in out and "chain.dsp" in out
+        assert "2/2 applications compiled" in out
+
+    def test_batch_duplicate_sources_share_stages(self, source_file, capsys):
+        assert main([
+            "batch", source_file, source_file, "--core", "fir",
+            "--no-disk-cache",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "8 memory hits" in out
+
+    def test_batch_json(self, source_file, chain_file, capsys):
+        assert main([
+            "batch", source_file, chain_file, "--core", "fir", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["core"] == "fir"
+        assert [a["ok"] for a in payload["applications"]] == [True, True]
+        assert payload["applications"][0]["application"] == "gain"
+        assert payload["applications"][0]["n_cycles"] >= 1
+        assert payload["cache"]["executed"] == 16
+
+    def test_batch_writes_images(self, source_file, tmp_path, capsys):
+        out_dir = tmp_path / "images"
+        assert main([
+            "batch", source_file, "--core", "fir", "--out-dir", str(out_dir),
+        ]) == 0
+        payload = json.loads((out_dir / "gain.json").read_text())
+        assert payload["image_format_version"] == 1
+
+    def test_batch_colliding_stems_never_clobber(self, tmp_path, capsys):
+        a = tmp_path / "a" / "filter.dsp"
+        b = tmp_path / "b" / "filter.dsp"
+        for path, gain in ((a, "0.5"), (b, "0.25")):
+            path.parent.mkdir()
+            path.write_text(GAIN.replace("0.5", gain))
+        out_dir = tmp_path / "images"
+        assert main([
+            "batch", str(a), str(b), "--core", "fir",
+            "--out-dir", str(out_dir),
+        ]) == 0
+        first = json.loads((out_dir / "filter.json").read_text())
+        second = json.loads((out_dir / "filter-2.json").read_text())
+        # Different gains -> different immediates -> different words;
+        # the point is that neither image clobbered the other.
+        assert first["words"] != second["words"]
+
+    def test_unreadable_source_is_reported(self, tmp_path, capsys):
+        # A directory where a source file is expected: OSError, not a
+        # traceback (the docs/cli.md exit-code contract).
+        assert main(["compile", str(tmp_path), "--core", "fir"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_batch_failure_exit_code(self, source_file, chain_file, capsys):
+        assert main([
+            "batch", source_file, chain_file, "--core", "fir",
+            "--budget", "1",
+        ]) == 1
+        out = capsys.readouterr().out
+        assert "BudgetExceededError" in out
+        assert "0/2 applications compiled" in out
+
+    def test_batch_warm_second_run_hits_disk(self, source_file, chain_file,
+                                             tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        args = ["batch", source_file, chain_file, "--core", "fir",
+                "--cache-dir", cache]
+        assert main(args) == 0
+        assert "16 disk hits" not in capsys.readouterr().out
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "0 executed" in out
+        assert "16 disk hits" in out
+
+
+class TestCrossProcessCache:
+    """The acceptance scenario end to end: two real processes, one
+    cache directory, bit-identical images."""
+
+    def run_cli(self, *argv, cache_dir):
+        env = dict(os.environ)
+        root = Path(__file__).resolve().parent.parent
+        env["PYTHONPATH"] = str(root / "src")
+        env["REPRO_CACHE_DIR"] = str(cache_dir)
+        return subprocess.run(
+            [sys.executable, "-m", "repro", *argv],
+            capture_output=True, text=True, env=env, cwd=root, timeout=120,
+        )
+
+    def test_second_process_restores_from_disk(self, source_file, tmp_path):
+        cache_dir = tmp_path / "cache"
+        first_image = tmp_path / "first.json"
+        second_image = tmp_path / "second.json"
+
+        first = self.run_cli("compile", source_file, "--core", "fir",
+                             "--out", str(first_image), cache_dir=cache_dir)
+        assert first.returncode == 0, first.stderr
+        assert "stage cache  : 0/8 stages cached" in first.stdout
+
+        second = self.run_cli("compile", source_file, "--core", "fir",
+                              "--out", str(second_image), cache_dir=cache_dir)
+        assert second.returncode == 0, second.stderr
+        assert "stage cache  : 8/8 stages cached (8 disk)" in second.stdout
+        assert first_image.read_bytes() == second_image.read_bytes()

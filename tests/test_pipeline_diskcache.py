@@ -1,0 +1,383 @@
+"""Tests for the persistent stage cache and batched sessions.
+
+The load-bearing guarantees: a second process restores every stage from
+disk (zero stage-body executions, bit-identical binary), a bad entry is
+a miss and never a crash, version skew invalidates instead of
+deserializing nonsense, concurrent writers on one directory are safe,
+and the store honors its size bound.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+
+import pytest
+
+from repro import Q15, audio_core, run_reference, tiny_core
+from repro.errors import ReproError
+from repro.pipeline import (
+    ARTIFACT_VERSIONS,
+    STAGE_EXECUTIONS,
+    STAGE_NAMES,
+    BatchSession,
+    CompileSession,
+    DiskCache,
+    StageCache,
+)
+from repro.pipeline import diskcache
+from repro.pipeline.diskcache import deserialize, serialize
+
+SOURCE = """
+app opts;
+param k = 0.5;
+input i; output o;
+state s(1);
+loop {
+  s = i;
+  m := mlt(k, s@1);
+  o = add_clip(m, i);
+}
+"""
+
+VARIANT = SOURCE.replace("0.5", "0.25")
+
+
+def stimulus():
+    return {"i": [Q15.from_float(v) for v in (0.5, -0.25, 0.125, 0.0, 0.9)]}
+
+
+def session_on(cache_dir, **disk_options) -> CompileSession:
+    """A fresh session over ``cache_dir`` — an empty memory tier plus
+    the shared store, which is exactly what a new process starts with."""
+    return CompileSession(
+        cache=StageCache(disk=DiskCache(cache_dir, **disk_options))
+    )
+
+
+class TestEnvelope:
+    def test_roundtrip(self):
+        obj = {"dfg": [1, 2, 3], "binary": ("words", 42)}
+        schema = {"dfg": 1, "binary": 1}
+        assert deserialize(serialize(obj, schema), schema) == obj
+
+    def test_schema_subset_is_compatible(self):
+        # An entry holding a prefix of the artifacts (a partial compile)
+        # must deserialize under the full expected table.
+        blob = serialize({"source_dfg": "x"}, {"source_dfg": 1})
+        assert deserialize(blob, ARTIFACT_VERSIONS) == {"source_dfg": "x"}
+
+    def test_schema_skew_rejected(self):
+        blob = serialize({"dfg": "x"}, {"dfg": 1})
+        with pytest.raises(diskcache.CacheVersionError):
+            deserialize(blob, {"dfg": 2})
+
+    def test_corruption_rejected(self):
+        blob = serialize({"x": 1})
+        flipped = blob[:-1] + bytes([blob[-1] ^ 0xFF])
+        with pytest.raises(diskcache.CacheEntryError):
+            deserialize(flipped)
+        with pytest.raises(diskcache.CacheEntryError):
+            deserialize(b"not an entry at all")
+        with pytest.raises(diskcache.CacheEntryError):
+            deserialize(blob[: len(blob) // 2])
+
+    def test_non_object_header_rejected(self):
+        # Valid JSON but not an object: still corruption, never a crash.
+        header = b"[1, 2]"
+        blob = diskcache._MAGIC + len(header).to_bytes(4, "little") + header
+        with pytest.raises(diskcache.CacheEntryError):
+            deserialize(blob)
+
+    def test_non_object_schema_rejected(self):
+        import json as json_module
+
+        header = json_module.dumps({
+            "format": diskcache.FORMAT_VERSION,
+            "pipeline": diskcache.PIPELINE_VERSION,
+            "schema": [1, 2],
+            "payload_sha256": "0" * 64,
+        }).encode()
+        blob = diskcache._MAGIC + len(header).to_bytes(4, "little") + header
+        with pytest.raises(diskcache.CacheEntryError):
+            deserialize(blob)
+
+
+class TestSecondProcess:
+    """The acceptance criterion: warm cross-process compiles do no
+    stage work and reproduce the binary bit for bit."""
+
+    def test_zero_stage_executions_and_bit_identical_binary(self, tmp_path):
+        first = session_on(tmp_path).compile(SOURCE, audio_core(), budget=64)
+
+        before = dict(STAGE_EXECUTIONS)
+        state = session_on(tmp_path).run(SOURCE, audio_core(), budget=64)
+        executed = {
+            name: STAGE_EXECUTIONS[name] - before.get(name, 0)
+            for name in STAGE_NAMES
+        }
+        assert executed == {name: 0 for name in STAGE_NAMES}
+        assert all(state.cache_hits[name] for name in STAGE_NAMES)
+        assert all(state.cache_sources[name] == "disk"
+                   for name in STAGE_NAMES)
+
+        second = state.as_compiled()
+        assert second.binary.words == first.binary.words
+        assert second.binary.rom_words == first.binary.rom_words
+        assert second.run(stimulus()) == run_reference(second.dfg, stimulus())
+
+    def test_different_request_still_executes(self, tmp_path):
+        session_on(tmp_path).compile(SOURCE, audio_core(), budget=64)
+        state = session_on(tmp_path).run(VARIANT, audio_core(), budget=64)
+        assert not any(state.cache_hits.values())
+
+    def test_partial_compile_resumes_across_processes(self, tmp_path):
+        session_on(tmp_path).run(SOURCE, audio_core(), budget=64,
+                                 stop_after="schedule")
+        state = session_on(tmp_path).run(SOURCE, audio_core(), budget=64)
+        assert all(state.cache_sources[name] == "disk"
+                   for name in STAGE_NAMES[:6])
+        assert not state.cache_hits["regalloc"]
+
+    def test_memory_tier_hydrated_from_disk(self, tmp_path):
+        session_on(tmp_path).compile(SOURCE, audio_core(), budget=64)
+        session = session_on(tmp_path)
+        session.compile(SOURCE, audio_core(), budget=64)
+        state = session.run(SOURCE, audio_core(), budget=64)
+        # Second compile in the same session: served from memory, not
+        # re-read from disk.
+        assert all(src == "memory" for src in state.cache_sources.values())
+        assert session.cache.stats.disk_hits == len(STAGE_NAMES)
+
+
+class TestCorruptionTolerance:
+    def test_corrupted_entry_is_a_miss(self, tmp_path):
+        session_on(tmp_path).compile(SOURCE, audio_core(), budget=64)
+        disk = DiskCache(tmp_path)
+        for path in sorted(disk.objects.glob("*/*.rpdc")):
+            path.write_bytes(b"garbage" * 100)
+        state = session_on(tmp_path).run(SOURCE, audio_core(), budget=64)
+        assert not any(state.cache_hits.values())
+        assert state.as_compiled().binary.words
+
+    def test_corrupt_entries_are_dropped_and_counted(self, tmp_path):
+        disk = DiskCache(tmp_path)
+        disk.put("ab" * 32, {"x": 1})
+        path = disk.path_for("ab" * 32)
+        path.write_bytes(b"\x00\x01\x02")
+        assert disk.get("ab" * 32) is None
+        assert disk.stats.corrupt == 1
+        assert not path.exists()
+        # The dropped entry cannot fail twice: now a plain miss.
+        assert disk.get("ab" * 32) is None
+        assert disk.stats.corrupt == 1
+
+    def test_truncated_entry_is_a_miss(self, tmp_path):
+        disk = DiskCache(tmp_path)
+        disk.put("cd" * 32, {"x": list(range(1000))})
+        path = disk.path_for("cd" * 32)
+        path.write_bytes(path.read_bytes()[:-20])
+        assert disk.get("cd" * 32) is None
+        assert disk.stats.corrupt == 1
+
+
+class TestUnwritableStore:
+    def test_unwritable_directory_degrades_to_uncached(self, tmp_path):
+        """A broken cache must not break the compiler: writes are
+        counted and dropped, the compile succeeds cold.
+
+        The cache root sits below a regular *file*, so every mkdir
+        fails with NotADirectoryError — unlike permission bits, that
+        holds even when the suite runs as root.
+        """
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory")
+        disk = DiskCache(blocker / "cache")
+        session = CompileSession(cache=StageCache(disk=disk))
+        compiled = session.compile(SOURCE, audio_core(), budget=64)
+        assert compiled.run(stimulus()) == \
+            run_reference(compiled.dfg, stimulus())
+        assert disk.stats.write_errors == len(STAGE_NAMES)
+        assert disk.stats.stores == 0
+
+    def test_unpicklable_object_degrades_too(self, tmp_path):
+        disk = DiskCache(tmp_path)
+        disk.put("ee" * 32, {"bad": lambda: None})
+        assert disk.stats.write_errors == 1
+        assert disk.stats.stores == 0
+        assert disk.get("ee" * 32) is None
+
+
+class TestVersioning:
+    def test_pipeline_version_skew_invalidates(self, tmp_path, monkeypatch):
+        session_on(tmp_path).compile(SOURCE, audio_core(), budget=64)
+        monkeypatch.setattr(diskcache, "PIPELINE_VERSION", 999)
+        disk = DiskCache(tmp_path)
+        state = CompileSession(cache=StageCache(disk=disk)).run(
+            SOURCE, audio_core(), budget=64)
+        assert not any(state.cache_hits.values())
+        assert disk.stats.version_skips > 0
+
+    def test_artifact_version_skew_invalidates(self, tmp_path, monkeypatch):
+        session_on(tmp_path).compile(SOURCE, audio_core(), budget=64)
+        bumped = dict(ARTIFACT_VERSIONS, schedule=ARTIFACT_VERSIONS["schedule"] + 1)
+        monkeypatch.setattr("repro.pipeline.artifacts.ARTIFACT_VERSIONS",
+                            bumped)
+        disk = DiskCache(tmp_path)
+        state = CompileSession(cache=StageCache(disk=disk)).run(
+            SOURCE, audio_core(), budget=64)
+        # Entries containing a schedule are skew; the pure prefix
+        # (parse/optimize/rtgen/merge/impose) still serves.
+        assert state.cache_hits["parse"]
+        assert state.cache_hits["impose"]
+        assert not state.cache_hits["schedule"]
+        assert not state.cache_hits["assemble"]
+        assert disk.stats.version_skips > 0
+
+    def test_format_version_skew_invalidates(self, tmp_path, monkeypatch):
+        disk = DiskCache(tmp_path)
+        disk.put("ef" * 32, {"x": 1})
+        monkeypatch.setattr(diskcache, "FORMAT_VERSION", 999)
+        fresh = DiskCache(tmp_path)
+        assert fresh.get("ef" * 32) is None
+        assert fresh.stats.version_skips == 1
+
+
+class TestConcurrency:
+    def test_two_sessions_one_directory(self, tmp_path):
+        """Two 'processes' compiling the same sources into one cache
+        directory concurrently: no crashes, correct results for both."""
+        def compile_one(source):
+            compiled = session_on(tmp_path).compile(source, audio_core(),
+                                                    budget=64)
+            return (compiled.binary.words, compiled.binary.rom_words)
+
+        with concurrent.futures.ThreadPoolExecutor(max_workers=4) as pool:
+            words = list(pool.map(compile_one,
+                                  [SOURCE, VARIANT, SOURCE, VARIANT] * 2))
+        assert words[0] == words[2] == words[4] == words[6]
+        assert words[1] == words[3] == words[5] == words[7]
+        assert words[0] != words[1]
+
+    def test_racing_writers_same_key(self, tmp_path):
+        disk = DiskCache(tmp_path)
+        key = "aa" * 32
+
+        def hammer(value):
+            for _ in range(25):
+                disk.put(key, {"payload": value})
+                got = disk.get(key)
+                # Last write wins; any complete entry is acceptable.
+                assert got is None or got["payload"] in (0, 1)
+
+        with concurrent.futures.ThreadPoolExecutor(max_workers=2) as pool:
+            list(pool.map(hammer, [0, 1]))
+        assert disk.stats.corrupt == 0
+
+
+class TestEviction:
+    def test_size_bound_evicts_lru(self, tmp_path):
+        one_entry = len(serialize({"payload": "x" * 1000}, {}))
+        disk = DiskCache(tmp_path, max_bytes=3 * one_entry)
+        for index in range(8):
+            disk.put(f"{index:02d}" + "0" * 62, {"payload": "x" * 1000})
+        assert disk.stats.evictions >= 5
+        assert disk.size_bytes() <= 3 * one_entry
+        # The newest entry survived; the oldest did not.
+        assert disk.get("07" + "0" * 62) is not None
+        assert disk.get("00" + "0" * 62) is None
+
+    def test_tiny_bound_still_correct(self, tmp_path):
+        """A cache too small to hold one compile's snapshots still
+        compiles correctly — it just cannot help later."""
+        session = session_on(tmp_path, max_bytes=1)
+        compiled = session.compile(SOURCE, audio_core(), budget=64)
+        assert compiled.run(stimulus()) == \
+            run_reference(compiled.dfg, stimulus())
+
+    def test_reads_refresh_recency(self, tmp_path):
+        one_entry = len(serialize({"payload": "x" * 1000}, {}))
+        disk = DiskCache(tmp_path, max_bytes=2 * one_entry + 8)
+        import os, time
+        disk.put("aa" + "0" * 62, {"payload": "x" * 1000})
+        disk.put("bb" + "0" * 62, {"payload": "x" * 1000})
+        # Backdate 'aa', then read it: the read must refresh it so the
+        # next eviction removes 'bb' instead.
+        old = time.time() - 1000
+        os.utime(disk.path_for("aa" + "0" * 62), (old, old))
+        os.utime(disk.path_for("bb" + "0" * 62), (old + 1, old + 1))
+        assert disk.get("aa" + "0" * 62) is not None
+        disk.put("cc" + "0" * 62, {"payload": "x" * 1000})
+        assert disk.get("bb" + "0" * 62) is None
+        assert disk.get("aa" + "0" * 62) is not None
+
+
+class TestBatchSession:
+    def test_batch_shares_identical_prefixes(self, tmp_path):
+        batch = BatchSession(disk=DiskCache(tmp_path))
+        result = batch.compile_many([SOURCE, SOURCE, VARIANT], audio_core(),
+                                    budget=64)
+        assert result.ok
+        assert len(result.states) == 3
+        first, duplicate, variant = result.entries
+        assert not any(first.state.cache_hits.values())
+        assert all(duplicate.state.cache_hits.values())
+        assert not any(variant.state.cache_hits.values())
+        assert duplicate.state.binary.words == first.state.binary.words
+        counts = result.stage_counts()
+        assert counts["memory"] == len(STAGE_NAMES)
+        assert counts["executed"] == 2 * len(STAGE_NAMES)
+
+    def test_batch_warm_across_processes(self, tmp_path):
+        BatchSession(disk=DiskCache(tmp_path)).compile_many(
+            [SOURCE, VARIANT], audio_core(), budget=64)
+        result = BatchSession(disk=DiskCache(tmp_path)).compile_many(
+            [SOURCE, VARIANT], audio_core(), budget=64)
+        counts = result.stage_counts()
+        assert counts["executed"] == 0
+        assert counts["disk"] == 2 * len(STAGE_NAMES)
+
+    def test_failures_do_not_abort_the_batch(self):
+        result = BatchSession(cache=None).compile_many(
+            [SOURCE, SOURCE], audio_core(), budget=1)
+        assert not result.ok
+        assert [entry.ok for entry in result.entries] == [False, False]
+        assert "BudgetExceededError" in result.entries[0].error
+        assert result.states == []
+
+    def test_bad_budget_mixed_with_good(self):
+        bad = "app broken; input i; output o; loop { o = frobnicate(i); }"
+        result = BatchSession(cache=None).compile_many(
+            [SOURCE, bad], audio_core(), budget=64)
+        assert result.entries[0].ok
+        assert not result.entries[1].ok
+        assert not result.ok
+
+    def test_names_label_entries(self):
+        result = BatchSession(cache=None).compile_many(
+            [SOURCE], audio_core(), names=["a.dsp"], budget=64)
+        assert result.entries[0].name == "a.dsp"
+        with pytest.raises(ValueError, match="names"):
+            BatchSession(cache=None).compile_many(
+                [SOURCE], audio_core(), names=["a", "b"])
+
+    def test_prebuilt_cache_and_disk_are_exclusive(self, tmp_path):
+        with pytest.raises(ValueError, match="not both"):
+            BatchSession(cache=StageCache(), disk=DiskCache(tmp_path))
+
+    def test_batch_stop_after(self):
+        result = BatchSession().compile_many([SOURCE], audio_core(),
+                                             stop_after="schedule")
+        state = result.entries[0].state
+        assert not state.is_complete
+        assert state.schedule.length >= 1
+
+
+class TestDefaultDirectory:
+    def test_env_var_overrides(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "custom"))
+        assert diskcache.default_cache_dir() == tmp_path / "custom"
+
+    def test_xdg_fallback(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+        assert diskcache.default_cache_dir() == tmp_path / "xdg" / "repro"

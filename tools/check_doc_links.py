@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Fail CI on broken intra-repo Markdown links.
+
+Scans every ``*.md`` file in the repository for inline links and
+images (``[text](target)``), and checks that:
+
+* relative targets resolve to an existing file or directory;
+* fragment links (``#anchor`` — bare, or appended to a Markdown
+  target) name a heading that actually exists, using GitHub's
+  heading-slug rules.
+
+External schemes (``http://``, ``https://``, ``mailto:``) are ignored
+— this guards the repository's own docs tree, not the internet.
+
+Usage::
+
+    python tools/check_doc_links.py [ROOT]
+
+Exits 0 when every link resolves, 1 otherwise (listing each broken
+link as ``file:line: message``).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: ``[text](target)`` with no nesting; images share the syntax.
+LINK = re.compile(r"!?\[[^\]\[]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+FENCE = re.compile(r"^\s*(```|~~~)")
+EXTERNAL = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
+
+SKIP_DIRS = {".git", ".venv", "node_modules", "__pycache__", ".pytest_cache"}
+
+
+def github_slug(heading: str, seen: dict[str, int]) -> str:
+    """GitHub's anchor id for a heading text (with duplicate suffixes)."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)          # strip code spans
+    text = re.sub(r"!?\[([^\]]*)\]\([^)]*\)", r"\1", text)  # links -> text
+    slug = "".join(
+        ch for ch in text.lower().replace(" ", "-")
+        if ch.isalnum() or ch in "-_"
+    )
+    count = seen.get(slug, 0)
+    seen[slug] = count + 1
+    return slug if count == 0 else f"{slug}-{count}"
+
+
+def markdown_files(root: Path) -> list[Path]:
+    return sorted(
+        path for path in root.rglob("*.md")
+        if not any(part in SKIP_DIRS for part in path.parts)
+    )
+
+
+def anchors_of(path: Path) -> set[str]:
+    """All heading anchors a Markdown file defines."""
+    seen: dict[str, int] = {}
+    anchors: set[str] = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = HEADING.match(line)
+        if match:
+            anchors.add(github_slug(match.group(2), seen))
+    return anchors
+
+
+def check_file(path: Path, root: Path, anchor_cache: dict[Path, set[str]],
+               problems: list[str]) -> None:
+    in_fence = False
+    for lineno, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1):
+        if FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK.finditer(line):
+            target = match.group(1)
+            if EXTERNAL.match(target):
+                continue
+            raw_path, _, fragment = target.partition("#")
+            if raw_path:
+                resolved = (path.parent / raw_path).resolve()
+                if not resolved.exists():
+                    problems.append(
+                        f"{path.relative_to(root)}:{lineno}: broken link "
+                        f"target {raw_path!r}"
+                    )
+                    continue
+            else:
+                resolved = path.resolve()
+            if fragment:
+                if resolved.is_dir() or resolved.suffix.lower() != ".md":
+                    continue  # anchors into non-Markdown: not checkable
+                if resolved not in anchor_cache:
+                    anchor_cache[resolved] = anchors_of(resolved)
+                if fragment.lower() not in anchor_cache[resolved]:
+                    try:
+                        shown = resolved.relative_to(root)
+                    except ValueError:  # target outside the scanned root
+                        shown = resolved
+                    problems.append(
+                        f"{path.relative_to(root)}:{lineno}: no heading "
+                        f"for anchor #{fragment} in {shown}"
+                    )
+
+
+def main(argv: list[str]) -> int:
+    root = Path(argv[1]).resolve() if len(argv) > 1 else \
+        Path(__file__).resolve().parent.parent
+    files = markdown_files(root)
+    problems: list[str] = []
+    anchor_cache: dict[Path, set[str]] = {}
+    for path in files:
+        check_file(path, root, anchor_cache, problems)
+    if problems:
+        print(f"{len(problems)} broken doc link(s):")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print(f"doc links ok: {len(files)} Markdown files checked")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
