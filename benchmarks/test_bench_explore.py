@@ -24,7 +24,16 @@ from pathlib import Path
 
 from repro import compile_application
 from repro.apps import fir_application, stress_application
-from repro.arch import Allocation, ExploreCache, explore, intermediate_architecture
+from repro.arch import (
+    Allocation,
+    ExploreCache,
+    SweepSpec,
+    explore,
+    explore_refined,
+    intermediate_architecture,
+    pareto_axes,
+    pareto_front,
+)
 from repro.errors import ReproError
 from repro.pipeline import DiskCache
 
@@ -186,6 +195,62 @@ def test_bench_explore_speedup(monkeypatch, tmp_path):
     print(f"  disk cache, cold fill         : {disk_cold_seconds:8.3f}s")
     print(f"  disk cache, new process       : {disk_warm_seconds:8.3f}s "
           f"({disk_cold_seconds / disk_warm_seconds:.0f}x)")
+    print(f"  results -> {RESULTS_PATH.name}")
+
+
+def test_bench_refine_prunes_the_grid():
+    """Coarse-to-fine vs the full multi-dimensional cross-product.
+
+    The load-bearing checks are exact: the refined sweep's Pareto front
+    equals the full grid's, while evaluating measurably fewer
+    candidates.  The wall clock lands in BENCH_explore.json as
+    ``refine_speedup`` next to the other trajectory numbers.
+    """
+    dfgs = application_set()
+    spec = SweepSpec(n_mults=(1, 2), n_alus=(1, 2, 3), n_rams=(1,),
+                     rf_sizes=(8, 12, 16))
+    axes = pareto_axes(spec)
+
+    t0 = time.perf_counter()
+    full_points = explore(dfgs, spec.allocations())
+    full_seconds = time.perf_counter() - t0
+    full_front = pareto_front(full_points, axes=axes)
+
+    t0 = time.perf_counter()
+    refined = explore_refined(dfgs, spec)
+    refine_seconds = time.perf_counter() - t0
+
+    assert refined.n_evaluated < spec.size, \
+        f"refinement evaluated the whole grid ({refined.n_evaluated})"
+    assert sorted(p.allocation.astuple() for p in refined.front) == \
+        sorted(p.allocation.astuple() for p in full_front), \
+        "coarse-to-fine front diverged from the full-grid front"
+    # Candidate counts above are the load-bearing pruning proof; the
+    # wall clock only guards against a gross regression — the expected
+    # win is ~1.3x, so the bound is deliberately loose for noisy CI.
+    assert refine_seconds <= full_seconds * 2.0, \
+        f"refined sweep grossly slower than the full grid: " \
+        f"{refine_seconds:.2f}s vs {full_seconds:.2f}s"
+
+    results = json.loads(RESULTS_PATH.read_text()) \
+        if RESULTS_PATH.exists() else {}
+    results.update({
+        "refine_grid": spec.size,
+        "refine_coarse": refined.n_coarse,
+        "refine_fine": refined.n_refined,
+        "refine_evaluated": refined.n_evaluated,
+        "full_grid_seconds": round(full_seconds, 4),
+        "refine_seconds": round(refine_seconds, 4),
+        "refine_speedup": round(full_seconds / refine_seconds, 3),
+    })
+    RESULTS_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"\ncoarse-to-fine sweep ({spec.size}-point grid x "
+          f"{len(dfgs)} applications):")
+    print(f"  full cross-product            : {full_seconds:8.3f}s "
+          f"({spec.size} candidates)")
+    print(f"  coarse-to-fine                : {refine_seconds:8.3f}s "
+          f"({refined.n_coarse} coarse + {refined.n_refined} refined, "
+          f"{full_seconds / refine_seconds:.2f}x)")
     print(f"  results -> {RESULTS_PATH.name}")
 
 

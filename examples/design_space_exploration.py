@@ -19,7 +19,13 @@ Run:  python examples/design_space_exploration.py
 """
 
 from repro.apps import fir_application, stress_application
-from repro.arch import Allocation, explore, pareto_front
+from repro.arch import (
+    Allocation,
+    SweepSpec,
+    explore,
+    explore_refined,
+    pareto_front,
+)
 
 BUDGET = 48
 
@@ -76,8 +82,25 @@ def main() -> None:
         print(f"chosen core: {a.n_mult} MULT, {a.n_alu} ALU, {a.n_ram} RAM "
               f"({best.n_opus} OPUs) — the smallest allocation meeting the "
               f"budget on every application.")
-        print("phase 2 would now freeze this datapath and its instruction "
-              "set, and program production applications onto it.")
+
+    # Second pass: size the register files too.  The grid now has a
+    # storage axis, so instead of the full cross-product the explorer
+    # sweeps coarse-to-fine: a thinned grid first, then only the
+    # fine-grid neighborhoods of its Pareto front.
+    print()
+    spec = SweepSpec(n_mults=(1, 2), n_alus=(1, 2), n_rams=(1,),
+                     rf_sizes=(8, 12, 16))
+    refined = explore_refined(applications, spec)
+    print(f"register-file sizing, coarse to fine: evaluated "
+          f"{refined.n_evaluated} of {refined.n_grid} grid points "
+          f"({refined.n_coarse} coarse + {refined.n_refined} refined)")
+    for point in refined.front:
+        a = point.allocation
+        print(f"  front: {a.n_mult} MULT, {a.n_alu} ALU, rf={a.rf_size} "
+              f"-> worst {point.worst_length} cycles, "
+              f"{point.storage_words} storage words")
+    print("phase 2 would now freeze the chosen datapath and its "
+          "instruction set, and program production applications onto it.")
 
 
 if __name__ == "__main__":

@@ -21,8 +21,11 @@ from .arch import (
     Allocation,
     CoreSpec,
     ExploreCache,
+    RefinedSweep,
+    SweepSpec,
     audio_core,
     explore,
+    explore_refined,
     fir_core,
     intermediate_architecture,
     pareto_front,
@@ -43,7 +46,7 @@ from .pipeline import (
     compile_application,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "Allocation",
@@ -60,12 +63,15 @@ __all__ = [
     "OptReport",
     "PassManager",
     "Q15",
+    "RefinedSweep",
     "ReproError",
     "StageCache",
+    "SweepSpec",
     "adaptive_core",
     "audio_core",
     "compile_application",
     "explore",
+    "explore_refined",
     "fir_core",
     "intermediate_architecture",
     "optimize",

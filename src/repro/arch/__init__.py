@@ -12,11 +12,19 @@ from .controller import ControllerSpec, CtrlOp
 from .datapath import Datapath, Route
 from .explore import (
     ARCHITECTURE_FAILURE,
+    MERGE_VARIANTS,
+    PARETO_AXES,
+    STORAGE_AXES,
     Allocation,
     ExplorationPoint,
     ExploreCache,
+    RefinedSweep,
+    SweepSpec,
     explore,
+    explore_refined,
     intermediate_architecture,
+    merge_spec_for,
+    pareto_axes,
     pareto_front,
     required_operations,
 )
@@ -60,8 +68,16 @@ __all__ = [
     "Bus",
     "ExplorationPoint",
     "ExploreCache",
+    "MERGE_VARIANTS",
+    "PARETO_AXES",
+    "RefinedSweep",
+    "STORAGE_AXES",
+    "SweepSpec",
     "explore",
+    "explore_refined",
     "intermediate_architecture",
+    "merge_spec_for",
+    "pareto_axes",
     "pareto_front",
     "required_operations",
     "BusMerge",

@@ -13,10 +13,19 @@ Piramid/Cathedral2 architecture."
 :func:`intermediate_architecture` synthesises that starting point for a
 set of applications: one or more OPUs per operation kind, one register
 file per OPU input port, one bus per OPU and full fan-out (every bus
-reaches every compatible operand file).  :func:`explore` sweeps OPU
-allocations and reports the schedule length of each candidate — the
+reaches every compatible operand file).  :func:`explore` sweeps
+candidate allocations and reports the schedule length of each — the
 quantitative feedback a core designer iterates on before freezing the
 instruction set.
+
+The design space is *multi-dimensional*: an :class:`Allocation` fixes
+not just the OPU unit counts but the register-file capacity, the
+data/coefficient memory sizes and a register-file merge variant, and a
+:class:`SweepSpec` enumerates a candidate grid over all of those axes.
+Because the full cross-product blows up combinatorially,
+:func:`explore_refined` runs a **coarse-to-fine** sweep: a thinned grid
+first, then only the fine-grid neighborhoods of the coarse Pareto
+front.
 
 The explorer is *optimizer-aware* and built on the staged pipeline:
 
@@ -25,21 +34,25 @@ The explorer is *optimizer-aware* and built on the staged pipeline:
   not the source as written); only the core-aware specialization
   (``-O2`` strength reduction) re-runs per candidate;
 * candidates fan out over a ``concurrent.futures`` worker pool
-  (``jobs=``) and each evaluation runs the staged pipeline only
-  through register allocation — encoding is not needed for schedule
-  lengths;
+  (``jobs=``): the optimized application set ships to each worker
+  exactly once (pool initializer), and each task carries only its
+  allocation;
 * infeasible candidates are not dropped: every
   :class:`ExplorationPoint` records per-application failure reasons;
 * :func:`pareto_front` extracts the candidates worth a designer's
-  attention (no other candidate is both smaller and faster);
+  attention (no other candidate is at least as good on every cost
+  axis and better on one);
 * repeated sweeps reuse an :class:`ExploreCache` — a designer
-  narrowing the allocation ranges pays only for the new candidates.
+  narrowing the ranges pays only for the new candidates — and the
+  coarse and fine phases of a refined sweep share one cache.
 """
 
 from __future__ import annotations
 
+import itertools
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field, fields
+from dataclasses import dataclass, field, fields, replace
+from functools import partial
 
 from ..errors import ArchitectureError, ReproError
 from ..lang.dfg import Dfg, NodeKind
@@ -47,6 +60,7 @@ from ..opt import optimize_machine_independent, specialize_for_core
 from .controller import ControllerSpec
 from .datapath import Datapath
 from .library import ClassDef, CoreSpec
+from .merge import MergeSpec
 from .opu import Operation, OpuKind
 
 #: Operation sets per functional-unit kind the allocator can instantiate.
@@ -57,9 +71,72 @@ _KNOWN_ALU = set(_ALU_OPS)
 ARCHITECTURE_FAILURE = "(architecture)"
 
 
+# ---------------------------------------------------------------------------
+# Merge variants: named datapath sharings a sweep can enumerate.
+# ---------------------------------------------------------------------------
+
+def _merge_none(core: CoreSpec) -> MergeSpec | None:
+    return None
+
+
+def _merge_operand_files(core: CoreSpec, kind: OpuKind) -> MergeSpec | None:
+    """Share one operand file per OPU of ``kind`` (both input ports
+    read it — for a multiplier that is data and coefficient)."""
+    dp = core.datapath
+    spec = MergeSpec()
+    for opu in dp.opus.values():
+        if opu.kind is kind:
+            parts = [dp.port_register_file(opu, 0).name,
+                     dp.port_register_file(opu, 1).name]
+            spec.merge_register_files(f"m_{opu.name}", parts)
+    return None if spec.is_empty else spec
+
+
+#: Named merge variants a sweep can put on its ``merge_variants`` axis.
+#: Each maps a synthesized intermediate core to a
+#: :class:`~repro.arch.merge.MergeSpec` (or ``None`` when the variant
+#: has nothing to merge on that core — it then degenerates to "none").
+MERGE_VARIANTS = {
+    "none": _merge_none,
+    "alu-operands": partial(_merge_operand_files, kind=OpuKind.ALU),
+    "mult-operands": partial(_merge_operand_files, kind=OpuKind.MULT),
+}
+
+#: Operation a variant needs on the application set to merge anything;
+#: without it the variant degenerates to "none" (ALUs always exist, so
+#: only the multiplier variant is conditional).
+_VARIANT_REQUIRES = {"mult-operands": "mult"}
+
+
+def _check_merge_variant(variant: str) -> None:
+    if variant not in MERGE_VARIANTS:
+        raise ArchitectureError(
+            f"unknown merge variant {variant!r} "
+            f"(known: {', '.join(sorted(MERGE_VARIANTS))})"
+        )
+
+
+def canonical_variant(variant: str, operations: set[str]) -> str:
+    """The variant an application set actually experiences: ``none``
+    when the named variant has nothing to merge (e.g. ``mult-operands``
+    on a set without multiplies), so degenerate candidates share the
+    plain candidate's cache entry instead of recompiling it."""
+    required = _VARIANT_REQUIRES.get(variant)
+    if required is not None and required not in operations:
+        return "none"
+    return variant
+
+
+def merge_spec_for(variant: str, core: CoreSpec) -> MergeSpec | None:
+    """The merge spec a named variant applies to ``core``."""
+    _check_merge_variant(variant)
+    return MERGE_VARIANTS[variant](core)
+
+
 @dataclass(frozen=True)
 class Allocation:
-    """How many units of each kind an intermediate architecture gets."""
+    """One design-space candidate: unit counts, storage sizes and the
+    register-file merge variant of an intermediate architecture."""
 
     n_mult: int = 1
     n_alu: int = 1
@@ -67,13 +144,126 @@ class Allocation:
     rf_size: int = 16
     ram_size: int = 256
     rom_size: int = 128
+    merge_variant: str = "none"
 
     def __post_init__(self) -> None:
         if min(self.n_mult, self.n_alu, self.n_ram) < 1:
             raise ArchitectureError("allocation needs at least one unit of each kind")
+        if min(self.rf_size, self.ram_size, self.rom_size) < 1:
+            raise ArchitectureError(
+                f"allocation needs rf/ram/rom sizes >= 1, got "
+                f"rf_size={self.rf_size}, ram_size={self.ram_size}, "
+                f"rom_size={self.rom_size}"
+            )
+        _check_merge_variant(self.merge_variant)
 
-    def astuple(self) -> tuple[int, ...]:
+    def astuple(self) -> tuple:
         return tuple(getattr(self, f.name) for f in fields(self))
+
+
+#: ``SweepSpec`` axis name -> the :class:`Allocation` field it sweeps.
+_SWEEP_AXES = (
+    ("n_mults", "n_mult"),
+    ("n_alus", "n_alu"),
+    ("n_rams", "n_ram"),
+    ("rf_sizes", "rf_size"),
+    ("ram_sizes", "ram_size"),
+    ("rom_sizes", "rom_size"),
+)
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A candidate grid over every architectural axis.
+
+    Numeric axes are stored sorted and deduplicated; the merge-variant
+    axis is categorical and keeps its given order.
+    :meth:`allocations` enumerates the full cross-product in
+    deterministic order; :meth:`coarse` thins every numeric axis to
+    every other value (endpoints always kept) for the first phase of a
+    coarse-to-fine sweep; :meth:`neighborhood` expands one grid point
+    back to the fine values its coarse cell covers.
+    """
+
+    n_mults: tuple[int, ...] = (1,)
+    n_alus: tuple[int, ...] = (1,)
+    n_rams: tuple[int, ...] = (1,)
+    rf_sizes: tuple[int, ...] = (16,)
+    ram_sizes: tuple[int, ...] = (256,)
+    rom_sizes: tuple[int, ...] = (128,)
+    merge_variants: tuple[str, ...] = ("none",)
+
+    def __post_init__(self) -> None:
+        for name, _ in _SWEEP_AXES:
+            values = tuple(sorted(set(getattr(self, name))))
+            if not values:
+                raise ArchitectureError(f"sweep axis {name} is empty")
+            if values[0] < 1:
+                raise ArchitectureError(
+                    f"sweep axis {name} has values < 1: {values}"
+                )
+            object.__setattr__(self, name, values)
+        variants = []
+        for variant in self.merge_variants:
+            _check_merge_variant(variant)
+            if variant not in variants:
+                variants.append(variant)
+        if not variants:
+            raise ArchitectureError("sweep axis merge_variants is empty")
+        object.__setattr__(self, "merge_variants", tuple(variants))
+
+    @property
+    def size(self) -> int:
+        """Number of grid points in the full cross-product."""
+        total = len(self.merge_variants)
+        for name, _ in _SWEEP_AXES:
+            total *= len(getattr(self, name))
+        return total
+
+    def allocations(self) -> list[Allocation]:
+        """Every grid point, in deterministic axis order."""
+        axes = [getattr(self, name) for name, _ in _SWEEP_AXES]
+        return [
+            Allocation(*values, merge_variant=variant)
+            for values in itertools.product(*axes)
+            for variant in self.merge_variants
+        ]
+
+    def coarse(self) -> "SweepSpec":
+        """The thinned grid of phase 1: every other value per numeric
+        axis, endpoints always kept; merge variants (categorical, and
+        few) are enumerated in full."""
+        def thin(axis: tuple[int, ...]) -> tuple[int, ...]:
+            if len(axis) <= 2:
+                return axis
+            kept = axis[::2]
+            return kept if axis[-1] in kept else kept + (axis[-1],)
+
+        return SweepSpec(
+            **{name: thin(getattr(self, name)) for name, _ in _SWEEP_AXES},
+            merge_variants=self.merge_variants,
+        )
+
+    def neighborhood(self, allocation: Allocation) -> list[Allocation]:
+        """The fine-grid cell around one (coarse) grid point: per axis,
+        the fine values strictly between the point's coarse neighbors,
+        plus the point's own value.  The merge variant is held fixed —
+        variants are fully enumerated in the coarse phase already."""
+        coarse = self.coarse()
+        windows = []
+        for spec_name, alloc_name in _SWEEP_AXES:
+            fine = getattr(self, spec_name)
+            coarse_axis = getattr(coarse, spec_name)
+            value = getattr(allocation, alloc_name)
+            below = max((c for c in coarse_axis if c < value), default=value)
+            above = min((c for c in coarse_axis if c > value), default=value)
+            windows.append(tuple(
+                w for w in fine if below < w < above or w == value
+            ))
+        return [
+            Allocation(*values, merge_variant=allocation.merge_variant)
+            for values in itertools.product(*windows)
+        ]
 
 
 def required_operations(dfgs: list[Dfg]) -> set[str]:
@@ -244,7 +434,11 @@ class ExplorationPoint:
     ``schedule_lengths`` holds one entry per application that compiled;
     ``failures`` maps the applications that did not (or the
     :data:`ARCHITECTURE_FAILURE` pseudo-key when core synthesis itself
-    failed) to a human-readable reason.
+    failed) to a human-readable reason.  ``n_rfs`` counts the physical
+    register files *after* the candidate's merge variant is applied;
+    ``storage_words`` totals every word of storage the candidate
+    instantiates (registers + data memories + coefficient ROM) — the
+    cost axes :func:`pareto_front` can trade against schedule length.
     """
 
     allocation: Allocation
@@ -252,6 +446,8 @@ class ExplorationPoint:
     n_opus: int
     failures: dict[str, str] = field(default_factory=dict)
     opt_level: int = 1
+    n_rfs: int = 0
+    storage_words: int = 0
 
     @property
     def feasible(self) -> bool:
@@ -272,20 +468,45 @@ class ExplorationPoint:
         return max(self.schedule_lengths.values())
 
 
-def pareto_front(points: list[ExplorationPoint]) -> list[ExplorationPoint]:
+#: Classic cost axes: schedule length vs datapath size.  The default,
+#: and bit-compatible with 3-axis unit-count sweeps.
+PARETO_AXES = ("worst_length", "n_opus")
+
+#: Cost axes of a multi-dimensional sweep: storage sizing and merge
+#: variants differentiate candidates the OPU count cannot.
+STORAGE_AXES = ("worst_length", "n_opus", "n_rfs", "storage_words")
+
+
+def pareto_axes(spec: SweepSpec) -> tuple[str, ...]:
+    """The cost axes appropriate for a sweep: the classic pair when
+    only unit counts vary, the storage-aware set when register-file or
+    memory sizes or merge variants are on the grid."""
+    storage_varies = any(
+        len(getattr(spec, name)) > 1
+        for name in ("rf_sizes", "ram_sizes", "rom_sizes")
+    ) or len(spec.merge_variants) > 1
+    return STORAGE_AXES if storage_varies else PARETO_AXES
+
+
+def pareto_front(points: list[ExplorationPoint],
+                 axes: tuple[str, ...] = PARETO_AXES) -> list[ExplorationPoint]:
     """The non-dominated feasible candidates.
 
-    A point dominates another when it is no worse on both axes the
-    designer trades off — worst schedule length and OPU count — and
-    strictly better on at least one.
+    A point dominates another when it is no worse on every cost axis
+    and strictly better on at least one.  ``axes`` names
+    :class:`ExplorationPoint` attributes, all minimized; the default
+    pair (worst schedule length, OPU count) reproduces the classic
+    two-axis front, :data:`STORAGE_AXES` adds register-file count and
+    total storage words for multi-dimensional sweeps.
     """
     feasible = [p for p in points if p.feasible]
+    costs = [tuple(getattr(p, axis) for axis in axes) for p in feasible]
     front = []
-    for p in feasible:
+    for p, cost in zip(feasible, costs):
         dominated = any(
-            (q.worst_length <= p.worst_length and q.n_opus <= p.n_opus)
-            and (q.worst_length < p.worst_length or q.n_opus < p.n_opus)
-            for q in feasible
+            all(q <= c for q, c in zip(other, cost))
+            and any(q < c for q, c in zip(other, cost))
+            for other in costs
         )
         if not dominated:
             front.append(p)
@@ -294,7 +515,8 @@ def pareto_front(points: list[ExplorationPoint]) -> list[ExplorationPoint]:
 
 #: Serialization version of :class:`ExplorationPoint` in the disk
 #: cache; bump when the dataclass shape changes.
-EXPLORATION_POINT_VERSION = 1
+#: v2: Allocation.merge_variant, ExplorationPoint.n_rfs/storage_words.
+EXPLORATION_POINT_VERSION = 2
 
 _POINT_SCHEMA = {"exploration_point": EXPLORATION_POINT_VERSION}
 
@@ -330,6 +552,8 @@ class ExploreCache:
             n_opus=point.n_opus,
             failures=dict(point.failures),
             opt_level=point.opt_level,
+            n_rfs=point.n_rfs,
+            storage_words=point.storage_words,
         )
 
     def get(self, key: str) -> ExplorationPoint | None:
@@ -355,53 +579,73 @@ class ExploreCache:
             self.disk.put(key, self._points[key], schema=_POINT_SCHEMA)
 
 
-@dataclass
-class _CandidateTask:
-    """Everything one worker needs to evaluate one allocation."""
+def _evaluate_candidate(dfgs: list[Dfg], allocation: Allocation,
+                        budget: int | None, opt_level: int) -> ExplorationPoint:
+    """Evaluate one allocation: synthesize the core, apply its merge
+    variant, compile every application through register allocation,
+    record lengths/failures.
 
-    allocation: Allocation
-    dfgs: list[Dfg]          # machine-independently optimized
-    budget: int | None
-    opt_level: int
-
-
-def _evaluate_candidate(task: _CandidateTask) -> ExplorationPoint:
-    """Evaluate one allocation: synthesize the core, compile every
-    application through register allocation, record lengths/failures.
-
-    Top-level so :class:`~concurrent.futures.ProcessPoolExecutor` can
-    pickle it; only compiler/architecture errors are treated as
-    infeasibility — anything else is a bug and propagates.
+    ``dfgs`` are the machine-independently optimized graphs.  Only
+    compiler/architecture errors are treated as infeasibility —
+    anything else is a bug and propagates.
     """
     from ..pipeline import CompileSession
 
     try:
-        core = intermediate_architecture(task.dfgs, task.allocation)
+        core = intermediate_architecture(dfgs, allocation)
+        merges = merge_spec_for(allocation.merge_variant, core)
     except ReproError as exc:
         return ExplorationPoint(
-            allocation=task.allocation, schedule_lengths={}, n_opus=0,
+            allocation=allocation, schedule_lengths={}, n_opus=0,
             failures={ARCHITECTURE_FAILURE: f"{type(exc).__name__}: {exc}"},
-            opt_level=task.opt_level,
+            opt_level=opt_level,
         )
+    n_rfs = len(core.datapath.register_files)
+    if merges is not None:
+        n_rfs -= sum(len(m.parts) - 1 for m in merges.register_file_merges)
+    storage_words = sum(
+        rf.size for rf in core.datapath.register_files.values()
+    ) + sum(
+        opu.memory_size or 0 for opu in core.datapath.opus.values()
+    )
     lengths: dict[str, int] = {}
     failures: dict[str, str] = {}
     session = CompileSession(cache=None)
-    for dfg in task.dfgs:
+    for dfg in dfgs:
         try:
             # Core-aware specialization (a no-op below -O2), then the
             # staged pipeline through regalloc: schedule length is the
             # feedback, so encoding is skipped.
-            specialized, _ = specialize_for_core(dfg, core, task.opt_level)
-            state = session.run(specialized, core, budget=task.budget,
-                                opt_level=0, stop_after="regalloc")
+            specialized, _ = specialize_for_core(dfg, core, opt_level)
+            state = session.run(specialized, core, budget=budget,
+                                merges=merges, opt_level=0,
+                                stop_after="regalloc")
             lengths[dfg.name] = state.artifacts["schedule"].length
         except ReproError as exc:
             failures[dfg.name] = f"{type(exc).__name__}: {exc}"
     return ExplorationPoint(
-        allocation=task.allocation, schedule_lengths=lengths,
+        allocation=allocation, schedule_lengths=lengths,
         n_opus=len(core.datapath.opus), failures=failures,
-        opt_level=task.opt_level,
+        opt_level=opt_level, n_rfs=n_rfs, storage_words=storage_words,
     )
+
+
+#: Per-worker sweep context: the optimized application set, budget and
+#: opt level, shipped once via the pool initializer instead of being
+#: re-pickled into every candidate task.
+_WORKER_CONTEXT: tuple[list[Dfg], int | None, int] | None = None
+
+
+def _worker_init(dfgs: list[Dfg], budget: int | None, opt_level: int) -> None:
+    global _WORKER_CONTEXT
+    _WORKER_CONTEXT = (dfgs, budget, opt_level)
+
+
+def _worker_evaluate(allocation: Allocation) -> ExplorationPoint:
+    """Top-level (picklable) per-task entry point: the task carries
+    only the allocation; everything else came with the initializer."""
+    dfgs, budget, opt_level = _WORKER_CONTEXT
+    return _evaluate_candidate(dfgs, allocation, budget, opt_level)
 
 
 def explore(
@@ -412,6 +656,7 @@ def explore(
     jobs: int | None = None,
     cache: ExploreCache | None = None,
     cache_dir: str | None = None,
+    preoptimized: bool = False,
 ) -> list[ExplorationPoint]:
     """Compile every application on every candidate architecture.
 
@@ -425,42 +670,161 @@ def explore(
     Each application is machine-independently optimized exactly once
     (per opt level) before the sweep, and the candidate cores are sized
     from the optimized graphs.  ``jobs`` > 1 fans candidates out over a
-    process pool; ``cache`` memoizes evaluated candidates across
-    sweeps.  ``cache_dir`` (when no ``cache`` is handed in) builds a
-    disk-backed :class:`ExploreCache` on that directory, so repeated
-    sweeps hit disk across processes.
+    process pool (the optimized graphs ship once per worker, each task
+    carries only its allocation); ``cache`` memoizes evaluated
+    candidates across sweeps.  ``cache_dir`` (when no ``cache`` is
+    handed in) builds a disk-backed :class:`ExploreCache` on that
+    directory, so repeated sweeps hit disk across processes.
+    ``preoptimized=True`` declares ``dfgs`` already machine-independently
+    optimized at ``opt_level`` and skips the pass — the contract
+    :func:`explore_refined` uses so its two phases optimize each
+    application exactly once between them.
     """
     from ..pipeline import DiskCache, dfg_fingerprint, fingerprint
 
     if cache is None and cache_dir is not None:
         cache = ExploreCache(disk=DiskCache(cache_dir))
 
-    optimized = [
+    optimized = list(dfgs) if preoptimized else [
         optimize_machine_independent(dfg, level=opt_level)[0] for dfg in dfgs
     ]
     app_key = [dfg_fingerprint(dfg) for dfg in optimized]
 
+    operations = required_operations(optimized)
     results: dict[int, ExplorationPoint] = {}
-    pending: list[tuple[int, _CandidateTask, str]] = []
+    pending: list[tuple[int, Allocation, str]] = []
+    pending_keys: dict[str, int] = {}
+    aliases: list[tuple[int, str]] = []
     for index, allocation in enumerate(allocations):
+        # A variant with nothing to merge on this application set *is*
+        # the plain candidate: canonicalize so it shares that cache
+        # entry (and row) instead of recompiling identical feedback.
+        variant = canonical_variant(allocation.merge_variant, operations)
+        if variant != allocation.merge_variant:
+            allocation = replace(allocation, merge_variant=variant)
         key = fingerprint("explore", app_key, allocation.astuple(),
                           budget, opt_level)
         cached = cache.get(key) if cache is not None else None
         if cached is not None:
             results[index] = cached
+        elif key in pending_keys:
+            aliases.append((index, key))
         else:
-            task = _CandidateTask(allocation=allocation, dfgs=optimized,
-                                  budget=budget, opt_level=opt_level)
-            pending.append((index, task, key))
+            pending_keys[key] = index
+            pending.append((index, allocation, key))
 
     if jobs is not None and jobs > 1 and len(pending) > 1:
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            evaluated = list(pool.map(_evaluate_candidate,
-                                      [task for _, task, _ in pending]))
+        with ProcessPoolExecutor(
+                max_workers=jobs, initializer=_worker_init,
+                initargs=(optimized, budget, opt_level)) as pool:
+            evaluated = list(pool.map(
+                _worker_evaluate, [alloc for _, alloc, _ in pending]))
     else:
-        evaluated = [_evaluate_candidate(task) for _, task, _ in pending]
+        evaluated = [
+            _evaluate_candidate(optimized, alloc, budget, opt_level)
+            for _, alloc, _ in pending
+        ]
+    by_key: dict[str, ExplorationPoint] = {}
     for (index, _, key), point in zip(pending, evaluated):
         results[index] = point
+        by_key[key] = point
         if cache is not None:
             cache.put(key, point)
+    for index, key in aliases:
+        results[index] = ExploreCache._copy(by_key[key])
     return [results[index] for index in range(len(allocations))]
+
+
+@dataclass
+class RefinedSweep:
+    """The result of a coarse-to-fine sweep: every evaluated point (in
+    coarse-then-fine order), the Pareto front over all of them, and the
+    pruning bookkeeping a designer (and the bench) reads."""
+
+    spec: SweepSpec
+    points: list[ExplorationPoint]
+    front: list[ExplorationPoint]
+    axes: tuple[str, ...]
+    n_grid: int
+    n_coarse: int
+    n_refined: int
+
+    @property
+    def n_evaluated(self) -> int:
+        """Unique candidates actually compiled (coarse + refinement)."""
+        return self.n_coarse + self.n_refined
+
+
+def explore_refined(
+    dfgs: list[Dfg],
+    spec: SweepSpec,
+    budget: int | None = None,
+    opt_level: int = 1,
+    jobs: int | None = None,
+    cache: ExploreCache | None = None,
+    cache_dir: str | None = None,
+    axes: tuple[str, ...] | None = None,
+) -> RefinedSweep:
+    """Two-phase coarse-to-fine sweep over a multi-dimensional grid.
+
+    Phase 1 evaluates the thinned grid (:meth:`SweepSpec.coarse` —
+    every other value per numeric axis) and takes its Pareto front.
+    Phase 2 evaluates only the fine-grid neighborhoods of the front
+    points (:meth:`SweepSpec.neighborhood`), pruning the combinatorial
+    blowup of the full cross-product: schedule length is monotone in
+    every resource axis, so fine-grid optima cluster around the coarse
+    front.  Both phases share one :class:`ExploreCache`, so nothing is
+    evaluated twice and a later full sweep pays only for the points the
+    refinement skipped.
+    """
+    from ..pipeline import DiskCache
+
+    if cache is None:
+        cache = ExploreCache(disk=DiskCache(cache_dir)) \
+            if cache_dir is not None else ExploreCache()
+    if axes is None:
+        axes = pareto_axes(spec)
+
+    # Optimize once, up front: both phases sweep the same graphs (and
+    # the candidate-cache keys stay identical to a plain explore()).
+    optimized = [
+        optimize_machine_independent(dfg, level=opt_level)[0] for dfg in dfgs
+    ]
+
+    coarse_allocations = spec.coarse().allocations()
+    coarse_points = explore(optimized, coarse_allocations, budget=budget,
+                            opt_level=opt_level, jobs=jobs, cache=cache,
+                            preoptimized=True)
+    coarse_front = pareto_front(coarse_points, axes=axes)
+
+    # Dedup on *canonical* tuples: explore() collapses degenerate merge
+    # variants onto "none", and front points carry that canonical
+    # allocation — keying `seen` on the raw grid tuples would re-add
+    # already-evaluated coarse points as "fine" ones.
+    operations = required_operations(optimized)
+
+    def canonical(allocation: Allocation) -> tuple:
+        variant = canonical_variant(allocation.merge_variant, operations)
+        if variant != allocation.merge_variant:
+            allocation = replace(allocation, merge_variant=variant)
+        return allocation.astuple()
+
+    seen = {canonical(allocation) for allocation in coarse_allocations}
+    fine_allocations: list[Allocation] = []
+    for point in coarse_front:
+        for allocation in spec.neighborhood(point.allocation):
+            key = canonical(allocation)
+            if key not in seen:
+                seen.add(key)
+                fine_allocations.append(allocation)
+    fine_points = explore(optimized, fine_allocations, budget=budget,
+                          opt_level=opt_level, jobs=jobs, cache=cache,
+                          preoptimized=True)
+
+    points = coarse_points + fine_points
+    return RefinedSweep(
+        spec=spec, points=points,
+        front=pareto_front(points, axes=axes), axes=axes,
+        n_grid=spec.size, n_coarse=len(coarse_allocations),
+        n_refined=len(fine_allocations),
+    )

@@ -7,6 +7,7 @@ without writing code.
     python -m repro compile app.dsp --stop-after schedule
     python -m repro batch app1.dsp app2.dsp --core audio --budget 64
     python -m repro explore app1.dsp app2.dsp --mults 1-2 --alus 1,2 --jobs 4
+    python -m repro explore app1.dsp app2.dsp --rf-sizes 8-16 --merges none,alu-operands --refine
     python -m repro run app.dsp --core fir --input x=0.5,-0.25,0.125
     python -m repro inspect-core --core audio
     python -m repro run-image program.json --input x=100,200
@@ -27,18 +28,22 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 
 from .apps import adaptive_core
 from .arch import (
-    Allocation,
+    MERGE_VARIANTS,
     CoreSpec,
     ExploreCache,
+    SweepSpec,
     audio_core,
     explore,
+    explore_refined,
     fir_core,
     load_core,
+    pareto_axes,
     pareto_front,
     tiny_core,
 )
@@ -105,7 +110,7 @@ def parse_stream(spec: str, fmt: FixedFormat) -> tuple[str, list[int]]:
 
 
 def parse_sweep(spec: str, flag: str) -> list[int]:
-    """``1,2,4`` or ``1-4`` (or a mix) → sorted unique unit counts."""
+    """``1,2,4`` or ``1-4`` (or a mix) → sorted unique sweep values."""
     counts: set[int] = set()
     for token in spec.split(","):
         token = token.strip()
@@ -113,17 +118,42 @@ def parse_sweep(spec: str, flag: str) -> list[int]:
             continue
         try:
             if "-" in token:
-                low, high = token.split("-", 1)
-                counts.update(range(int(low), int(high) + 1))
+                low_text, high_text = token.split("-", 1)
+                low, high = int(low_text), int(high_text)
             else:
-                counts.add(int(token))
+                low = high = int(token)
         except ValueError:
             raise ReproError(
-                f"bad {flag} {spec!r}: expected counts like 1,2 or 1-4"
+                f"bad {flag} {spec!r}: expected values like 1,2 or 1-4"
             ) from None
+        if low > high:
+            raise ReproError(
+                f"bad {flag} {spec!r}: reversed range {token!r} "
+                f"({low} > {high})"
+            )
+        counts.update(range(low, high + 1))
     if not counts or min(counts) < 1:
-        raise ReproError(f"bad {flag} {spec!r}: unit counts must be >= 1")
+        raise ReproError(f"bad {flag} {spec!r}: sweep values must be >= 1")
     return sorted(counts)
+
+
+def parse_merge_variants(spec: str) -> list[str]:
+    """``none,alu-operands`` → ordered unique known merge variants."""
+    variants: list[str] = []
+    for token in spec.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        if token not in MERGE_VARIANTS:
+            raise ReproError(
+                f"bad --merges {spec!r}: unknown variant {token!r} "
+                f"(known: {', '.join(sorted(MERGE_VARIANTS))})"
+            )
+        if token not in variants:
+            variants.append(token)
+    if not variants:
+        raise ReproError(f"bad --merges {spec!r}: no variants named")
+    return variants
 
 
 def disk_cache_from_args(args: argparse.Namespace) -> DiskCache | None:
@@ -273,25 +303,51 @@ def cmd_batch(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+def sweep_spec_from_args(args: argparse.Namespace) -> SweepSpec:
+    """The multi-dimensional candidate grid the explore flags name."""
+    return SweepSpec(
+        n_mults=tuple(parse_sweep(args.mults, "--mults")),
+        n_alus=tuple(parse_sweep(args.alus, "--alus")),
+        n_rams=tuple(parse_sweep(args.rams, "--rams")),
+        rf_sizes=tuple(parse_sweep(args.rf_sizes, "--rf-sizes")),
+        ram_sizes=tuple(parse_sweep(args.ram_sizes, "--ram-sizes")),
+        rom_sizes=tuple(parse_sweep(args.rom_sizes, "--rom-sizes")),
+        merge_variants=tuple(parse_merge_variants(args.merges)),
+    )
+
+
 def cmd_explore(args: argparse.Namespace) -> int:
     dfgs = [parse_source(Path(source).read_text()) for source in args.sources]
-    allocations = [
-        Allocation(n_mult=m, n_alu=a, n_ram=r, rf_size=args.rf_size)
-        for m in parse_sweep(args.mults, "--mults")
-        for a in parse_sweep(args.alus, "--alus")
-        for r in parse_sweep(args.rams, "--rams")
-    ]
+    spec = sweep_spec_from_args(args)
+    axes = pareto_axes(spec)
     disk = disk_cache_from_args(args)
     cache = ExploreCache(disk=disk) if disk is not None else None
-    points = explore(dfgs, allocations, budget=args.budget,
-                     opt_level=args.opt, jobs=args.jobs, cache=cache)
-    front_points = pareto_front(points)
+    if args.refine:
+        # NB: an empty ExploreCache is falsy (it has __len__), so the
+        # disk-backed cache must be tested against None, not truthiness.
+        sweep = explore_refined(dfgs, spec, budget=args.budget,
+                                opt_level=args.opt, jobs=args.jobs,
+                                cache=cache, axes=axes)
+        points, front_points = sweep.points, sweep.front
+    else:
+        sweep = None
+        points = explore(dfgs, spec.allocations(), budget=args.budget,
+                         opt_level=args.opt, jobs=args.jobs, cache=cache)
+        front_points = pareto_front(points, axes=axes)
     if args.json:
         front = {id(p) for p in front_points}
         payload = {
             "applications": [dfg.name for dfg in dfgs],
             "opt_level": args.opt,
             "budget": args.budget,
+            "pareto_axes": list(axes),
+            "sweep": {
+                "grid": spec.size,
+                "evaluated": len(points),
+                "refined": args.refine,
+                "coarse": sweep.n_coarse if sweep else None,
+                "fine": sweep.n_refined if sweep else None,
+            },
             "points": [
                 {
                     "allocation": {
@@ -299,8 +355,13 @@ def cmd_explore(args: argparse.Namespace) -> int:
                         "n_alu": p.allocation.n_alu,
                         "n_ram": p.allocation.n_ram,
                         "rf_size": p.allocation.rf_size,
+                        "ram_size": p.allocation.ram_size,
+                        "rom_size": p.allocation.rom_size,
+                        "merge_variant": p.allocation.merge_variant,
                     },
                     "n_opus": p.n_opus,
+                    "n_rfs": p.n_rfs,
+                    "storage_words": p.storage_words,
                     "feasible": p.feasible,
                     "schedule_lengths": p.schedule_lengths,
                     "worst_length": (p.worst_length if p.feasible else None),
@@ -317,6 +378,10 @@ def cmd_explore(args: argparse.Namespace) -> int:
         feasible = sum(1 for p in points if p.feasible)
         print(f"\n{len(points)} candidates, {feasible} feasible, "
               f"{len(front_points)} on the Pareto front")
+        if sweep is not None:
+            print(f"coarse-to-fine: evaluated {sweep.n_evaluated} of "
+                  f"{sweep.n_grid} grid points "
+                  f"({sweep.n_coarse} coarse + {sweep.n_refined} refined)")
     return 0
 
 
@@ -444,8 +509,20 @@ def build_parser() -> argparse.ArgumentParser:
                    help="ALU counts (default 1,2)")
     e.add_argument("--rams", default="1,2", metavar="SWEEP",
                    help="RAM counts (default 1,2)")
-    e.add_argument("--rf-size", type=int, default=16,
-                   help="register-file capacity per operand port")
+    e.add_argument("--rf-sizes", default="16", metavar="SWEEP",
+                   help="register-file capacities per operand port, "
+                        "e.g. 8,16 or 8-32 (default 16)")
+    e.add_argument("--ram-sizes", default="256", metavar="SWEEP",
+                   help="data-memory words per RAM (default 256)")
+    e.add_argument("--rom-sizes", default="128", metavar="SWEEP",
+                   help="coefficient-ROM words (default 128)")
+    e.add_argument("--merges", default="none", metavar="VARIANTS",
+                   help="register-file merge variants to sweep: "
+                        f"{', '.join(sorted(MERGE_VARIANTS))} (default none)")
+    e.add_argument("--refine", action="store_true",
+                   help="coarse-to-fine sweep: evaluate a thinned grid, "
+                        "then only the fine neighborhoods of its Pareto "
+                        "front")
     e.add_argument("--budget", type=int, default=None,
                    help="cycle budget candidates must meet")
     e.add_argument("-O", "--opt", type=int, choices=[0, 1, 2], default=1,
@@ -492,6 +569,19 @@ def main(argv: list[str] | None = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    except BrokenPipeError:
+        # The consumer of our stdout went away (`repro ... | head`).
+        # That is a clean end, not a user error; point stdout at
+        # /dev/null so the interpreter's exit-time flush stays quiet.
+        try:
+            devnull = os.open(os.devnull, os.O_WRONLY)
+            try:
+                os.dup2(devnull, sys.stdout.fileno())
+            finally:
+                os.close(devnull)
+        except OSError:
+            pass
+        return 0
     except OSError as exc:
         # Missing/unreadable source files, a directory where a file
         # was expected, ... — user errors, not tracebacks.

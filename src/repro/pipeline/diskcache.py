@@ -253,6 +253,14 @@ class DiskCache:
         try:
             blob = serialize(obj, schema)
             path.parent.mkdir(parents=True, exist_ok=True)
+            # A same-key overwrite replaces the old entry's bytes: the
+            # running estimate must only grow by the *delta*, or
+            # repeated re-stores of the same keys inflate it past the
+            # bound and trigger needless full-scan eviction passes.
+            try:
+                old_size = path.stat().st_size
+            except OSError:
+                old_size = 0
             fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
             with os.fdopen(fd, "wb") as handle:
                 handle.write(blob)
@@ -268,7 +276,7 @@ class DiskCache:
             if self._size_estimate is None:
                 self._size_estimate = self.size_bytes()
             else:
-                self._size_estimate += len(blob)
+                self._size_estimate += len(blob) - old_size
             over_bound = self._size_estimate > self.max_bytes
         if over_bound:
             self._evict()

@@ -89,18 +89,21 @@ def optimization_report(report: OptReport) -> str:
 
 
 def exploration_report(points, budget: int | None = None,
-                       front=None) -> str:
+                       front=None, axes=None) -> str:
     """Render a design-space sweep as the phase-1 feedback table.
 
-    One row per candidate allocation: unit counts, OPU total, per-
-    application schedule lengths, the worst length, a Pareto marker
-    (``*`` = no other candidate is both smaller and faster) and —
-    instead of silently dropping them — the failure reason of every
-    infeasible candidate.  Pass ``front`` (from
+    One row per candidate allocation: unit counts, storage sizing
+    (register-file/RAM/ROM words and the merge variant), OPU and
+    register-file totals, per-application schedule lengths, the worst
+    length, a Pareto marker (``*`` = no other candidate is at least as
+    small and as fast) and — instead of silently dropping them — the
+    failure reason of every infeasible candidate.  Pass ``front`` (from
     :func:`repro.arch.pareto_front`) to reuse an already-computed
-    Pareto front.
+    Pareto front, or ``axes`` (see :data:`repro.arch.STORAGE_AXES`) to
+    compute one over the right cost axes for a multi-dimensional sweep
+    — otherwise the classic (worst length, OPU count) pair is used.
     """
-    from ..arch.explore import pareto_front
+    from ..arch.explore import PARETO_AXES, pareto_front
 
     app_names: list[str] = []
     for point in points:
@@ -108,10 +111,15 @@ def exploration_report(points, budget: int | None = None,
             if name not in app_names:
                 app_names.append(name)
     if front is None:
-        front = pareto_front(list(points))
+        front = pareto_front(list(points), axes=axes or PARETO_AXES)
     front = {id(p) for p in front}
+    merge_width = max(
+        [5] + [len(p.allocation.merge_variant) for p in points
+               if p.allocation.merge_variant != "none"]
+    )
     width = max([9] + [len(name) + 2 for name in app_names])
-    header = (f"{'mult':>4} {'alu':>4} {'ram':>4} {'OPUs':>5} "
+    header = (f"{'mult':>4} {'alu':>4} {'ram':>4} {'rf':>4} {'ramw':>5} "
+              f"{'romw':>5} {'merge':>{merge_width}} {'OPUs':>5} {'RFs':>4} "
               + "".join(f"{name:>{width}}" for name in app_names)
               + f" {'worst':>6}"
               + (f" {'fits':>5}" if budget is not None else "")
@@ -119,7 +127,10 @@ def exploration_report(points, budget: int | None = None,
     lines = [header]
     for point in points:
         a = point.allocation
-        prefix = f"{a.n_mult:>4} {a.n_alu:>4} {a.n_ram:>4} {point.n_opus:>5} "
+        merge = a.merge_variant if a.merge_variant != "none" else "-"
+        prefix = (f"{a.n_mult:>4} {a.n_alu:>4} {a.n_ram:>4} {a.rf_size:>4} "
+                  f"{a.ram_size:>5} {a.rom_size:>5} {merge:>{merge_width}} "
+                  f"{point.n_opus:>5} {point.n_rfs:>4} ")
         if not point.feasible:
             reasons = "; ".join(
                 f"{app}: {reason}" for app, reason in point.failures.items()

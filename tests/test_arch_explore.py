@@ -6,11 +6,18 @@ from repro import Q15, compile_application, run_reference
 from repro.apps import fir_application, stress_application
 from repro.arch import (
     ARCHITECTURE_FAILURE,
+    MERGE_VARIANTS,
+    PARETO_AXES,
+    STORAGE_AXES,
     Allocation,
     ExplorationPoint,
     ExploreCache,
+    SweepSpec,
     explore,
+    explore_refined,
     intermediate_architecture,
+    merge_spec_for,
+    pareto_axes,
     pareto_front,
     required_operations,
     validate_datapath,
@@ -77,6 +84,108 @@ class TestIntermediateArchitecture:
     def test_bad_allocation_rejected(self):
         with pytest.raises(ArchitectureError, match="at least one"):
             Allocation(n_mult=0)
+
+    def test_zero_storage_sizes_rejected(self):
+        for bad in (dict(rf_size=0), dict(ram_size=0), dict(rom_size=-4)):
+            with pytest.raises(ArchitectureError, match="sizes >= 1"):
+                Allocation(**bad)
+
+    def test_unknown_merge_variant_rejected(self):
+        with pytest.raises(ArchitectureError, match="unknown merge variant"):
+            Allocation(merge_variant="fuse-everything")
+
+    def test_ram_and_rom_sizes_reach_the_datapath(self):
+        core = intermediate_architecture(
+            app_set(), Allocation(ram_size=64, rom_size=32))
+        sizes = {opu.name: opu.memory_size
+                 for opu in core.datapath.opus.values()
+                 if opu.memory_size is not None}
+        assert sizes["ram"] == 64
+        assert sizes["rom"] == 32
+
+
+class TestSweepSpec:
+    def test_allocations_cross_product(self):
+        spec = SweepSpec(n_mults=(1, 2), n_alus=(1, 2), rf_sizes=(8, 16))
+        allocations = spec.allocations()
+        assert len(allocations) == spec.size == 8
+        assert len(set(a.astuple() for a in allocations)) == 8
+        assert allocations[0] == Allocation(n_mult=1, n_alu=1, rf_size=8)
+
+    def test_axes_sorted_and_deduplicated(self):
+        spec = SweepSpec(n_mults=(2, 1, 2), rf_sizes=(16, 8, 8))
+        assert spec.n_mults == (1, 2)
+        assert spec.rf_sizes == (8, 16)
+
+    def test_empty_or_invalid_axis_rejected(self):
+        with pytest.raises(ArchitectureError, match="empty"):
+            SweepSpec(n_alus=())
+        with pytest.raises(ArchitectureError, match="values < 1"):
+            SweepSpec(rf_sizes=(0, 8))
+        with pytest.raises(ArchitectureError, match="unknown merge variant"):
+            SweepSpec(merge_variants=("none", "zap"))
+
+    def test_coarse_thins_every_other_value(self):
+        spec = SweepSpec(n_alus=(1, 2, 3, 4), rf_sizes=(4, 8, 12, 16, 20))
+        coarse = spec.coarse()
+        assert coarse.n_alus == (1, 3, 4)         # endpoints always kept
+        assert coarse.rf_sizes == (4, 12, 20)
+        assert coarse.n_mults == spec.n_mults     # short axes untouched
+
+    def test_coarse_keeps_merge_variants_whole(self):
+        spec = SweepSpec(merge_variants=("none", "alu-operands"))
+        assert spec.coarse().merge_variants == ("none", "alu-operands")
+
+    def test_neighborhood_covers_the_coarse_cell(self):
+        spec = SweepSpec(rf_sizes=(4, 8, 12, 16, 20))
+        # Coarse grid is (4, 12, 20); the cell around 12 is 8..16.
+        cell = spec.neighborhood(Allocation(rf_size=12))
+        assert sorted(a.rf_size for a in cell) == [8, 12, 16]
+        edge = spec.neighborhood(Allocation(rf_size=4))
+        assert sorted(a.rf_size for a in edge) == [4, 8]
+
+    def test_neighborhood_holds_merge_variant_fixed(self):
+        spec = SweepSpec(n_alus=(1, 2, 3),
+                         merge_variants=("none", "alu-operands"))
+        cell = spec.neighborhood(Allocation(n_alu=1,
+                                            merge_variant="alu-operands"))
+        assert {a.merge_variant for a in cell} == {"alu-operands"}
+
+
+class TestMergeVariants:
+    def test_every_variant_builds_or_degenerates(self):
+        core = intermediate_architecture(app_set())
+        for variant in MERGE_VARIANTS:
+            spec = merge_spec_for(variant, core)
+            if spec is not None:
+                spec.validate(core.datapath)
+
+    def test_unknown_variant_raises(self):
+        core = intermediate_architecture(app_set())
+        with pytest.raises(ArchitectureError, match="unknown merge variant"):
+            merge_spec_for("zap", core)
+
+    def test_variant_without_targets_degenerates_to_none(self):
+        b = DfgBuilder("pure")
+        b.output("o", b.op("pass", b.input("i")))
+        core = intermediate_architecture([b.build()])
+        assert merge_spec_for("mult-operands", core) is None
+
+    def test_merged_candidate_trades_length_for_register_files(self):
+        dfgs = app_set()
+        plain, merged = explore(dfgs, [
+            Allocation(), Allocation(merge_variant="alu-operands"),
+        ])
+        assert plain.feasible and merged.feasible
+        assert merged.n_rfs < plain.n_rfs
+        assert merged.n_opus == plain.n_opus
+        assert merged.storage_words == plain.storage_words
+        assert merged.worst_length >= plain.worst_length
+
+    def test_points_carry_storage_metrics(self):
+        point = explore(app_set(), [Allocation(rf_size=8)])[0]
+        assert point.n_rfs > 0
+        assert point.storage_words > 0
 
 
 class TestExploration:
@@ -149,14 +258,47 @@ class TestExploration:
         assert sorted(calls) == sorted(d.name for d in dfgs)
 
     def test_parallel_matches_sequential(self):
+        """jobs=2 must agree with jobs=None point for point — including
+        on the storage axes and with a merge variant in the sweep (the
+        workers receive the DFGs via the pool initializer, not per
+        task)."""
         dfgs = app_set()
-        allocations = [Allocation(n_mult=m, n_alu=a)
-                       for m in (1, 2) for a in (1, 2)]
+        allocations = SweepSpec(
+            n_mults=(1, 2), rf_sizes=(8, 16),
+            merge_variants=("none", "alu-operands"),
+        ).allocations()
         sequential = explore(dfgs, allocations)
         parallel = explore(dfgs, allocations, jobs=2)
         assert [p.schedule_lengths for p in parallel] == \
             [p.schedule_lengths for p in sequential]
         assert [p.n_opus for p in parallel] == [p.n_opus for p in sequential]
+        assert [p.n_rfs for p in parallel] == [p.n_rfs for p in sequential]
+        assert [p.storage_words for p in parallel] == \
+            [p.storage_words for p in sequential]
+
+    def test_degenerate_variant_is_not_recompiled(self, monkeypatch):
+        """A merge variant with nothing to merge on the application set
+        canonicalizes to 'none' and shares that candidate's evaluation
+        instead of compiling identical feedback twice."""
+        import importlib
+        explore_module = importlib.import_module("repro.arch.explore")
+        calls = []
+        real = explore_module._evaluate_candidate
+
+        def counting(dfgs, allocation, budget, opt_level):
+            calls.append(allocation.astuple())
+            return real(dfgs, allocation, budget, opt_level)
+
+        monkeypatch.setattr(explore_module, "_evaluate_candidate", counting)
+        b = DfgBuilder("pure")
+        b.output("o", b.op("pass", b.input("i")))
+        points = explore_module.explore(
+            [b.build()],
+            [Allocation(), Allocation(merge_variant="mult-operands")],
+        )
+        assert len(calls) == 1
+        assert points[1].allocation.merge_variant == "none"
+        assert points[0].schedule_lengths == points[1].schedule_lengths
 
     def test_cache_reuses_candidates_across_sweeps(self):
         dfgs = [stress_application(4, seed=1)]
@@ -175,6 +317,91 @@ class TestExploration:
         optimized = explore(dfgs, [Allocation()], opt_level=2)
         assert optimized[0].schedule_lengths["stress_6"] <= \
             unoptimized[0].schedule_lengths["stress_6"]
+
+
+class TestRefinement:
+    """Coarse-to-fine sweeps: fewer evaluations, same Pareto front."""
+
+    @staticmethod
+    def spec():
+        return SweepSpec(n_mults=(1, 2), n_alus=(1, 2, 3),
+                         rf_sizes=(8, 12, 16))
+
+    @staticmethod
+    def front_keys(points):
+        return sorted(p.allocation.astuple() for p in points)
+
+    def test_refined_front_matches_full_grid(self):
+        dfgs = app_set()
+        spec = self.spec()
+        axes = pareto_axes(spec)
+        full_front = pareto_front(explore(dfgs, spec.allocations()),
+                                  axes=axes)
+        refined = explore_refined(dfgs, spec)
+        assert refined.axes == axes
+        assert refined.n_evaluated < spec.size
+        assert self.front_keys(refined.front) == self.front_keys(full_front)
+
+    def test_refined_with_budget_matches_full_grid(self):
+        dfgs = [stress_application(6, seed=2)]
+        spec = self.spec()
+        axes = pareto_axes(spec)
+        full_front = pareto_front(
+            explore(dfgs, spec.allocations(), budget=64), axes=axes)
+        refined = explore_refined(dfgs, spec, budget=64)
+        assert self.front_keys(refined.front) == self.front_keys(full_front)
+
+    def test_refinement_optimizes_each_application_once(self, monkeypatch):
+        """Both phases reuse one machine-independent optimization of
+        the application set — never one per explore() call."""
+        import importlib
+        explore_module = importlib.import_module("repro.arch.explore")
+        calls = []
+        real = explore_module.optimize_machine_independent
+
+        def counting(dfg, level=1, fmt=None):
+            calls.append(dfg.name)
+            return real(dfg, level=level, fmt=fmt)
+
+        monkeypatch.setattr(explore_module,
+                            "optimize_machine_independent", counting)
+        dfgs = app_set()
+        explore_module.explore_refined(dfgs, self.spec())
+        assert sorted(calls) == sorted(d.name for d in dfgs)
+
+    def test_phases_share_one_cache(self):
+        cache = ExploreCache()
+        refined = explore_refined(app_set(), self.spec(), cache=cache)
+        # Every evaluated candidate was compiled exactly once: the fine
+        # phase never re-evaluates a coarse point.
+        assert cache.misses == refined.n_evaluated
+        assert len(cache) == refined.n_evaluated
+
+    def test_bookkeeping_is_consistent(self):
+        refined = explore_refined(app_set(), self.spec())
+        assert refined.n_grid == self.spec().size
+        assert refined.n_coarse + refined.n_refined == len(refined.points)
+        assert refined.n_coarse == self.spec().coarse().size
+
+    def test_degenerate_variant_sweep_never_duplicates_points(self):
+        """Regression: refinement dedup must key on *canonical*
+        allocations — a degenerate merge variant used to re-add its own
+        coarse points as fine ones, inflating n_evaluated past the grid
+        and duplicating front rows."""
+        b = DfgBuilder("pure")
+        b.output("o", b.op("pass", b.input("i")))
+        spec = SweepSpec(n_alus=(1, 2, 3),
+                         merge_variants=("mult-operands",))
+        refined = explore_refined([b.build()], spec)
+        assert refined.n_evaluated <= spec.size
+        tuples = [p.allocation.astuple() for p in refined.points]
+        assert len(tuples) == len(set(tuples))
+
+    def test_single_point_grid_refines_to_itself(self):
+        refined = explore_refined(app_set(), SweepSpec())
+        assert refined.n_coarse == 1
+        assert refined.n_refined == 0
+        assert len(refined.front) == 1
 
 
 class TestParetoFront:
@@ -204,6 +431,28 @@ class TestParetoFront:
         front = pareto_front(points)
         assert front
         assert all(p.feasible for p in front)
+
+    def test_storage_axes_keep_smaller_register_files(self):
+        """On the storage axes a same-speed candidate with smaller
+        register files survives the front; on the classic pair it is
+        invisible."""
+        small = ExplorationPoint(
+            allocation=Allocation(rf_size=8),
+            schedule_lengths={"a": 10}, n_opus=8, n_rfs=10,
+            storage_words=300)
+        big = ExplorationPoint(
+            allocation=Allocation(rf_size=16),
+            schedule_lengths={"a": 10}, n_opus=8, n_rfs=10,
+            storage_words=400)
+        assert pareto_front([small, big], axes=STORAGE_AXES) == [small]
+        assert pareto_front([small, big], axes=PARETO_AXES) == [small, big]
+
+    def test_pareto_axes_picks_storage_for_multi_dim_sweeps(self):
+        assert pareto_axes(SweepSpec(n_mults=(1, 2))) == PARETO_AXES
+        assert pareto_axes(SweepSpec(rf_sizes=(8, 16))) == STORAGE_AXES
+        assert pareto_axes(
+            SweepSpec(merge_variants=("none", "alu-operands"))
+        ) == STORAGE_AXES
 
 
 class TestDiskBackedSweeps:

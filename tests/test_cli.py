@@ -182,6 +182,97 @@ class TestExploreCommand:
         assert point["schedule_lengths"]["gain"] >= 1
         assert point["pareto"] is True
 
+    def test_explore_json_carries_the_full_allocation(self, source_file,
+                                                      capsys):
+        """Two sweeps differing only in ram/rom sizing or merge variant
+        must be distinguishable from the JSON output alone."""
+        assert main([
+            "explore", source_file, "--mults", "1", "--alus", "1",
+            "--rams", "1", "--rf-sizes", "8", "--ram-sizes", "64",
+            "--rom-sizes", "32", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        point = payload["points"][0]
+        assert point["allocation"] == {
+            "n_mult": 1, "n_alu": 1, "n_ram": 1,
+            "rf_size": 8, "ram_size": 64, "rom_size": 32,
+            "merge_variant": "none",
+        }
+        assert point["n_rfs"] >= 1
+        assert point["storage_words"] >= 1
+        assert payload["sweep"] == {
+            "grid": 1, "evaluated": 1, "refined": False,
+            "coarse": None, "fine": None,
+        }
+
+    def test_explore_refine_prunes_and_reports(self, source_file, capsys):
+        assert main([
+            "explore", source_file, "--mults", "1", "--alus", "1-3",
+            "--rams", "1", "--rf-sizes", "8,12,16", "--refine",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "coarse-to-fine: evaluated" in out
+        assert "of 9 grid points" in out
+
+    def test_explore_refine_json_bookkeeping(self, source_file, capsys):
+        assert main([
+            "explore", source_file, "--mults", "1", "--alus", "1-3",
+            "--rams", "1", "--rf-sizes", "8,12,16", "--refine", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        sweep = payload["sweep"]
+        assert sweep["refined"] is True
+        assert sweep["grid"] == 9
+        assert sweep["coarse"] + sweep["fine"] == sweep["evaluated"]
+        assert sweep["evaluated"] <= sweep["grid"]
+        assert payload["pareto_axes"] == [
+            "worst_length", "n_opus", "n_rfs", "storage_words",
+        ]
+
+    def test_explore_refine_persists_to_disk_cache(self, source_file,
+                                                   tmp_path, capsys):
+        """--refine must write through to --cache-dir (regression: an
+        *empty* ExploreCache is falsy, so `cache or ExploreCache()`
+        silently dropped the disk tier)."""
+        from repro.arch import ExploreCache
+        from repro.pipeline import DiskCache
+
+        cache = str(tmp_path / "cache")
+        args = ["explore", source_file, "--mults", "1", "--alus", "1-3",
+                "--rams", "1", "--rf-sizes", "8,12,16", "--refine",
+                "--cache-dir", cache]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert len(DiskCache(cache)) > 0, \
+            "refined sweep wrote nothing to the store"
+        # A "new process" (fresh memory tier, same directory) re-running
+        # the same refined sweep restores every candidate from disk.
+        from repro.arch import SweepSpec, explore_refined
+        from repro.lang import parse_source
+
+        dfgs = [parse_source(Path(source_file).read_text())]
+        spec = SweepSpec(n_mults=(1,), n_alus=(1, 2, 3), n_rams=(1,),
+                         rf_sizes=(8, 12, 16))
+        warm = ExploreCache(disk=DiskCache(cache))
+        refined = explore_refined(dfgs, spec, cache=warm)
+        assert warm.misses == 0
+        assert warm.disk_hits == refined.n_evaluated
+
+    def test_explore_merge_variant_sweep(self, chain_file, capsys):
+        assert main([
+            "explore", chain_file, "--mults", "1", "--alus", "1",
+            "--rams", "1", "--merges", "none,alu-operands",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "alu-operands" in out
+        assert "2 candidates" in out
+
+    def test_explore_bad_merge_variant_rejected(self, source_file, capsys):
+        assert main([
+            "explore", source_file, "--merges", "none,zap",
+        ]) == 1
+        assert "unknown variant 'zap'" in capsys.readouterr().err
+
     def test_explore_infeasible_budget_reported(self, chain_file, capsys):
         assert main([
             "explore", chain_file, "--mults", "1", "--alus", "1",
@@ -203,6 +294,21 @@ class TestExploreCommand:
             "explore", source_file, "--mults", "zero",
         ]) == 1
         assert "bad --mults" in capsys.readouterr().err
+
+    def test_explore_reversed_range_rejected(self, source_file, capsys):
+        """`1,3-2` used to silently collapse to [1]; it must error."""
+        assert main([
+            "explore", source_file, "--mults", "1,3-2",
+        ]) == 1
+        err = capsys.readouterr().err
+        assert "reversed range" in err
+        assert "3 > 2" in err
+
+    def test_explore_zero_size_sweep_rejected(self, source_file, capsys):
+        assert main([
+            "explore", source_file, "--rf-sizes", "0,8",
+        ]) == 1
+        assert "must be >= 1" in capsys.readouterr().err
 
     def test_run_output_invariant_across_levels(self, chain_file, capsys):
         streams = []
@@ -239,6 +345,30 @@ class TestExploreCommand:
         assert "[disk]" not in capsys.readouterr().out
         assert main(args) == 0
         assert "[disk]" in capsys.readouterr().out
+
+    def test_broken_pipe_is_a_clean_exit(self, source_file, capsys,
+                                         monkeypatch):
+        """`python -m repro explore ... | head` must not report
+        `error: Broken pipe` with exit 1 when the consumer goes away."""
+        from repro import cli
+
+        def exploding(args):
+            raise BrokenPipeError(32, "Broken pipe")
+
+        monkeypatch.setattr(cli, "cmd_compile", exploding)
+        assert cli.main(["compile", source_file, "--core", "fir"]) == 0
+        assert "error" not in capsys.readouterr().err
+
+    def test_real_os_errors_still_report(self, source_file, capsys,
+                                         monkeypatch):
+        from repro import cli
+
+        def exploding(args):
+            raise PermissionError(13, "Permission denied")
+
+        monkeypatch.setattr(cli, "cmd_compile", exploding)
+        assert cli.main(["compile", source_file, "--core", "fir"]) == 1
+        assert "error:" in capsys.readouterr().err
 
     def test_budget_failure_is_reported(self, source_file, capsys):
         code = main([
@@ -347,6 +477,21 @@ class TestCrossProcessCache:
             [sys.executable, "-m", "repro", *argv],
             capture_output=True, text=True, env=env, cwd=root, timeout=120,
         )
+
+    def test_pipe_to_head_exits_cleanly(self, source_file, tmp_path):
+        """The real thing: `repro explore ... | head -n 0` — the
+        consumer is gone before the table prints."""
+        root = Path(__file__).resolve().parent.parent
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(root / "src")
+        env["REPRO_CACHE_DIR"] = str(tmp_path / "cache")
+        script = (f"{sys.executable} -u -m repro explore {source_file} "
+                  f"--mults 1 --alus 1 --rams 1 | head -n 0; "
+                  "exit ${PIPESTATUS[0]}")
+        proc = subprocess.run(["bash", "-c", script], capture_output=True,
+                              text=True, env=env, cwd=root, timeout=120)
+        assert proc.returncode == 0, proc.stderr
+        assert "Broken pipe" not in proc.stderr
 
     def test_second_process_restores_from_disk(self, source_file, tmp_path):
         cache_dir = tmp_path / "cache"

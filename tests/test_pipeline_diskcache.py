@@ -294,6 +294,43 @@ class TestEviction:
         assert compiled.run(stimulus()) == \
             run_reference(compiled.dfg, stimulus())
 
+    def test_same_key_restores_do_not_inflate_the_estimate(self, tmp_path):
+        """Re-storing the same keys replaces bytes on disk; the running
+        size estimate must track the delta, not the sum — otherwise a
+        designer's iterative re-sweeps trigger needless full-scan
+        eviction passes (and eventually evict live entries)."""
+        one_entry = len(serialize({"payload": "x" * 1000}, {}))
+        disk = DiskCache(tmp_path, max_bytes=4 * one_entry)
+        scans = 0
+        real_evict = disk._evict
+
+        def counting_evict():
+            nonlocal scans
+            scans += 1
+            real_evict()
+
+        disk._evict = counting_evict
+        keys = [f"{index:02d}" + "0" * 62 for index in range(3)]
+        for _ in range(25):
+            for key in keys:
+                disk.put(key, {"payload": "x" * 1000})
+        # 75 stores of 3 distinct keys fit the bound with room to
+        # spare: no eviction scan may fire and nothing may be evicted.
+        assert scans == 0
+        assert disk.stats.evictions == 0
+        assert disk._size_estimate == disk.size_bytes()
+        assert all(disk.get(key) is not None for key in keys)
+
+    def test_overwrite_with_larger_entry_tracks_growth(self, tmp_path):
+        """The delta accounting still notices entries that grow."""
+        disk = DiskCache(tmp_path, max_bytes=1 << 20)
+        key = "aa" + "0" * 62
+        disk.put(key, {"payload": "x"})
+        small = disk._size_estimate
+        disk.put(key, {"payload": "x" * 5000})
+        assert disk._size_estimate > small
+        assert disk._size_estimate == disk.size_bytes()
+
     def test_reads_refresh_recency(self, tmp_path):
         one_entry = len(serialize({"payload": "x" * 1000}, {}))
         disk = DiskCache(tmp_path, max_bytes=2 * one_entry + 8)

@@ -1,11 +1,13 @@
 """Tests for the reporting package (figure-9 chart, tables, Gantt)."""
 
 from repro import audio_core, compile_application
+from repro.arch import Allocation, ExplorationPoint
 from repro.core import ClassTable, ConflictGraph, InstructionSet, greedy_cover
 from repro.lang import parse_source
 from repro.report import (
     class_table_report,
     conflict_report,
+    exploration_report,
     gantt_chart,
     occupation_chart,
     occupation_rows,
@@ -93,3 +95,53 @@ class TestTables:
         assert "classes" in text
         assert "ABC" in text
         assert "cycles" in text
+
+    @staticmethod
+    def exploration_point(**kwargs):
+        defaults = dict(
+            allocation=Allocation(rf_size=8, ram_size=64, rom_size=32),
+            schedule_lengths={"gain": 4}, n_opus=8, n_rfs=10,
+            storage_words=160,
+        )
+        defaults.update(kwargs)
+        return ExplorationPoint(**defaults)
+
+    def test_exploration_report_shows_every_axis(self):
+        point = self.exploration_point()
+        text = exploration_report([point], budget=10)
+        header, row = text.splitlines()
+        for column in ("mult", "alu", "ram", "rf", "ramw", "romw",
+                       "merge", "OPUs", "RFs", "worst", "fits", "pareto"):
+            assert column in header
+        assert " 8 " in row and " 64 " in row and " 32 " in row
+        assert " yes" in row and row.rstrip().endswith("*")
+
+    def test_exploration_report_names_merge_variants(self):
+        merged = self.exploration_point(
+            allocation=Allocation(merge_variant="alu-operands"),
+            schedule_lengths={"gain": 6}, n_rfs=9)
+        text = exploration_report([self.exploration_point(), merged])
+        assert "alu-operands" in text
+        # The unmerged candidate renders a placeholder, not "none".
+        assert "none" not in text
+
+    def test_exploration_report_honors_pareto_axes(self):
+        """Without an explicit front, the axes= parameter drives the
+        '*' markers — a storage-only difference is invisible on the
+        classic pair but decisive on the storage axes."""
+        from repro.arch import STORAGE_AXES
+
+        small = self.exploration_point(storage_words=160)
+        big = self.exploration_point(
+            allocation=Allocation(rf_size=16), storage_words=240)
+        classic = exploration_report([small, big])
+        storage = exploration_report([small, big], axes=STORAGE_AXES)
+        assert classic.count("*") == 2
+        assert storage.count("*") == 1
+
+    def test_exploration_report_keeps_failures_visible(self):
+        infeasible = self.exploration_point(
+            schedule_lengths={}, failures={"gain": "RoutingError: no path"})
+        text = exploration_report([self.exploration_point(), infeasible])
+        assert "infeasible" in text
+        assert "RoutingError" in text
