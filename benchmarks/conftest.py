@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro import audio_core, compile_application
+from repro import audio_core, Toolchain
 from repro.apps import audio_application, audio_io_binding
 from repro.core import ClassTable, InstructionSet, impose_instruction_set
 from repro.rtgen import generate_rts
@@ -50,13 +50,8 @@ def audio_compiled():
     machine-independent optimizer (see ``test_bench_opt_levels`` for
     the optimized trajectory).
     """
-    return compile_application(
-        audio_application(),
-        audio_core(),
-        budget=64,
-        io_binding=audio_io_binding(),
-        opt_level=0,
-    )
+    return Toolchain(audio_core(), cache=None, budget=64, opt=0) \
+        .compile(audio_application(), io_binding=audio_io_binding())
 
 
 @pytest.fixture(scope="session")

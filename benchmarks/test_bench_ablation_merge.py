@@ -13,7 +13,7 @@ merged cores are cheaper silicon; the schedule must grow well past the
 
 from __future__ import annotations
 
-from repro import audio_core, compile_application
+from repro import audio_core, Toolchain
 from repro.apps import audio_application, audio_io_binding
 from repro.arch import MergeSpec
 
@@ -24,10 +24,8 @@ def build(merges=None, budget=None):
     # pressure must not mask the schedule-length effect under study.
     # -O0 keeps the paper's exact 58-write / 116-value counts.
     core = audio_core(rf_scale=4) if merges is not None else audio_core()
-    return compile_application(
-        audio_application(), core, budget=budget,
-        io_binding=audio_io_binding(), merges=merges, opt_level=0,
-    )
+    return Toolchain(core, cache=None, budget=budget, opt=0) \
+        .compile(audio_application(), io_binding=audio_io_binding(), merges=merges)
 
 
 def test_bench_unmerged(benchmark):

@@ -22,7 +22,7 @@ import os
 import time
 from pathlib import Path
 
-from repro import compile_application
+from repro import Toolchain
 from repro.apps import fir_application, stress_application
 from repro.arch import (
     Allocation,
@@ -57,9 +57,8 @@ def allocation_sweep():
 
 def seed_explore(dfgs, allocations, budget=None):
     """The pre-staged-pipeline explorer, verbatim: one monolithic
-    ``compile_application`` per (application × allocation) pair,
-    re-parsing and re-optimizing every time, infeasible points
-    silently dropped."""
+    cold compile per (application × allocation) pair, re-parsing and
+    re-optimizing every time, infeasible points silently dropped."""
     points = []
     for allocation in allocations:
         core = intermediate_architecture(dfgs, allocation)
@@ -67,7 +66,8 @@ def seed_explore(dfgs, allocations, budget=None):
         feasible = True
         for dfg in dfgs:
             try:
-                compiled = compile_application(dfg, core, budget=budget)
+                compiled = Toolchain(core, cache=None,
+                                     budget=budget).compile(dfg)
             except ReproError:
                 feasible = False
                 break

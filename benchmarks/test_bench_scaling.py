@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro import audio_core, compile_application
+from repro import audio_core, Toolchain
 from repro.apps import stress_application
 
 
@@ -25,7 +25,7 @@ def test_bench_pipeline_scaling(benchmark, n_sections):
     # network; the optimizer would (correctly) discard every section
     # the outputs never tap — see test_bench_opt_levels for that story.
     compiled = benchmark(
-        lambda: compile_application(dfg, core, opt_level=0)
+        lambda: Toolchain(core, cache=None, opt=0).compile(dfg)
     )
     # 3 multiplies per section + 2 gain taps, all on one multiplier.
     expected_mults = 3 * n_sections + 2
@@ -39,10 +39,8 @@ def test_bench_simulator_throughput(benchmark):
     from repro import Q15
     from repro.apps import audio_application, audio_io_binding
 
-    compiled = compile_application(
-        audio_application(), audio_core(), budget=64,
-        io_binding=audio_io_binding(),
-    )
+    compiled = Toolchain(audio_core(), cache=None, budget=64) \
+        .compile(audio_application(), io_binding=audio_io_binding())
     n = 32
     stimulus = {
         "IN_L": [Q15.from_float(0.01 * (i % 50 - 25)) for i in range(n)],

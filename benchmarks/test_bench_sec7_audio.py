@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from conftest import FIGURE9_NAMES, FIGURE9_ORDER, FIGURE9_PAPER
 
-from repro import audio_core, compile_application
+from repro import audio_core, Toolchain
 from repro.apps import audio_application, audio_io_binding
 from repro.core import ClassTable
 from repro.report import occupation_chart, occupation_rows
@@ -29,10 +29,9 @@ def test_bench_full_compilation(benchmark, audio_compiled):
     # -O0: figure 9's occupation rows count every RT of the source as
     # written; the optimizer's effect is measured in the opt-levels bench.
     compiled = benchmark(
-        lambda: compile_application(
-            audio_application(), audio_core(), budget=PAPER_BUDGET,
-            io_binding=audio_io_binding(), opt_level=0,
-        )
+        lambda: Toolchain(audio_core(), cache=None, budget=PAPER_BUDGET,
+                          opt=0).compile(audio_application(),
+                                         io_binding=audio_io_binding())
     )
     # --- "scheduled in 63 cycles" ------------------------------------
     assert compiled.n_cycles <= PAPER_BUDGET

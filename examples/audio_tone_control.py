@@ -12,7 +12,7 @@ Run:  python examples/audio_tone_control.py
 
 import math
 
-from repro import Q15, audio_core, compile_application, run_reference
+from repro import Q15, Toolchain, audio_core, run_reference
 from repro.apps import audio_application, audio_io_binding
 from repro.core import ClassTable
 from repro.report import class_table_report, occupation_chart, summary_report
@@ -34,8 +34,8 @@ def main() -> None:
     print(class_table_report(ClassTable.from_core(core)))
     print()
 
-    compiled = compile_application(
-        application, core, budget=64, io_binding=audio_io_binding(),
+    compiled = Toolchain(core, budget=64).compile(
+        application, io_binding=audio_io_binding(),
     )
     print("=== compilation summary ===")
     print(summary_report(compiled))

@@ -18,6 +18,7 @@ ones, with the reason — plus the Pareto front of the sweep.
 Run:  python examples/design_space_exploration.py
 """
 
+from repro import CompileOptions
 from repro.apps import fir_application, stress_application
 from repro.arch import (
     Allocation,
@@ -48,7 +49,8 @@ def main() -> None:
         for a in (1, 2)
         for r in (1, 2)
     ]
-    points = explore(applications, candidates, opt_level=1)
+    points = explore(applications, candidates,
+                     options=CompileOptions(opt=1))
     front = set(id(p) for p in pareto_front(points))
 
     print(f"{'mult':>4} {'alu':>4} {'ram':>4} {'OPUs':>5}  "

@@ -10,7 +10,7 @@ user navigates, and verifies every compiled filter bit-exactly.
 Run:  python examples/fir_filter.py
 """
 
-from repro import Q15, compile_application, fir_core, run_reference
+from repro import Q15, Toolchain, fir_core, run_reference
 from repro.apps import fir_application, reference_fir
 from repro.errors import BudgetExceededError
 
@@ -29,7 +29,7 @@ def main() -> None:
     for taps in (1, 2, 4, 8, 16):
         coefficients = [((-1) ** k) * 0.8 / (k + 1) for k in range(taps)]
         dfg = fir_application(coefficients, name=f"fir{taps}")
-        compiled = compile_application(dfg, core)
+        compiled = Toolchain(core).compile(dfg)
         stimulus = {"x": impulse(taps + 4)}
         outputs = compiled.run(stimulus)
         expected = run_reference(dfg, stimulus)
@@ -45,7 +45,7 @@ def main() -> None:
     dfg = fir_application(coefficients, name="fir8")
     for budget in (64, 32, 24, 12, 8):
         try:
-            compiled = compile_application(dfg, core, budget=budget)
+            compiled = Toolchain(core, budget=budget).compile(dfg)
             print(f"  budget {budget:>3}: feasible, scheduled in "
                   f"{compiled.n_cycles} cycles")
         except BudgetExceededError as exc:

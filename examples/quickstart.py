@@ -4,16 +4,18 @@
 The flow of the paper's figure 1b in its smallest form:
 
 1. write an application in the time-loop source language,
-2. pick an in-house core (datapath + controller + instruction set),
-3. compile — RT generation, instruction-set conflict modelling,
-   scheduling, register allocation, binary encoding,
+2. pick an in-house core by registered name (datapath + controller +
+   instruction set — see ``repro.arch.list_cores``),
+3. bind core and options in a ``Toolchain`` and compile — RT
+   generation, instruction-set conflict modelling, scheduling,
+   register allocation, binary encoding,
 4. execute the binary on the cycle-accurate simulator and compare with
    the golden reference interpreter.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import Q15, compile_application, parse_source, run_reference, tiny_core
+from repro import CompileOptions, Q15, Toolchain, parse_source, run_reference
 from repro.report import gantt_chart, summary_report
 
 SOURCE = """
@@ -29,8 +31,8 @@ loop {
 
 
 def main() -> None:
-    core = tiny_core()
-    compiled = compile_application(SOURCE, core, budget=8)
+    toolchain = Toolchain("tiny", CompileOptions(budget=8))
+    compiled = toolchain.compile(SOURCE)
 
     print(summary_report(compiled))
     print()

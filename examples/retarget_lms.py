@@ -16,7 +16,7 @@ Run:  python examples/retarget_lms.py
 
 import random
 
-from repro import Q15, compile_application, fir_core, run_reference
+from repro import Q15, Toolchain, fir_core, run_reference
 from repro.apps import adaptive_core, lms_application
 from repro.errors import ReproError
 from repro.report import summary_report
@@ -27,13 +27,13 @@ def main() -> None:
 
     print("=== attempt 1: the FIR core ===")
     try:
-        compile_application(application, fir_core())
+        Toolchain(fir_core()).compile(application)
         raise AssertionError("should not be mappable")
     except ReproError as exc:
         print(f"rejected, as expected:\n  {type(exc).__name__}: {exc}\n")
 
     print("=== attempt 2: the adaptive core (two extra routes) ===")
-    compiled = compile_application(application, adaptive_core())
+    compiled = Toolchain(adaptive_core()).compile(application)
     print(summary_report(compiled))
     print()
 

@@ -10,10 +10,20 @@ regenerating the paper's evaluation.
 
 Quick start::
 
-    from repro import audio_core, compile_application
+    from repro import CompileOptions, Toolchain
 
-    program = compile_application(source_text, audio_core(), budget=64)
+    toolchain = Toolchain("audio", CompileOptions(budget=64, opt=2))
+    program = toolchain.compile(source_text)
     outputs = program.run({"IN_L": samples_l, "IN_R": samples_r})
+
+:class:`Toolchain` binds a target core (a registered name — see
+:func:`repro.arch.registry.list_cores` / :func:`register_core` — a
+``CoreSpec`` or a JSON core file), a validated
+:class:`CompileOptions` and a two-tier stage cache, then exposes
+``compile()``, ``compile_many()``, ``run()`` and ``explore()``.  The
+pre-Toolchain entry points (:func:`compile_application`,
+:class:`CompileSession`, :class:`BatchSession`) remain as deprecated
+wrappers; see ``docs/api.md`` for the migration table.
 """
 
 from .apps import adaptive_core
@@ -27,14 +37,19 @@ from .arch import (
     explore,
     explore_refined,
     fir_core,
+    get_core,
     intermediate_architecture,
+    list_cores,
     pareto_front,
+    register_core,
+    resolve_core,
     tiny_core,
 )
-from .errors import ReproError
+from .errors import OptionsError, ReproError
 from .fixed import Q15, FixedFormat
 from .lang import DfgBuilder, parse_source, run_reference
 from .opt import OptReport, PassManager, optimize
+from .options import CompileOptions
 from .pipeline import (
     BatchResult,
     BatchSession,
@@ -45,13 +60,15 @@ from .pipeline import (
     StageCache,
     compile_application,
 )
+from .toolchain import Toolchain
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "Allocation",
     "BatchResult",
     "BatchSession",
+    "CompileOptions",
     "CompileSession",
     "CompileState",
     "CompiledProgram",
@@ -61,22 +78,28 @@ __all__ = [
     "ExploreCache",
     "FixedFormat",
     "OptReport",
+    "OptionsError",
     "PassManager",
     "Q15",
     "RefinedSweep",
     "ReproError",
     "StageCache",
     "SweepSpec",
+    "Toolchain",
     "adaptive_core",
     "audio_core",
     "compile_application",
     "explore",
     "explore_refined",
     "fir_core",
+    "get_core",
     "intermediate_architecture",
+    "list_cores",
     "optimize",
     "pareto_front",
     "parse_source",
+    "register_core",
+    "resolve_core",
     "run_reference",
     "tiny_core",
     "__version__",

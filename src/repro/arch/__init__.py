@@ -48,6 +48,13 @@ from .library import (
 )
 from .merge import BusMerge, MergeSpec, RegisterFileMerge
 from .opu import InputPort, Operation, Opu, OpuKind
+from .registry import (
+    get_core,
+    list_cores,
+    register_core,
+    resolve_core,
+    unregister_core,
+)
 from .serialize import (
     core_from_dict,
     core_to_dict,
@@ -109,8 +116,13 @@ __all__ = [
     "dump_core",
     "fir_core",
     "fir_datapath",
+    "get_core",
+    "list_cores",
     "load_core",
+    "register_core",
+    "resolve_core",
     "tiny_core",
+    "unregister_core",
     "tiny_datapath",
     "validate_datapath",
 ]

@@ -53,6 +53,10 @@ import itertools
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, fields, replace
 from functools import partial
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from ..options import CompileOptions
 
 from ..errors import ArchitectureError, ReproError
 from ..lang.dfg import Dfg, NodeKind
@@ -580,17 +584,21 @@ class ExploreCache:
 
 
 def _evaluate_candidate(dfgs: list[Dfg], allocation: Allocation,
-                        budget: int | None, opt_level: int) -> ExplorationPoint:
+                        options: CompileOptions) -> ExplorationPoint:
     """Evaluate one allocation: synthesize the core, apply its merge
     variant, compile every application through register allocation,
     record lengths/failures.
 
-    ``dfgs`` are the machine-independently optimized graphs.  Only
-    compiler/architecture errors are treated as infeasibility —
-    anything else is a bug and propagates.
+    ``dfgs`` are the machine-independently optimized graphs; ``options``
+    is the sweep's base :class:`~repro.options.CompileOptions` — its
+    budget, cover algorithm and scheduler restarts/seed all shape the
+    feedback (``mode``/``repeat`` do not: evaluation stops before
+    assembly).  Only compiler/architecture errors are treated as
+    infeasibility — anything else is a bug and propagates.
     """
-    from ..pipeline import CompileSession
+    from ..toolchain import Toolchain
 
+    opt_level = options.opt
     try:
         core = intermediate_architecture(dfgs, allocation)
         merges = merge_spec_for(allocation.merge_variant, core)
@@ -610,16 +618,22 @@ def _evaluate_candidate(dfgs: list[Dfg], allocation: Allocation,
     )
     lengths: dict[str, int] = {}
     failures: dict[str, str] = {}
-    session = CompileSession(cache=None)
+    # The graphs are already machine-independently optimized (opt=0
+    # here skips only the MI passes; core-aware specialization ran
+    # above); everything else — budget, cover, restarts, seed — is the
+    # caller's base option set, taking effect per candidate.
+    toolchain = Toolchain(
+        core,
+        options.replace(opt=0, stop_after="regalloc"),
+        cache=None,
+    )
     for dfg in dfgs:
         try:
             # Core-aware specialization (a no-op below -O2), then the
             # staged pipeline through regalloc: schedule length is the
             # feedback, so encoding is skipped.
             specialized, _ = specialize_for_core(dfg, core, opt_level)
-            state = session.run(specialized, core, budget=budget,
-                                merges=merges, opt_level=0,
-                                stop_after="regalloc")
+            state = toolchain.run_pipeline(specialized, merges=merges)
             lengths[dfg.name] = state.artifacts["schedule"].length
         except ReproError as exc:
             failures[dfg.name] = f"{type(exc).__name__}: {exc}"
@@ -630,22 +644,41 @@ def _evaluate_candidate(dfgs: list[Dfg], allocation: Allocation,
     )
 
 
-#: Per-worker sweep context: the optimized application set, budget and
-#: opt level, shipped once via the pool initializer instead of being
-#: re-pickled into every candidate task.
-_WORKER_CONTEXT: tuple[list[Dfg], int | None, int] | None = None
+#: Per-worker sweep context: the optimized application set and the
+#: base options, shipped once via the pool initializer instead of
+#: being re-pickled into every candidate task.
+_WORKER_CONTEXT: tuple[list[Dfg], CompileOptions] | None = None
 
 
-def _worker_init(dfgs: list[Dfg], budget: int | None, opt_level: int) -> None:
+def _worker_init(dfgs: list[Dfg], options: CompileOptions) -> None:
     global _WORKER_CONTEXT
-    _WORKER_CONTEXT = (dfgs, budget, opt_level)
+    _WORKER_CONTEXT = (dfgs, options)
 
 
 def _worker_evaluate(allocation: Allocation) -> ExplorationPoint:
     """Top-level (picklable) per-task entry point: the task carries
     only the allocation; everything else came with the initializer."""
-    dfgs, budget, opt_level = _WORKER_CONTEXT
-    return _evaluate_candidate(dfgs, allocation, budget, opt_level)
+    dfgs, options = _WORKER_CONTEXT
+    return _evaluate_candidate(dfgs, allocation, options)
+
+
+def _sweep_options(options: CompileOptions | None, budget: int | None,
+                   opt_level: int) -> CompileOptions:
+    """Fold the legacy ``budget=``/``opt_level=`` spelling and
+    ``options=`` into one validated :class:`CompileOptions`
+    (:meth:`CompileOptions.merge_legacy` — mixing the spellings is
+    refused, exactly as in ``CompileSession.run``).
+
+    With no ``options``, construction validates the legacy values at
+    the API boundary: an out-of-range budget is a caller error raised
+    here with a clear message, not per-candidate infeasibility, and
+    never an exception propagating out of a ``jobs=`` pool worker
+    mid-sweep.
+    """
+    from ..options import CompileOptions as Options
+
+    return Options.merge_legacy(options, budget=budget,
+                                opt_level=opt_level)
 
 
 def explore(
@@ -657,6 +690,7 @@ def explore(
     cache: ExploreCache | None = None,
     cache_dir: str | None = None,
     preoptimized: bool = False,
+    options: "CompileOptions | None" = None,
 ) -> list[ExplorationPoint]:
     """Compile every application on every candidate architecture.
 
@@ -679,9 +713,20 @@ def explore(
     optimized at ``opt_level`` and skips the pass — the contract
     :func:`explore_refined` uses so its two phases optimize each
     application exactly once between them.
+
+    ``options`` hands the sweep a base
+    :class:`~repro.options.CompileOptions` instead of loose keywords:
+    its ``budget`` and ``opt`` override the ``budget``/``opt_level``
+    parameters (the spelling :meth:`repro.toolchain.Toolchain.explore`
+    uses), and its cover algorithm and scheduler ``restarts``/``seed``
+    take effect per candidate (``mode``/``repeat`` do not — evaluation
+    stops before assembly).  These knobs key the candidate memo, so
+    sweeps differing in any of them never share cache entries.
     """
     from ..pipeline import DiskCache, dfg_fingerprint, fingerprint
 
+    options = _sweep_options(options, budget, opt_level)
+    budget, opt_level = options.budget, options.opt
     if cache is None and cache_dir is not None:
         cache = ExploreCache(disk=DiskCache(cache_dir))
 
@@ -691,6 +736,10 @@ def explore(
     app_key = [dfg_fingerprint(dfg) for dfg in optimized]
 
     operations = required_operations(optimized)
+    # The non-default knobs that shape the feedback (cover, restarts,
+    # seed) must key the memo too, or two sweeps differing only there
+    # would share entries wrongly; the digest is loop-invariant.
+    options_fp = options.fingerprint("cover", "restarts", "seed")
     results: dict[int, ExplorationPoint] = {}
     pending: list[tuple[int, Allocation, str]] = []
     pending_keys: dict[str, int] = {}
@@ -703,7 +752,7 @@ def explore(
         if variant != allocation.merge_variant:
             allocation = replace(allocation, merge_variant=variant)
         key = fingerprint("explore", app_key, allocation.astuple(),
-                          budget, opt_level)
+                          budget, opt_level, options_fp)
         cached = cache.get(key) if cache is not None else None
         if cached is not None:
             results[index] = cached
@@ -716,12 +765,12 @@ def explore(
     if jobs is not None and jobs > 1 and len(pending) > 1:
         with ProcessPoolExecutor(
                 max_workers=jobs, initializer=_worker_init,
-                initargs=(optimized, budget, opt_level)) as pool:
+                initargs=(optimized, options)) as pool:
             evaluated = list(pool.map(
                 _worker_evaluate, [alloc for _, alloc, _ in pending]))
     else:
         evaluated = [
-            _evaluate_candidate(optimized, alloc, budget, opt_level)
+            _evaluate_candidate(optimized, alloc, options)
             for _, alloc, _ in pending
         ]
     by_key: dict[str, ExplorationPoint] = {}
@@ -764,6 +813,7 @@ def explore_refined(
     cache: ExploreCache | None = None,
     cache_dir: str | None = None,
     axes: tuple[str, ...] | None = None,
+    options: "CompileOptions | None" = None,
 ) -> RefinedSweep:
     """Two-phase coarse-to-fine sweep over a multi-dimensional grid.
 
@@ -775,10 +825,14 @@ def explore_refined(
     every resource axis, so fine-grid optima cluster around the coarse
     front.  Both phases share one :class:`ExploreCache`, so nothing is
     evaluated twice and a later full sweep pays only for the points the
-    refinement skipped.
+    refinement skipped.  ``options`` supplies the base
+    :class:`~repro.options.CompileOptions` (budget, opt level, cover,
+    scheduler restarts/seed), exactly as in :func:`explore`.
     """
     from ..pipeline import DiskCache
 
+    options = _sweep_options(options, budget, opt_level)
+    budget, opt_level = options.budget, options.opt
     if cache is None:
         cache = ExploreCache(disk=DiskCache(cache_dir)) \
             if cache_dir is not None else ExploreCache()
@@ -792,9 +846,8 @@ def explore_refined(
     ]
 
     coarse_allocations = spec.coarse().allocations()
-    coarse_points = explore(optimized, coarse_allocations, budget=budget,
-                            opt_level=opt_level, jobs=jobs, cache=cache,
-                            preoptimized=True)
+    coarse_points = explore(optimized, coarse_allocations, options=options,
+                            jobs=jobs, cache=cache, preoptimized=True)
     coarse_front = pareto_front(coarse_points, axes=axes)
 
     # Dedup on *canonical* tuples: explore() collapses degenerate merge
@@ -817,9 +870,8 @@ def explore_refined(
             if key not in seen:
                 seen.add(key)
                 fine_allocations.append(allocation)
-    fine_points = explore(optimized, fine_allocations, budget=budget,
-                          opt_level=opt_level, jobs=jobs, cache=cache,
-                          preoptimized=True)
+    fine_points = explore(optimized, fine_allocations, options=options,
+                          jobs=jobs, cache=cache, preoptimized=True)
 
     points = coarse_points + fine_points
     return RefinedSweep(

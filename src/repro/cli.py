@@ -12,9 +12,19 @@ without writing code.
     python -m repro inspect-core --core audio
     python -m repro run-image program.json --input x=100,200
 
-Cores are named library cores (``audio``, ``fir``, ``tiny``,
-``adaptive``) or paths to JSON core descriptions produced by
-:func:`repro.arch.dump_core`.
+Cores are registered core names (``audio``, ``fir``, ``tiny``,
+``adaptive``, plus anything added via
+:func:`repro.arch.register_core`) or paths to JSON core descriptions
+produced by :func:`repro.arch.dump_core`; resolution is
+:func:`repro.arch.resolve_core` — the same rule the library uses.
+
+Every compile-related flag (``--budget``, ``-O``, ``--cover``,
+``--mode``, ``--repeat``, ``--stop-after``, ``--cache-dir``,
+``--no-disk-cache``) is declared exactly once, by
+:meth:`repro.options.CompileOptions.add_to_parser`; each subcommand
+names the flag groups it exposes and :meth:`CompileOptions.from_args`
+turns the parsed namespace back into the typed options object the
+:class:`repro.toolchain.Toolchain` consumes.
 
 ``compile``, ``batch`` and ``explore`` keep a persistent stage cache
 under ``~/.cache/repro`` (override with ``--cache-dir`` or
@@ -32,35 +42,23 @@ import os
 import sys
 from pathlib import Path
 
-from .apps import adaptive_core
 from .arch import (
     MERGE_VARIANTS,
-    CoreSpec,
     ExploreCache,
     SweepSpec,
-    audio_core,
     explore,
     explore_refined,
-    fir_core,
-    load_core,
     pareto_axes,
     pareto_front,
-    tiny_core,
+    resolve_core,
 )
 from .core import ClassTable, InstructionSet
 from .encode import derive_format, dump_program, load_program
 from .errors import ReproError
 from .fixed import FixedFormat
 from .lang import parse_source
-from .pipeline import (
-    PIPELINE_STAGES,
-    STAGE_NAMES,
-    BatchSession,
-    CompileSession,
-    DiskCache,
-    StageCache,
-    compile_application,
-)
+from .options import CompileOptions
+from .pipeline import PIPELINE_STAGES, DiskCache, StageCache
 from .report import (
     batch_report,
     class_table_report,
@@ -70,25 +68,7 @@ from .report import (
     summary_report,
 )
 from .sim import run_program
-
-LIBRARY_CORES = {
-    "audio": audio_core,
-    "fir": fir_core,
-    "tiny": tiny_core,
-    "adaptive": adaptive_core,
-}
-
-
-def resolve_core(name: str) -> CoreSpec:
-    if name in LIBRARY_CORES:
-        return LIBRARY_CORES[name]()
-    path = Path(name)
-    if path.exists():
-        return load_core(path.read_text())
-    raise ReproError(
-        f"unknown core {name!r}: not a library core "
-        f"({', '.join(sorted(LIBRARY_CORES))}) and no such file"
-    )
+from .toolchain import Toolchain
 
 
 def parse_stream(spec: str, fmt: FixedFormat) -> tuple[str, list[int]]:
@@ -156,18 +136,6 @@ def parse_merge_variants(spec: str) -> list[str]:
     return variants
 
 
-def disk_cache_from_args(args: argparse.Namespace) -> DiskCache | None:
-    """The persistent stage cache a command should use, or ``None``.
-
-    ``--no-disk-cache`` disables persistence; otherwise ``--cache-dir``
-    (default ``$REPRO_CACHE_DIR`` / ``~/.cache/repro``) names the
-    store.
-    """
-    if args.no_disk_cache:
-        return None
-    return DiskCache(args.cache_dir)
-
-
 def cache_summary_line(state) -> str:
     """One line describing where a compile's stages came from."""
     counts = state.cache_counts()
@@ -177,23 +145,21 @@ def cache_summary_line(state) -> str:
 
 
 def cmd_compile(args: argparse.Namespace) -> int:
-    core = resolve_core(args.core)
-    source = Path(args.source).read_text()
-    disk = disk_cache_from_args(args)
+    options = CompileOptions.from_args(args)
     # Without a disk store, a full compile needs no snapshots at all
     # (the classic cold path); --stop-after always needs a cache so the
     # per-stage fingerprints are recorded.
-    cache = (StageCache(disk=disk) if disk is not None
-             else (StageCache() if args.stop_after else None))
-    state = CompileSession(cache=cache).run(
-        source, core, budget=args.budget,
-        cover_algorithm=args.cover,
-        mode=args.mode, repeat_count=args.repeat,
-        opt_level=args.opt, stop_after=args.stop_after or None,
-    )
-    if args.stop_after:
+    if options.disk_cache:
+        toolchain = Toolchain(args.core, options)
+    else:
+        toolchain = Toolchain(
+            args.core, options,
+            cache=StageCache() if options.stop_after else None)
+    source = Path(args.source).read_text()
+    state = toolchain.run_pipeline(source)
+    if options.stop_after:
         provides = {s.name: "/".join(s.provides) for s in PIPELINE_STAGES}
-        print(f"partial compilation (stopped after {args.stop_after!r}):")
+        print(f"partial compilation (stopped after {options.stop_after!r}):")
         for stage in state.completed:
             source_tag = state.cache_sources.get(stage)
             cached = f"  [{source_tag}]" if source_tag else ""
@@ -228,7 +194,7 @@ def cmd_compile(args: argparse.Namespace) -> int:
         return 0
     compiled = state.as_compiled()
     print(summary_report(compiled))
-    if disk is not None:
+    if options.disk_cache:
         print(cache_summary_line(state))
     if args.occupation:
         print()
@@ -246,14 +212,11 @@ def cmd_compile(args: argparse.Namespace) -> int:
 
 
 def cmd_batch(args: argparse.Namespace) -> int:
-    core = resolve_core(args.core)
+    options = CompileOptions.from_args(args)
+    toolchain = Toolchain(args.core, options)
     sources = [Path(source).read_text() for source in args.sources]
     names = [Path(source).name for source in args.sources]
-    batch = BatchSession(disk=disk_cache_from_args(args))
-    result = batch.compile_many(
-        sources, core, names=names, budget=args.budget,
-        cover_algorithm=args.cover, opt_level=args.opt,
-    )
+    result = toolchain.compile_many(sources, names=names)
     if args.out_dir:
         out_dir = Path(args.out_dir)
         out_dir.mkdir(parents=True, exist_ok=True)
@@ -271,9 +234,8 @@ def cmd_batch(args: argparse.Namespace) -> int:
     if args.json:
         counts = result.stage_counts()
         payload = {
-            "core": core.name,
-            "opt_level": args.opt,
-            "budget": args.budget,
+            "core": toolchain.core.name,
+            "options": options.to_dict(),
             "seconds": round(result.seconds, 4),
             "cache": counts,
             "applications": [
@@ -317,29 +279,28 @@ def sweep_spec_from_args(args: argparse.Namespace) -> SweepSpec:
 
 
 def cmd_explore(args: argparse.Namespace) -> int:
+    options = CompileOptions.from_args(args)
     dfgs = [parse_source(Path(source).read_text()) for source in args.sources]
     spec = sweep_spec_from_args(args)
     axes = pareto_axes(spec)
-    disk = disk_cache_from_args(args)
-    cache = ExploreCache(disk=disk) if disk is not None else None
+    cache = (ExploreCache(disk=DiskCache(options.cache_dir))
+             if options.disk_cache else None)
     if args.refine:
         # NB: an empty ExploreCache is falsy (it has __len__), so the
         # disk-backed cache must be tested against None, not truthiness.
-        sweep = explore_refined(dfgs, spec, budget=args.budget,
-                                opt_level=args.opt, jobs=args.jobs,
-                                cache=cache, axes=axes)
+        sweep = explore_refined(dfgs, spec, options=options,
+                                jobs=args.jobs, cache=cache, axes=axes)
         points, front_points = sweep.points, sweep.front
     else:
         sweep = None
-        points = explore(dfgs, spec.allocations(), budget=args.budget,
-                         opt_level=args.opt, jobs=args.jobs, cache=cache)
+        points = explore(dfgs, spec.allocations(), options=options,
+                         jobs=args.jobs, cache=cache)
         front_points = pareto_front(points, axes=axes)
     if args.json:
         front = {id(p) for p in front_points}
         payload = {
             "applications": [dfg.name for dfg in dfgs],
-            "opt_level": args.opt,
-            "budget": args.budget,
+            "options": options.to_dict(),
             "pareto_axes": list(axes),
             "sweep": {
                 "grid": spec.size,
@@ -373,7 +334,7 @@ def cmd_explore(args: argparse.Namespace) -> int:
         }
         print(json.dumps(payload, indent=2))
     else:
-        print(exploration_report(points, budget=args.budget,
+        print(exploration_report(points, budget=options.budget,
                                  front=front_points))
         feasible = sum(1 for p in points if p.feasible)
         print(f"\n{len(points)} candidates, {feasible} feasible, "
@@ -386,10 +347,11 @@ def cmd_explore(args: argparse.Namespace) -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    core = resolve_core(args.core)
+    options = CompileOptions.from_args(args)
+    toolchain = Toolchain(args.core, options, cache=None)
     source = Path(args.source).read_text()
-    compiled = compile_application(source, core, budget=args.budget,
-                                   opt_level=args.opt)
+    compiled = toolchain.compile(source)
+    core = toolchain.core
     fmt = FixedFormat(core.data_width, core.frac_bits)
     inputs = dict(parse_stream(spec, fmt) for spec in args.input)
     outputs = compiled.run(inputs, args.frames)
@@ -438,17 +400,6 @@ def cmd_inspect_core(args: argparse.Namespace) -> int:
     return 0
 
 
-def add_cache_arguments(parser: argparse.ArgumentParser) -> None:
-    """The persistent-cache flags shared by compile/batch/explore."""
-    parser.add_argument(
-        "--cache-dir", default=None, metavar="DIR",
-        help="persistent stage-cache directory (default $REPRO_CACHE_DIR "
-             "or ~/.cache/repro)")
-    parser.add_argument(
-        "--no-disk-cache", action="store_true",
-        help="do not read or write the on-disk stage cache")
-
-
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -460,21 +411,12 @@ def build_parser() -> argparse.ArgumentParser:
     c = sub.add_parser("compile", help="compile a source file to microcode")
     c.add_argument("source")
     c.add_argument("--core", default="audio")
-    c.add_argument("--budget", type=int, default=None)
-    c.add_argument("-O", "--opt", type=int, choices=[0, 1, 2], default=1,
-                   help="machine-independent optimization level (default 1)")
-    c.add_argument("--cover", default="greedy",
-                   choices=["greedy", "exact", "edge"])
-    c.add_argument("--mode", default="loop", choices=["loop", "once", "repeat"])
-    c.add_argument("--repeat", type=int, default=1)
+    CompileOptions.add_to_parser(c, include=(
+        "budget", "opt", "cover", "mode", "repeat", "stop_after", "cache"))
     c.add_argument("--listing", action="store_true")
     c.add_argument("--occupation", action="store_true")
     c.add_argument("--gantt", action="store_true")
     c.add_argument("--out", default=None, help="write the microcode image JSON")
-    c.add_argument("--stop-after", default=None, choices=list(STAGE_NAMES),
-                   help="partial compilation: stop after this stage and "
-                        "print the per-stage fingerprints")
-    add_cache_arguments(c)
     c.set_defaults(handler=cmd_compile)
 
     b = sub.add_parser(
@@ -484,16 +426,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     b.add_argument("sources", nargs="+", help="application source files")
     b.add_argument("--core", default="audio")
-    b.add_argument("--budget", type=int, default=None)
-    b.add_argument("-O", "--opt", type=int, choices=[0, 1, 2], default=1,
-                   help="machine-independent optimization level (default 1)")
-    b.add_argument("--cover", default="greedy",
-                   choices=["greedy", "exact", "edge"])
+    CompileOptions.add_to_parser(b, include=(
+        "budget", "opt", "cover", "cache"))
     b.add_argument("--out-dir", default=None, metavar="DIR",
                    help="write one microcode image JSON per application")
     b.add_argument("--json", action="store_true",
                    help="machine-readable output")
-    add_cache_arguments(b)
     b.set_defaults(handler=cmd_batch)
 
     e = sub.add_parser(
@@ -523,24 +461,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="coarse-to-fine sweep: evaluate a thinned grid, "
                         "then only the fine neighborhoods of its Pareto "
                         "front")
-    e.add_argument("--budget", type=int, default=None,
-                   help="cycle budget candidates must meet")
-    e.add_argument("-O", "--opt", type=int, choices=[0, 1, 2], default=1,
-                   help="machine-independent optimization level (default 1)")
+    CompileOptions.add_to_parser(e, include=("budget", "opt", "cache"))
     e.add_argument("--jobs", type=int, default=None,
                    help="evaluate candidates in parallel over this many "
                         "worker processes")
     e.add_argument("--json", action="store_true",
                    help="machine-readable output")
-    add_cache_arguments(e)
     e.set_defaults(handler=cmd_explore)
 
     r = sub.add_parser("run", help="compile and simulate a source file")
     r.add_argument("source")
     r.add_argument("--core", default="audio")
-    r.add_argument("--budget", type=int, default=None)
-    r.add_argument("-O", "--opt", type=int, choices=[0, 1, 2], default=1,
-                   help="machine-independent optimization level (default 1)")
+    CompileOptions.add_to_parser(r, include=("budget", "opt"))
     r.add_argument("--input", action="append", default=[],
                    metavar="PORT=V1,V2,...")
     r.add_argument("--frames", type=int, default=None)

@@ -14,6 +14,14 @@ class ReproError(Exception):
     """Base class for all errors raised by the repro library."""
 
 
+class OptionsError(ReproError, ValueError):
+    """A compile option is out of range or inconsistent.
+
+    Also a :class:`ValueError`: options are plain values, and callers
+    that validate them generically should not need the repro hierarchy.
+    """
+
+
 class ArchitectureError(ReproError):
     """The datapath/controller description violates the target style."""
 

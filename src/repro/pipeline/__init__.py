@@ -18,12 +18,13 @@ layered in front, built as a *staged pipeline*:
 
 Each phase is a first-class :class:`~repro.pipeline.stages.Stage`
 consuming and producing typed artifacts with content fingerprints.
-:class:`CompileSession` drives the chain with per-stage caching,
-partial compilation (``stop_after=``) and resumption from a cached
-prefix; :func:`compile_application` is the classic one-shot entry
-point, preserved exactly, returning a :class:`CompiledProgram` with
-all intermediate artifacts so reports and benches can inspect every
-stage.
+:class:`repro.toolchain.Toolchain` (the typed public facade) drives
+the chain with per-stage caching, partial compilation
+(``options.stop_after``) and resumption from a cached prefix.  The
+pre-Toolchain entry points are kept as thin deprecated wrappers:
+:func:`compile_application` (the classic one-shot call, still
+byte-for-byte the classic behavior) plus :class:`CompileSession` and
+:class:`BatchSession`.
 
 Caching is two-tiered: the in-process LRU :class:`StageCache` can be
 layered over a persistent, content-addressed
@@ -36,9 +37,12 @@ for the full walk-through.
 
 from __future__ import annotations
 
+import warnings
+
 from ..arch.library import CoreSpec
 from ..arch.merge import MergeSpec
 from ..lang.dfg import Dfg
+from ..options import CompileOptions
 from .artifacts import (
     ARTIFACT_VERSIONS,
     PIPELINE_VERSION,
@@ -90,7 +94,7 @@ __all__ = [
 
 def compile_application(
     application: Dfg | str,
-    core: CoreSpec,
+    core: CoreSpec | str,
     budget: int | None = None,
     io_binding: dict[str, str] | None = None,
     merges: MergeSpec | None = None,
@@ -103,10 +107,12 @@ def compile_application(
 ) -> CompiledProgram:
     """Compile an application (source text or DFG) onto a core.
 
-    A thin wrapper over :class:`CompileSession` with caching disabled —
-    one cold run of the stage chain, byte-for-byte the classic
-    behavior.  Use a session directly for cached re-compiles, partial
-    compilation or design-space sweeps.
+    .. deprecated::
+        Use ``repro.Toolchain(core, options).compile(application)`` —
+        this wrapper funnels its keywords through
+        :class:`~repro.options.CompileOptions` and compiles with
+        caching disabled (one cold run of the stage chain, byte-for-
+        byte the classic behavior).
 
     Parameters
     ----------
@@ -125,8 +131,17 @@ def compile_application(
         Machine-independent optimization level (0, 1 or 2, see
         :mod:`repro.opt`).  ``0`` lowers the graph exactly as written.
     """
-    return CompileSession(cache=None).compile(
-        application, core, budget=budget, io_binding=io_binding,
-        merges=merges, cover_algorithm=cover_algorithm, restarts=restarts,
+    from ..toolchain import Toolchain
+
+    warnings.warn(
+        "compile_application() is deprecated; use "
+        "repro.Toolchain(core, options).compile(application) instead",
+        DeprecationWarning, stacklevel=2,
+    )
+    options = CompileOptions.from_legacy_kwargs(
+        budget=budget, cover_algorithm=cover_algorithm, restarts=restarts,
         seed=seed, mode=mode, repeat_count=repeat_count, opt_level=opt_level,
+    )
+    return Toolchain(core, options, cache=None).compile(
+        application, io_binding=io_binding, merges=merges,
     )

@@ -26,10 +26,13 @@ from ..arch.library import CoreSpec
 from ..arch.merge import MergeSpec
 from ..arch.serialize import core_to_dict
 from ..lang.dfg import Dfg
+from ..options import CompileOptions
 
 #: Bump when a stage's semantics change, so stale caches cannot serve
 #: artifacts computed by an older pipeline.
-PIPELINE_VERSION = 1
+#: v2: stage keys chain CompileOptions subset fingerprints instead of
+#: raw request attributes.
+PIPELINE_VERSION = 2
 
 #: Serialization version of every artifact type the stages produce.
 #: Bump an entry whenever the artifact's Python shape changes (fields
@@ -107,24 +110,51 @@ def merges_key(merges: MergeSpec | None) -> list:
 
 @dataclass(frozen=True)
 class CompileRequest:
-    """One compilation's full set of inputs, as handed to the session.
+    """One compilation's full set of inputs, as handed to the driver.
 
-    Mirrors :func:`repro.pipeline.compile_application`'s signature —
-    the request is what stages read their options from, and what the
-    per-stage fingerprints are derived from.
+    The application, the target core, the per-application wiring
+    (``io_binding``, ``merges``) and one validated
+    :class:`~repro.options.CompileOptions` — the request is what stages
+    read their options from, and what the per-stage fingerprints are
+    derived from.  The legacy flat attributes (``budget``,
+    ``opt_level``, ...) are preserved as read-only views onto
+    ``options``.
     """
 
     application: Dfg | str
     core: CoreSpec
-    budget: int | None = None
+    options: CompileOptions = field(default_factory=CompileOptions)
     io_binding: dict[str, str] | None = None
     merges: MergeSpec | None = None
-    cover_algorithm: str = "greedy"
-    restarts: int = 0
-    seed: int = 0
-    mode: str = "loop"
-    repeat_count: int = 1
-    opt_level: int = 1
+
+    # Legacy views (the pre-CompileOptions attribute spelling).
+    @property
+    def budget(self) -> int | None:
+        return self.options.budget
+
+    @property
+    def cover_algorithm(self) -> str:
+        return self.options.cover
+
+    @property
+    def restarts(self) -> int:
+        return self.options.restarts
+
+    @property
+    def seed(self) -> int:
+        return self.options.seed
+
+    @property
+    def mode(self) -> str:
+        return self.options.mode
+
+    @property
+    def repeat_count(self) -> int:
+        return self.options.repeat
+
+    @property
+    def opt_level(self) -> int:
+        return self.options.opt
 
 
 @dataclass

@@ -1,12 +1,18 @@
-"""The stage driver: sessions, caching, partial compiles, batching.
+"""Stage caching plus the legacy session wrappers.
 
-A :class:`CompileSession` runs the stage chain of
-:mod:`repro.pipeline.stages` over a :class:`CompileState`.  With a
-:class:`StageCache` attached, the session snapshots the cumulative
-artifact state after every stage under that stage's content key; a
-later compile whose chain reaches the same key restores the snapshot
-and skips straight past it — so an identical re-compile costs eight
-cache lookups, and a compile that differs only late in the chain
+The stage-chain *driver* lives on :class:`repro.toolchain.Toolchain`
+(the typed facade binding a core + options + cache); this module keeps
+the cache machinery it drives — :class:`StageCache`, its statistics,
+the batch result types — and the pre-Toolchain session classes
+(:class:`CompileSession`, :class:`BatchSession`) as thin deprecated
+wrappers that funnel their untyped keyword options through
+:class:`~repro.options.CompileOptions`.
+
+With a :class:`StageCache` attached, the driver snapshots the
+cumulative artifact state after every stage under that stage's content
+key; a later compile whose chain reaches the same key restores the
+snapshot and skips straight past it — so an identical re-compile costs
+eight cache lookups, and a compile that differs only late in the chain
 (say a new cycle budget) reuses everything up to the schedule stage.
 
 The memory cache can be layered over a
@@ -28,18 +34,18 @@ from __future__ import annotations
 
 import copy
 import threading
-import time
+import warnings
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any
 
 from ..arch.library import CoreSpec
 from ..arch.merge import MergeSpec
-from ..errors import ReproError
 from ..lang.dfg import Dfg
-from .artifacts import CompileRequest, CompileState, artifact_schema
+from ..options import CompileOptions
+from .artifacts import CompileState, artifact_schema
 from .diskcache import DiskCache
-from .stages import PIPELINE_STAGES, STAGE_NAMES
+from .stages import PIPELINE_STAGES
 
 
 @dataclass
@@ -179,23 +185,55 @@ def _realias_core(snapshot: dict[str, Any],
     return copy.deepcopy(snapshot, {id(embedded): canonical})
 
 
-#: Sentinel: "create a private cache for this session".
-_DEFAULT_CACHE = object()
+class _DefaultCache:
+    """Sentinel *type* for "create a private cache for this session".
+
+    A real class (not a bare ``object()``) so the ``cache`` parameters
+    of :class:`repro.toolchain.Toolchain` and the session wrappers can
+    be annotated ``StageCache | None | _DefaultCache`` — type checkers
+    then see honest signatures instead of an ``object`` escape hatch.
+    """
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<default cache>"
+
+
+#: The one sentinel instance: "create a private cache for this session".
+_DEFAULT_CACHE = _DefaultCache()
+
+
+def _warn_deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"{old} is deprecated; use {new} instead",
+        DeprecationWarning, stacklevel=3,
+    )
 
 
 class CompileSession:
-    """Drives the stage chain; the composable face of the compiler.
+    """Deprecated pre-``Toolchain`` driver (one session, many cores).
+
+    .. deprecated::
+        Bind the core once with :class:`repro.toolchain.Toolchain`
+        instead; a session is now a thin wrapper that builds a
+        toolchain per call around its shared cache.  The untyped
+        ``**options`` keywords (``opt_level=``, ``cover_algorithm=``,
+        ...) are funneled through
+        :class:`~repro.options.CompileOptions`; new code should pass
+        ``options=CompileOptions(...)`` — or better, a toolchain.
 
     ``CompileSession()`` owns a private :class:`StageCache`; pass
-    ``cache=None`` to disable caching (the classic
-    :func:`compile_application` path — no snapshot cost), or share one
-    :class:`StageCache` between sessions to reuse artifacts across
-    them.
+    ``cache=None`` to disable caching, or share one :class:`StageCache`
+    between sessions to reuse artifacts across them.
     """
 
-    def __init__(self, cache: StageCache | None | object = _DEFAULT_CACHE):
+    def __init__(
+        self, cache: StageCache | None | _DefaultCache = _DEFAULT_CACHE,
+    ):
+        _warn_deprecated("CompileSession", "repro.Toolchain")
         self.cache: StageCache | None = (
-            StageCache() if cache is _DEFAULT_CACHE else cache  # type: ignore[assignment]
+            StageCache() if isinstance(cache, _DefaultCache) else cache
         )
         self.stages = PIPELINE_STAGES
 
@@ -215,6 +253,8 @@ class CompileSession:
         repeat_count: int = 1,
         opt_level: int = 1,
         stop_after: str | None = None,
+        *,
+        options: CompileOptions | None = None,
     ) -> CompileState:
         """Run the pipeline, optionally stopping after ``stop_after``.
 
@@ -222,40 +262,17 @@ class CompileSession:
         so far.  A later :meth:`run` with the same session resumes from
         the cached prefix (each already-computed stage is a cache hit).
         """
-        if stop_after is not None and stop_after not in STAGE_NAMES:
-            raise ValueError(
-                f"unknown stage {stop_after!r}: expected one of "
-                f"{', '.join(STAGE_NAMES)}"
-            )
-        request = CompileRequest(
-            application=application, core=core, budget=budget,
-            io_binding=io_binding, merges=merges,
-            cover_algorithm=cover_algorithm, restarts=restarts, seed=seed,
-            mode=mode, repeat_count=repeat_count, opt_level=opt_level,
+        from ..toolchain import Toolchain
+
+        options = CompileOptions.merge_legacy(
+            options, budget=budget, cover_algorithm=cover_algorithm,
+            restarts=restarts, seed=seed, mode=mode,
+            repeat_count=repeat_count, opt_level=opt_level,
+            stop_after=stop_after,
         )
-        state = CompileState(request=request)
-        shared = {id(core): core}
-        for stage in self.stages:
-            if self.cache is None:
-                stage.execute(state)
-                state.completed.append(stage.name)
-            else:
-                key = stage.key(state)
-                restored, source = self.cache.get_entry(key, shared)
-                if restored is not None:
-                    state.artifacts = restored
-                    state.cache_hits[stage.name] = True
-                    state.cache_sources[stage.name] = source
-                else:
-                    stage.execute(state)
-                    state.cache_hits[stage.name] = False
-                state.fingerprints[stage.name] = key
-                state.completed.append(stage.name)
-                if restored is None:
-                    self.cache.put(key, state.artifacts, shared)
-            if stage.name == stop_after:
-                break
-        return state
+        return Toolchain(core, options, cache=self.cache).run_pipeline(
+            application, io_binding=io_binding, merges=merges,
+        )
 
     def compile(self, application: Dfg | str, core: CoreSpec, **options):
         """Run the full pipeline and return a :class:`CompiledProgram`."""
@@ -287,7 +304,8 @@ class BatchEntry:
 
 @dataclass
 class BatchResult:
-    """The outcome of one :meth:`BatchSession.compile_many` call."""
+    """The outcome of one batched compile
+    (:meth:`repro.toolchain.Toolchain.compile_many`)."""
 
     entries: list[BatchEntry] = field(default_factory=list)
     seconds: float = 0.0
@@ -314,38 +332,22 @@ class BatchResult:
 
 
 class BatchSession:
-    """Compile a set of applications against a shared core in one go.
+    """Deprecated pre-``Toolchain`` batch driver.
 
-    The batch shares a single :class:`StageCache` (optionally
-    disk-backed), so identical prefixes — the same application at two
-    budgets, duplicated sources across a project, re-runs of yesterday's
-    set against today's core — are computed once and restored everywhere
-    else, across the batch *and*, with ``disk``, across processes.
-
-    A failing application does not abort the batch: its error lands on
-    the :class:`BatchEntry` and the remaining applications still
-    compile.
-
-    ::
-
-        batch = BatchSession(disk=DiskCache(cache_dir))
-        result = batch.compile_many(sources, core, budget=64)
-        for entry in result.entries:
-            print(entry.name, entry.state.schedule.length)
+    .. deprecated::
+        Use :meth:`repro.toolchain.Toolchain.compile_many` — the
+        toolchain already binds the core and the shared (optionally
+        disk-backed) cache this class existed to carry.
     """
 
-    def __init__(self, cache: StageCache | None | object = _DEFAULT_CACHE,
+    def __init__(self, cache: StageCache | None | _DefaultCache = _DEFAULT_CACHE,
                  disk: DiskCache | None = None):
-        if cache is _DEFAULT_CACHE:
+        _warn_deprecated("BatchSession", "repro.Toolchain.compile_many")
+        if isinstance(cache, _DefaultCache):
             cache = StageCache(disk=disk)
         elif disk is not None:
             raise ValueError("pass either a prebuilt cache or disk=, not both")
-        self.session = CompileSession(cache=cache)
-
-    @property
-    def cache(self) -> StageCache | None:
-        """The stage cache the whole batch shares."""
-        return self.session.cache
+        self.cache: StageCache | None = cache
 
     def compile_many(
         self,
@@ -353,38 +355,21 @@ class BatchSession:
         core: CoreSpec,
         names: list[str] | None = None,
         stop_after: str | None = None,
+        io_binding: dict[str, str] | None = None,
+        merges: MergeSpec | None = None,
         **options,
     ) -> BatchResult:
-        """Run every application through the shared session.
+        """Run every application through one shared cache.
 
         ``names`` labels the batch entries (defaults to the DFG names /
-        ``app[i]`` for text sources); ``options`` are the usual
-        :meth:`CompileSession.run` keywords, applied to every
-        application.  Only compiler errors (:class:`ReproError`) are
-        captured per-entry; anything else is a bug and propagates.
+        ``app[i]`` for text sources); ``options`` are the usual legacy
+        keywords, applied to every application — as are ``io_binding``
+        and ``merges``, which this wrapper always accepted.
         """
-        if names is not None and len(names) != len(applications):
-            raise ValueError(
-                f"{len(names)} names for {len(applications)} applications"
-            )
-        result = BatchResult()
-        batch_start = time.perf_counter()
-        for index, application in enumerate(applications):
-            if names is not None:
-                name = names[index]
-            elif isinstance(application, Dfg):
-                name = application.name
-            else:
-                name = f"app[{index}]"
-            start = time.perf_counter()
-            entry = BatchEntry(name=name)
-            try:
-                entry.state = self.session.run(
-                    application, core, stop_after=stop_after, **options
-                )
-            except ReproError as exc:
-                entry.error = f"{type(exc).__name__}: {exc}"
-            entry.seconds = time.perf_counter() - start
-            result.entries.append(entry)
-        result.seconds = time.perf_counter() - batch_start
-        return result
+        from ..toolchain import Toolchain
+
+        compile_options = CompileOptions.from_legacy_kwargs(
+            stop_after=stop_after, **options)
+        toolchain = Toolchain(core, compile_options, cache=self.cache)
+        return toolchain.compile_many(applications, names=names,
+                                      io_binding=io_binding, merges=merges)

@@ -13,11 +13,15 @@ chain, consults the cache keyed on these fingerprints, and can stop
 after any stage (partial compilation) or resume from a cached prefix.
 
 Keys are chained: every stage's key folds in the key of the stage
-before it, so a hit at stage *k* certifies the entire prefix.  Where a
-stage's output is insensitive to part of the request, the key omits it
-— e.g. the optimize stage keys on the core only at ``-O2`` (the sole
-level with a core-aware pass), so one optimized DFG is shared across
-candidate cores during design-space exploration.
+before it, so a hit at stage *k* certifies the entire prefix.  Option
+sensitivity is expressed through
+:meth:`repro.options.CompileOptions.fingerprint` *subsets* — each
+stage folds in the digest of exactly the option fields it reads, so a
+changed budget invalidates scheduling but not the lowered prefix.
+Where a stage's output is insensitive to part of the request, the key
+omits it — e.g. the optimize stage keys on the core only at ``-O2``
+(the sole level with a core-aware pass), so one optimized DFG is
+shared across candidate cores during design-space exploration.
 """
 
 from __future__ import annotations
@@ -119,18 +123,18 @@ class OptimizeStage(Stage):
     def key(self, state: CompileState) -> str:
         request = state.request
         core = request.core
-        core_part = (state.core_fp() if request.opt_level >= 2
+        core_part = (state.core_fp() if request.options.opt >= 2
                      else ("fmt", core.data_width, core.frac_bits))
         return fingerprint(
             self.name, PIPELINE_VERSION,
             dfg_fingerprint(state.artifacts["source_dfg"]),
-            request.opt_level, core_part,
+            request.options.fingerprint("opt"), core_part,
         )
 
     def run(self, state: CompileState) -> None:
         request = state.request
         dfg, report = optimize(state.artifacts["source_dfg"],
-                               core=request.core, level=request.opt_level)
+                               core=request.core, level=request.options.opt)
         state.artifacts["dfg"] = dfg
         state.artifacts["opt_report"] = report
 
@@ -193,7 +197,7 @@ class ImposeStage(Stage):
     provides = ("conflict_model",)
 
     def key(self, state: CompileState) -> str:
-        return self._chain(state, state.request.cover_algorithm)
+        return self._chain(state, state.request.options.fingerprint("cover"))
 
     def run(self, state: CompileState) -> None:
         request = state.request
@@ -205,7 +209,7 @@ class ImposeStage(Stage):
         )
         model = impose_instruction_set(
             program.rts, table, instruction_set,
-            cover_algorithm=request.cover_algorithm,
+            cover_algorithm=request.options.cover,
         )
         program.rts = model.rts
         state.artifacts["conflict_model"] = model
@@ -218,16 +222,16 @@ class ScheduleStage(Stage):
     provides = ("dependence_graph", "schedule")
 
     def key(self, state: CompileState) -> str:
-        request = state.request
-        return self._chain(state, request.budget, request.restarts,
-                           request.seed)
+        options = state.request.options
+        return self._chain(state,
+                           options.fingerprint("budget", "restarts", "seed"))
 
     def run(self, state: CompileState) -> None:
-        request = state.request
+        options = state.request.options
         graph = build_dependence_graph(state.artifacts["program"])
-        schedule = list_schedule(graph, budget=request.budget,
-                                 restarts=request.restarts,
-                                 seed=request.seed)
+        schedule = list_schedule(graph, budget=options.budget,
+                                 restarts=options.restarts,
+                                 seed=options.seed)
         schedule.validate(graph)
         state.artifacts["dependence_graph"] = graph
         state.artifacts["schedule"] = schedule
@@ -262,11 +266,11 @@ class AssembleStage(Stage):
     provides = ("binary",)
 
     def key(self, state: CompileState) -> str:
-        request = state.request
-        return self._chain(state, request.mode, request.repeat_count)
+        return self._chain(
+            state, state.request.options.fingerprint("mode", "repeat"))
 
     def run(self, state: CompileState) -> None:
-        request = state.request
+        options = state.request.options
         a = state.artifacts
         schedule = a["schedule"]
         if a["merged"]:
@@ -282,12 +286,12 @@ class AssembleStage(Stage):
             encode_allocation = allocate_registers(base_program,
                                                    encode_schedule)
             a["binary"] = assemble(base_program, encode_schedule,
-                                   encode_allocation, mode=request.mode,
-                                   repeat_count=request.repeat_count)
+                                   encode_allocation, mode=options.mode,
+                                   repeat_count=options.repeat)
         else:
             a["binary"] = assemble(a["program"], schedule, a["allocation"],
-                                   mode=request.mode,
-                                   repeat_count=request.repeat_count)
+                                   mode=options.mode,
+                                   repeat_count=options.repeat)
 
 
 #: The canonical stage chain, in execution order.

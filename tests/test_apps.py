@@ -3,7 +3,7 @@ exact reproduction of the figure-9 resource profile."""
 
 import pytest
 
-from repro import Q15, audio_core, compile_application, fir_core
+from repro import Q15, audio_core, Toolchain, fir_core
 from repro.apps import (
     AudioAppSpec,
     adaptive_core,
@@ -54,10 +54,8 @@ class TestAudioApplication:
         assert values.count("opb_2") == 4
 
     def test_compiles_in_budget_and_runs(self):
-        compiled = compile_application(
-            audio_application(), audio_core(), budget=64,
-            io_binding=audio_io_binding(),
-        )
+        compiled = Toolchain(audio_core(), cache=None, budget=64) \
+            .compile(audio_application(), io_binding=audio_io_binding())
         assert compiled.n_cycles <= 64
         stimulus = {
             "IN_L": [Q15.from_float(0.1 * i) for i in range(-4, 4)],
@@ -81,8 +79,8 @@ class TestFirApplication:
         assert outputs["y"] == [Q15.from_float(0.25)]
 
     def test_compiles_on_fir_core(self):
-        compiled = compile_application(fir_application([0.3, 0.4, 0.3]),
-                                       fir_core())
+        compiled = Toolchain(fir_core(), cache=None) \
+            .compile(fir_application([0.3, 0.4, 0.3]))
         xs = [Q15.from_float(v) for v in (0.9, -0.9, 0.5, 0.0, 0.1)]
         expected = run_reference(compiled.dfg, {"x": xs})
         assert compiled.run({"x": xs}) == expected
@@ -105,9 +103,8 @@ class TestBiquadCascade:
 
     def test_cascade_compiles_on_audio_core(self):
         sections = [(0.4, 0.1, -0.05, 0.2, -0.1), (0.3, 0.05, 0.0, 0.1, 0.0)]
-        compiled = compile_application(
-            biquad_cascade_application(sections), audio_core(), budget=64,
-        )
+        compiled = Toolchain(audio_core(), cache=None, budget=64) \
+            .compile(biquad_cascade_application(sections))
         xs = [Q15.from_float(v) for v in (0.7, -0.3, 0.2, 0.0, -0.8, 0.1)]
         expected = run_reference(compiled.dfg, {"x": xs})
         assert compiled.run({"x": xs}) == expected
@@ -142,11 +139,12 @@ class TestLms:
         # The FIR core cannot route a signal into the coefficient port.
         from repro.errors import ReproError
         with pytest.raises(ReproError):
-            compile_application(lms_application(n_taps=2), fir_core())
+            Toolchain(fir_core(), cache=None) \
+                .compile(lms_application(n_taps=2))
 
     def test_compiles_and_runs_on_adaptive_core(self):
-        compiled = compile_application(lms_application(n_taps=2),
-                                       adaptive_core())
+        compiled = Toolchain(adaptive_core(), cache=None) \
+            .compile(lms_application(n_taps=2))
         xs = [Q15.from_float(v) for v in (0.5, -0.25, 0.125, 0.75, -0.5)]
         ds = [Q15.from_float(v) for v in (0.25, -0.125, 0.0625, 0.375, -0.25)]
         expected = run_reference(compiled.dfg, {"x": xs, "d": ds})
@@ -166,7 +164,8 @@ class TestStress:
         assert large["mult"] - 2 == 2 * (small["mult"] - 2)
 
     def test_compiles_on_audio_core(self):
-        compiled = compile_application(stress_application(4), audio_core())
+        compiled = Toolchain(audio_core(), cache=None) \
+            .compile(stress_application(4))
         xs = [Q15.from_float(0.2), Q15.from_float(-0.4), 0, 1000]
         expected = run_reference(compiled.dfg, {"x": xs})
         assert compiled.run({"x": xs}) == expected

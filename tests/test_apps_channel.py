@@ -4,7 +4,7 @@ import math
 
 import pytest
 
-from repro import Q15, audio_core, compile_application, fir_core, run_reference
+from repro import Q15, audio_core, Toolchain, fir_core, run_reference
 from repro.apps import channel_frontend_application
 from repro.arch import Allocation, intermediate_architecture
 from repro.core import ConflictGraph, InstructionSet, compatible_pairs
@@ -29,11 +29,12 @@ class TestChannelFrontend:
         from repro.errors import BindingError
 
         with pytest.raises(BindingError, match="'sub'"):
-            compile_application(channel_frontend_application(), audio_core())
+            Toolchain(audio_core(), cache=None) \
+                .compile(channel_frontend_application())
 
     def test_compiles_on_fir_core_bit_exact(self):
         dfg = channel_frontend_application()
-        compiled = compile_application(dfg, fir_core())
+        compiled = Toolchain(fir_core(), cache=None).compile(dfg)
         stimulus = {"rf_in": tone(24)}
         assert compiled.run(stimulus) == run_reference(dfg, stimulus)
 
@@ -57,7 +58,7 @@ class TestChannelFrontend:
         # Phase-1 usage: the front-end as a representative application.
         dfg = channel_frontend_application()
         core = intermediate_architecture([dfg], Allocation(), name="dect")
-        compiled = compile_application(dfg, core)
+        compiled = Toolchain(core, cache=None).compile(dfg)
         stimulus = {"rf_in": tone(16)}
         assert compiled.run(stimulus) == run_reference(dfg, stimulus)
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import Q15, compile_application, run_reference
+from repro import Q15, Toolchain, run_reference
 from repro.apps import fir_application, stress_application
 from repro.arch import (
     ARCHITECTURE_FAILURE,
@@ -53,7 +53,7 @@ class TestIntermediateArchitecture:
 
     def test_no_artificial_resources_needed(self):
         core = intermediate_architecture(app_set())
-        compiled = compile_application(app_set()[1], core)
+        compiled = Toolchain(core, cache=None).compile(app_set()[1])
         assert compiled.conflict_model.cover == []
 
     def test_multi_unit_allocation(self):
@@ -65,7 +65,7 @@ class TestIntermediateArchitecture:
     def test_compiled_code_is_bit_exact(self):
         dfg = app_set()[1]
         core = intermediate_architecture([dfg])
-        compiled = compile_application(dfg, core)
+        compiled = Toolchain(core, cache=None).compile(dfg)
         xs = [Q15.from_float(v) for v in (0.7, -0.7, 0.35, 0.0)]
         assert compiled.run({"x": xs}) == run_reference(dfg, {"x": xs})
 
@@ -285,9 +285,9 @@ class TestExploration:
         calls = []
         real = explore_module._evaluate_candidate
 
-        def counting(dfgs, allocation, budget, opt_level):
+        def counting(dfgs, allocation, options):
             calls.append(allocation.astuple())
-            return real(dfgs, allocation, budget, opt_level)
+            return real(dfgs, allocation, options)
 
         monkeypatch.setattr(explore_module, "_evaluate_candidate", counting)
         b = DfgBuilder("pure")
@@ -496,3 +496,80 @@ class TestDiskBackedSweeps:
         warm = explore(dfgs, allocations, budget=1, cache_dir=str(tmp_path))
         assert not cold[0].feasible
         assert warm[0].failures == cold[0].failures
+
+
+class TestExploreOptionValidation:
+    """An out-of-range budget is a caller error at the API boundary —
+    raised once with a clear message, never per-candidate noise or an
+    exception escaping a jobs= pool worker mid-sweep."""
+
+    def test_bad_budget_rejected_early(self):
+        from repro.errors import OptionsError
+
+        dfgs = app_set()
+        with pytest.raises(OptionsError, match="budget must be >= 1"):
+            explore(dfgs, [Allocation()], budget=0)
+        with pytest.raises(OptionsError, match="budget must be >= 1"):
+            explore_refined(dfgs, SweepSpec(), budget=-2)
+
+    def test_mixing_options_and_legacy_kwargs_is_refused(self):
+        from repro import CompileOptions
+        from repro.errors import OptionsError
+
+        dfgs = app_set()[:1]
+        with pytest.raises(OptionsError, match="not both"):
+            explore(dfgs, [Allocation()], budget=32,
+                    options=CompileOptions())
+        with pytest.raises(OptionsError, match="not both"):
+            explore_refined(dfgs, SweepSpec(), opt_level=2,
+                            options=CompileOptions())
+
+    def test_options_object_supplies_budget_and_opt(self):
+        from repro import CompileOptions
+
+        dfgs = app_set()[:1]
+        legacy = explore(dfgs, [Allocation()], budget=32, opt_level=2)
+        typed = explore(dfgs, [Allocation()],
+                        options=CompileOptions(budget=32, opt=2))
+        assert [p.schedule_lengths for p in legacy] == \
+            [p.schedule_lengths for p in typed]
+
+
+class TestExploreHonorsBaseOptions:
+    """The base CompileOptions shapes candidate evaluation — cover,
+    restarts and seed take effect and key the candidate memo, so sweeps
+    differing in them never share cache entries."""
+
+    def test_cover_and_seed_key_the_memo(self):
+        from repro import CompileOptions
+        from repro.arch import ExploreCache
+
+        dfgs = app_set()[:1]
+        cache = ExploreCache()
+        explore(dfgs, [Allocation()],
+                options=CompileOptions(cover="greedy"), cache=cache)
+        explore(dfgs, [Allocation()],
+                options=CompileOptions(cover="exact"), cache=cache)
+        explore(dfgs, [Allocation()],
+                options=CompileOptions(seed=99, restarts=2), cache=cache)
+        assert cache.misses == 3 and cache.hits == 0
+        # An identical re-sweep is served from the memo.
+        explore(dfgs, [Allocation()],
+                options=CompileOptions(cover="exact"), cache=cache)
+        assert cache.hits == 1
+
+    def test_restarts_and_seed_reach_the_scheduler(self, monkeypatch):
+        from repro import CompileOptions
+        import repro.pipeline.stages as stages
+
+        seen = {}
+        real = stages.list_schedule
+
+        def spying(graph, budget=None, restarts=0, seed=0):
+            seen["restarts"], seen["seed"] = restarts, seed
+            return real(graph, budget=budget, restarts=restarts, seed=seed)
+
+        monkeypatch.setattr(stages, "list_schedule", spying)
+        explore(app_set()[:1], [Allocation()],
+                options=CompileOptions(restarts=3, seed=11))
+        assert seen == {"restarts": 3, "seed": 11}

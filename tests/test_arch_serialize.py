@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro import Q15, compile_application, run_reference
+from repro import Q15, Toolchain, run_reference
 from repro.apps import adaptive_core
 from repro.arch import (
     audio_core,
@@ -63,8 +63,9 @@ class TestRoundtrip:
         b.output("o", b.op("add_clip", b.op("mult", k, b.delay(s, 1)), i))
         dfg = b.build()
 
-        original = compile_application(dfg, fir_core())
-        loaded = compile_application(dfg, load_core(dump_core(fir_core())))
+        original = Toolchain(fir_core(), cache=None).compile(dfg)
+        loaded = Toolchain(load_core(dump_core(fir_core())), cache=None) \
+            .compile(dfg)
         assert original.n_cycles == loaded.n_cycles
         assert original.binary.words == loaded.binary.words
 

@@ -11,6 +11,7 @@ import pytest
 from repro.cli import main, parse_stream, resolve_core
 from repro.errors import ReproError
 from repro.fixed import Q15
+from repro.options import CompileOptions
 
 GAIN = """
 app gain;
@@ -508,3 +509,89 @@ class TestCrossProcessCache:
         assert second.returncode == 0, second.stderr
         assert "stage cache  : 8/8 stages cached (8 disk)" in second.stdout
         assert first_image.read_bytes() == second_image.read_bytes()
+
+
+class TestOptionValidation:
+    """--budget/--repeat range checks are *usage* errors: exit code 2
+    with a clear message, before any compilation starts."""
+
+    @pytest.mark.parametrize("argv", [
+        ["compile", "x.dsp", "--budget", "0"],
+        ["compile", "x.dsp", "--budget", "-5"],
+        ["compile", "x.dsp", "--repeat", "0"],
+        ["compile", "x.dsp", "--repeat", "-1"],
+        ["run", "x.dsp", "--budget", "0"],
+        ["batch", "x.dsp", "--budget", "0"],
+        ["explore", "x.dsp", "--budget", "0"],
+    ])
+    def test_out_of_range_values_exit_2(self, argv, capsys):
+        with pytest.raises(SystemExit) as info:
+            main(argv)
+        assert info.value.code == 2
+        assert "must be >= 1" in capsys.readouterr().err
+
+    def test_non_integer_budget_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as info:
+            main(["compile", "x.dsp", "--budget", "lots"])
+        assert info.value.code == 2
+        assert "expected an integer" in capsys.readouterr().err
+
+
+class TestOptionsEcho:
+    """batch/explore --json emit the one CompileOptions.to_dict schema."""
+
+    def test_batch_json_options_schema(self, source_file, capsys):
+        assert main([
+            "batch", source_file, "--core", "fir", "--budget", "32",
+            "-O", "2", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        expected = CompileOptions(budget=32, opt=2).to_dict()
+        assert payload["options"] == expected
+
+    def test_explore_json_options_schema(self, source_file, capsys):
+        assert main([
+            "explore", source_file, "--mults", "1", "--alus", "1",
+            "--rams", "1", "--budget", "32", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["options"] == CompileOptions(budget=32).to_dict()
+
+    def test_batch_and_explore_share_one_schema(self, source_file, capsys):
+        assert main(["batch", source_file, "--core", "fir", "--json"]) == 0
+        batch = json.loads(capsys.readouterr().out)
+        assert main([
+            "explore", source_file, "--mults", "1", "--alus", "1",
+            "--rams", "1", "--json",
+        ]) == 0
+        explore = json.loads(capsys.readouterr().out)
+        assert sorted(batch["options"]) == sorted(explore["options"]) \
+            == sorted(CompileOptions().to_dict())
+
+
+class TestSingleFlagDeclaration:
+    """Every compile-related flag comes from the CompileOptions bridge —
+    no subcommand may re-declare budget/opt/cover/mode/repeat/stop-after
+    or the cache flags with its own add_argument."""
+
+    BRIDGED = ("--budget", "--opt", "--cover", "--mode", "--repeat",
+               "--stop-after", "--cache-dir", "--no-disk-cache")
+
+    def test_no_duplicate_declarations_in_cli_source(self):
+        from repro import cli
+
+        source = Path(cli.__file__).read_text()
+        for flag in self.BRIDGED:
+            assert f'add_argument("{flag}"' not in source, flag
+            assert f"add_argument('{flag}')" not in source, flag
+
+    def test_subcommands_agree_on_defaults(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        actions = parser._subparsers._group_actions[0].choices
+        defaults = CompileOptions()
+        for command in ("compile", "batch", "explore", "run"):
+            sub = actions[command]
+            assert sub.get_default("opt") == defaults.opt, command
+            assert sub.get_default("budget") == defaults.budget, command

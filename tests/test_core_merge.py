@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import Q15, audio_core, compile_application, run_reference
+from repro import Q15, audio_core, Toolchain, run_reference
 from repro.arch import MergeSpec
 from repro.core import apply_merges, merged_register_file_sizes
 from repro.errors import ArchitectureError
@@ -129,7 +129,7 @@ class TestSchedulingEffect:
 
     def test_merged_compilation_still_bit_exact(self):
         spec = MergeSpec().merge_buses("bus_ma", ["bus_mult", "bus_alu"])
-        compiled = compile_application(
-            parse_source(SOURCE), audio_core(), merges=spec)
+        compiled = Toolchain(audio_core(), cache=None) \
+            .compile(parse_source(SOURCE), merges=spec)
         stimulus = {"i": [Q15.from_float(v) for v in (0.5, -0.5, 0.25, 0.0)]}
         assert compiled.run(stimulus) == run_reference(compiled.dfg, stimulus)

@@ -18,7 +18,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro import Q15, audio_core, compile_application, fir_core, tiny_core
+from repro import Q15, audio_core, Toolchain, fir_core, tiny_core
 from repro.apps import adaptive_core
 from repro.errors import ReproError
 from repro.lang import DfgBuilder, run_reference
@@ -90,7 +90,7 @@ def roundtrip(dfg, core, n_frames=6, seed=0):
         for port in dfg.inputs
     }
     try:
-        compiled = compile_application(dfg, core)
+        compiled = Toolchain(core, cache=None).compile(dfg)
     except ReproError:
         # Random programs may exceed a small core's routes or register
         # files; rejection with a diagnostic is the documented contract.

@@ -3,7 +3,7 @@ modulo configuration, and end-to-end correctness."""
 
 import pytest
 
-from repro import Q15, compile_application, run_reference
+from repro import Q15, Toolchain, run_reference
 from repro.apps import stress_application
 from repro.arch import Allocation, intermediate_architecture
 from repro.lang import DfgBuilder, parse_source
@@ -73,7 +73,7 @@ class TestPartitioning:
 class TestEndToEnd:
     def test_dual_memory_bit_exact(self):
         dfg = parse_source(TWO_STATE)
-        compiled = compile_application(dfg, dual_core())
+        compiled = Toolchain(dual_core(), cache=None).compile(dfg)
         xs = [Q15.from_float(v) for v in
               (0.5, -0.25, 0.125, 0.75, -0.5, 0.3, 0.0, 0.9)]
         assert compiled.run({"x": xs} if "x" in dfg.inputs else {"i": xs}) \
@@ -84,18 +84,19 @@ class TestEndToEnd:
         # the optimizer would CSE the shared delay-line reads away and
         # drop the untapped sections, moving the bottleneck elsewhere.
         dfg = stress_application(8, seed=3)
-        single = compile_application(
-            dfg, intermediate_architecture([dfg], Allocation(n_ram=1)),
-            opt_level=0)
-        dual = compile_application(
-            dfg, intermediate_architecture([dfg], Allocation(n_ram=2)),
-            opt_level=0)
+        single = Toolchain(intermediate_architecture([dfg], Allocation(n_ram=1)),
+            cache=None, opt=0) \
+            .compile(dfg)
+        dual = Toolchain(intermediate_architecture([dfg], Allocation(n_ram=2)),
+            cache=None, opt=0) \
+            .compile(dfg)
         assert dual.n_cycles < single.n_cycles
 
     def test_dual_memory_stress_bit_exact(self):
         dfg = stress_application(5, seed=9)
-        compiled = compile_application(
-            dfg, intermediate_architecture([dfg], Allocation(n_ram=2)))
+        compiled = Toolchain(intermediate_architecture([dfg], Allocation(n_ram=2)),
+            cache=None) \
+            .compile(dfg)
         xs = [Q15.from_float(0.05 * ((i * 13) % 17 - 8)) for i in range(12)]
         assert compiled.run({"x": xs}) == run_reference(dfg, {"x": xs})
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import Q15, compile_application, fir_core, run_reference, tiny_core
+from repro import Q15, Toolchain, fir_core, run_reference, tiny_core
 from repro.arch import CtrlOp
 from repro.encode import (
     CTRL_DECODE,
@@ -10,7 +10,7 @@ from repro.encode import (
     load_program,
     program_to_dict,
 )
-from repro.errors import EncodingError
+from repro.errors import EncodingError, OptionsError
 from repro.lang import DfgBuilder, parse_source
 from repro.sim import run_program
 
@@ -44,22 +44,22 @@ def ctrl_ops_of(binary):
 
 class TestProgramModes:
     def test_loop_mode_structure(self):
-        compiled = compile_application(GAIN, fir_core())
+        compiled = Toolchain(fir_core(), cache=None).compile(GAIN)
         ops = ctrl_ops_of(compiled.binary)
         assert ops[0] is CtrlOp.IDLE
         assert ops[-1] is CtrlOp.JUMP
         assert all(op is CtrlOp.CONT for op in ops[1:-1])
 
     def test_once_mode_halts(self):
-        compiled = compile_application(GAIN, fir_core(), mode="once")
+        compiled = Toolchain(fir_core(), cache=None, mode="once").compile(GAIN)
         ops = ctrl_ops_of(compiled.binary)
         assert ops[-1] is CtrlOp.HALT
         outputs = compiled.run({"i": [Q15.from_float(0.5)]}, n_frames=1)
         assert outputs["o"] == [Q15.from_float(0.25)]
 
     def test_repeat_mode_structure(self):
-        compiled = compile_application(FIR2, fir_core(), mode="repeat",
-                                       repeat_count=4)
+        compiled = Toolchain(fir_core(), cache=None, mode="repeat", repeat=4) \
+            .compile(FIR2)
         ops = ctrl_ops_of(compiled.binary)
         assert ops[0] is CtrlOp.IDLE
         assert ops[1] is CtrlOp.LOOP
@@ -70,8 +70,8 @@ class TestProgramModes:
         # One start signal processes `repeat_count` samples; results
         # must equal the plain time-loop program's sample for sample.
         dfg = parse_source(FIR2)
-        block = compile_application(dfg, fir_core(), mode="repeat",
-                                    repeat_count=4)
+        block = Toolchain(fir_core(), cache=None, mode="repeat", repeat=4) \
+            .compile(dfg)
         xs = [Q15.from_float(v) for v in
               (0.5, -0.25, 0.125, 0.75, -0.5, 0.25, 0.0, 0.9)]
         expected = run_reference(dfg, {"x": xs})
@@ -79,19 +79,21 @@ class TestProgramModes:
         assert outputs == expected
 
     def test_repeat_count_must_be_positive(self):
-        with pytest.raises(EncodingError, match="repeat_count"):
-            compile_application(FIR2, fir_core(), mode="repeat",
-                                repeat_count=0)
+        # Validation moved forward: CompileOptions rejects the value
+        # before any stage runs (it used to surface at encoding time).
+        with pytest.raises(OptionsError, match="repeat must be >= 1"):
+            Toolchain(fir_core(), cache=None, mode="repeat", repeat=0) \
+                .compile(FIR2)
 
     def test_repeat_needs_loop_controller(self):
         core = fir_core()
         core.controller.supports_loops = False
         with pytest.raises(EncodingError, match="loop stack"):
-            compile_application(FIR2, core, mode="repeat", repeat_count=2)
+            Toolchain(core, cache=None, mode="repeat", repeat=2).compile(FIR2)
 
     def test_unknown_mode_rejected(self):
-        with pytest.raises(EncodingError, match="unknown program mode"):
-            compile_application(GAIN, fir_core(), mode="bogus")
+        with pytest.raises(OptionsError, match="mode must be one of"):
+            Toolchain(fir_core(), cache=None, mode="bogus").compile(GAIN)
 
     def test_program_too_large_rejected(self):
         core = tiny_core()
@@ -103,13 +105,13 @@ class TestProgramModes:
             x = b.op("pass", x)
         b.output("o", x)
         with pytest.raises(EncodingError, match="program needs"):
-            compile_application(b.build(), core)
+            Toolchain(core, cache=None).compile(b.build())
 
 
 class TestMicrocodeImage:
     def test_roundtrip_preserves_everything(self):
-        compiled = compile_application(FIR2, fir_core(), mode="repeat",
-                                       repeat_count=2)
+        compiled = Toolchain(fir_core(), cache=None, mode="repeat", repeat=2) \
+            .compile(FIR2)
         loaded = load_program(dump_program(compiled.binary))
         assert loaded.words == compiled.binary.words
         assert loaded.input_map == compiled.binary.input_map
@@ -118,7 +120,7 @@ class TestMicrocodeImage:
         assert loaded.repeat_count == 2
 
     def test_loaded_image_runs_identically(self):
-        compiled = compile_application(FIR2, fir_core())
+        compiled = Toolchain(fir_core(), cache=None).compile(FIR2)
         loaded = load_program(dump_program(compiled.binary))
         xs = [Q15.from_float(v) for v in (0.9, -0.3, 0.2, 0.0)]
         assert run_program(loaded, {"x": xs}) == compiled.run({"x": xs})
@@ -126,7 +128,7 @@ class TestMicrocodeImage:
     def test_version_check(self):
         from repro.encode import program_from_dict
 
-        compiled = compile_application(GAIN, fir_core())
+        compiled = Toolchain(fir_core(), cache=None).compile(GAIN)
         payload = program_to_dict(compiled.binary)
         payload["image_format_version"] = 42
         with pytest.raises(EncodingError, match="version"):
@@ -135,7 +137,7 @@ class TestMicrocodeImage:
     def test_width_mismatch_detected(self):
         from repro.encode import program_from_dict
 
-        compiled = compile_application(GAIN, fir_core())
+        compiled = Toolchain(fir_core(), cache=None).compile(GAIN)
         payload = program_to_dict(compiled.binary)
         payload["word_width"] = 1
         with pytest.raises(EncodingError, match="word width"):

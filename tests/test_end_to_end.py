@@ -11,7 +11,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro import Q15, audio_core, compile_application, fir_core, tiny_core
+from repro import Q15, Toolchain, audio_core, fir_core, tiny_core
 from repro.lang import DfgBuilder, parse_source, run_reference
 
 samples = st.lists(
@@ -42,10 +42,10 @@ loop {
 """
 
 
-def assert_equivalent(application, core, inputs, n_frames=None, **kwargs):
+def assert_equivalent(application, core, inputs, n_frames=None, **options):
     dfg = parse_source(application) if isinstance(application, str) else application
     expected = run_reference(dfg, inputs, n_frames)
-    program = compile_application(dfg, core, **kwargs)
+    program = Toolchain(core, cache=None, **options).compile(dfg)
     actual = program.run(inputs, n_frames)
     assert actual == expected
     return program
@@ -164,24 +164,28 @@ class TestFirCore:
 
 class TestCompiledArtifacts:
     def test_listing_is_printable(self):
-        program = compile_application(TREBLE, audio_core(), budget=64)
+        program = Toolchain(audio_core(), cache=None, budget=64) \
+            .compile(TREBLE)
         listing = program.binary.listing()
         assert "jump" in listing
         assert "mult.mult" in listing
 
     def test_instruction_width_is_fixed(self):
-        program = compile_application(TREBLE, audio_core(), budget=64)
+        program = Toolchain(audio_core(), cache=None, budget=64) \
+            .compile(TREBLE)
         assert all(0 <= w < (1 << program.binary.word_width)
                    for w in program.binary.words)
 
     def test_encode_decode_roundtrip(self):
-        program = compile_application(TREBLE, audio_core(), budget=64)
+        program = Toolchain(audio_core(), cache=None, budget=64) \
+            .compile(TREBLE)
         fmt = program.binary.format
         for word in program.binary.words:
             assert fmt.encode(fmt.decode(word)) == word
 
     def test_rom_words_quantised_coefficients(self):
-        program = compile_application(TREBLE, audio_core(), budget=64)
+        program = Toolchain(audio_core(), cache=None, budget=64) \
+            .compile(TREBLE)
         assert sorted(program.binary.rom_words) == sorted(
             Q15.from_float(c) for c in (0.40, -0.20, 0.30)
         )

@@ -1,0 +1,159 @@
+"""The deprecated pre-``Toolchain`` entry points: still working, still
+bit-exact, and warning.
+
+``compile_application``, ``CompileSession`` and ``BatchSession`` are
+thin wrappers over :class:`repro.Toolchain`; this file is their
+dedicated coverage — every use of a legacy entry point is wrapped in
+``pytest.warns``, and the strict CI tier
+(``-W error::DeprecationWarning``) excludes this file so the rest of
+the suite proves the library itself never touches the deprecated
+paths.
+"""
+
+import pytest
+
+from repro import (
+    BatchSession,
+    CompileOptions,
+    CompileSession,
+    Q15,
+    StageCache,
+    Toolchain,
+    audio_core,
+    compile_application,
+    run_reference,
+)
+from repro.errors import OptionsError
+from repro.pipeline import DiskCache
+
+SOURCE = """
+app opts;
+param k = 0.5;
+input i; output o;
+state s(1);
+loop {
+  s = i;
+  m := mlt(k, s@1);
+  o = add_clip(m, i);
+}
+"""
+
+
+def stimulus():
+    return {"i": [Q15.from_float(v) for v in (0.5, -0.25, 0.125, 0.0, 0.9)]}
+
+
+class TestCompileApplication:
+    def test_warns_and_matches_the_facade(self):
+        with pytest.warns(DeprecationWarning, match="compile_application"):
+            legacy = compile_application(SOURCE, audio_core(), budget=64,
+                                         opt_level=2)
+        facade = Toolchain(audio_core(), CompileOptions(budget=64, opt=2),
+                           cache=None).compile(SOURCE)
+        assert legacy.binary.words == facade.binary.words
+        assert legacy.binary.rom_words == facade.binary.rom_words
+        assert legacy.run(stimulus()) == facade.run(stimulus())
+
+    def test_accepts_core_names(self):
+        with pytest.warns(DeprecationWarning):
+            legacy = compile_application(SOURCE, "audio", budget=64)
+        assert legacy.schedule.budget == 64
+
+    def test_legacy_kwargs_are_validated(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(OptionsError, match="budget must be >= 1"):
+                compile_application(SOURCE, audio_core(), budget=0)
+
+
+class TestCompileSession:
+    def test_construction_warns(self):
+        with pytest.warns(DeprecationWarning, match="CompileSession"):
+            CompileSession()
+
+    def test_run_compile_and_cache_semantics_preserved(self):
+        with pytest.warns(DeprecationWarning):
+            session = CompileSession()
+        first = session.compile(SOURCE, audio_core(), budget=64)
+        second = session.compile(SOURCE, audio_core(), budget=64)
+        assert session.cache.stats.hits == 8
+        assert first.binary.words == second.binary.words
+
+    def test_legacy_kwargs_funnel_through_options(self):
+        with pytest.warns(DeprecationWarning):
+            session = CompileSession(cache=None)
+        legacy = session.compile(SOURCE, audio_core(), budget=64,
+                                 cover_algorithm="exact", opt_level=2,
+                                 repeat_count=1)
+        facade = Toolchain(audio_core(), cache=None, budget=64,
+                           cover="exact", opt=2).compile(SOURCE)
+        assert legacy.binary.words == facade.binary.words
+
+    def test_mixing_options_and_legacy_kwargs_is_refused(self):
+        # Silently preferring one spelling would compile the wrong
+        # request; the conflict must be loud.
+        with pytest.warns(DeprecationWarning):
+            session = CompileSession(cache=None)
+        with pytest.raises(OptionsError, match="not both"):
+            session.run(SOURCE, audio_core(), budget=4,
+                        options=CompileOptions(budget=64))
+        with pytest.raises(OptionsError, match="not both"):
+            session.run(SOURCE, audio_core(), opt_level=2, seed=7,
+                        options=CompileOptions())
+
+    def test_options_keyword_is_accepted(self):
+        with pytest.warns(DeprecationWarning):
+            session = CompileSession(cache=None)
+        state = session.run(SOURCE, audio_core(),
+                            options=CompileOptions(budget=64,
+                                                   stop_after="schedule"))
+        assert not state.is_complete
+        assert state.schedule.length <= 64
+
+    def test_unknown_stop_stage_still_a_value_error(self):
+        with pytest.warns(DeprecationWarning):
+            session = CompileSession()
+        with pytest.raises(ValueError, match="unknown stage"):
+            session.run(SOURCE, audio_core(), stop_after="codegen")
+
+
+class TestBatchSession:
+    def test_construction_warns(self):
+        with pytest.warns(DeprecationWarning, match="BatchSession"):
+            BatchSession()
+
+    def test_compile_many_matches_the_facade(self, tmp_path):
+        with pytest.warns(DeprecationWarning):
+            batch = BatchSession(disk=DiskCache(tmp_path))
+        result = batch.compile_many([SOURCE, SOURCE], audio_core(),
+                                    budget=64)
+        assert result.ok
+        assert all(result.entries[1].state.cache_hits.values())
+        facade = Toolchain(audio_core(), cache=None, budget=64) \
+            .compile(SOURCE)
+        assert result.entries[0].state.binary.words == facade.binary.words
+
+    def test_prebuilt_cache_and_disk_are_exclusive(self, tmp_path):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError, match="not both"):
+                BatchSession(cache=StageCache(), disk=DiskCache(tmp_path))
+
+    def test_io_binding_and_merges_still_supported(self):
+        # The pre-Toolchain wrapper always accepted these; they are
+        # per-application wiring, not CompileOptions fields.
+        from repro.apps import audio_application, audio_io_binding
+
+        with pytest.warns(DeprecationWarning):
+            batch = BatchSession(cache=None)
+        result = batch.compile_many([audio_application()], audio_core(),
+                                    budget=64,
+                                    io_binding=audio_io_binding())
+        assert result.ok
+
+    def test_stop_after_still_supported(self):
+        with pytest.warns(DeprecationWarning):
+            batch = BatchSession()
+        result = batch.compile_many([SOURCE], audio_core(),
+                                    stop_after="schedule")
+        state = result.entries[0].state
+        assert not state.is_complete
+        assert state.schedule.length >= 1

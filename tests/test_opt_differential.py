@@ -17,7 +17,7 @@ import random
 
 import pytest
 
-from repro import Q15, audio_core, compile_application, fir_core, run_reference
+from repro import Q15, Toolchain, audio_core, fir_core, run_reference
 from repro.apps import (
     adaptive_core,
     audio_application,
@@ -62,6 +62,14 @@ def _app_catalog():
 APP_NAMES = sorted(_app_catalog())
 
 
+def compile_at(dfg, core, opt, kwargs):
+    """Cold-compile one catalog entry at an optimization level."""
+    options = dict(kwargs)
+    io_binding = options.pop("io_binding", None)
+    return Toolchain(core, cache=None, opt=opt, **options).compile(
+        dfg, io_binding=io_binding)
+
+
 def random_streams(dfg, seed):
     rng = random.Random(seed)
     return {
@@ -75,8 +83,8 @@ def random_streams(dfg, seed):
 @pytest.mark.parametrize("seed", [0, 1])
 def test_o2_matches_o0_and_reference(name, seed):
     dfg, core, kwargs = _app_catalog()[name]
-    baseline = compile_application(dfg, core, opt_level=0, **kwargs)
-    optimized = compile_application(dfg, core, opt_level=2, **kwargs)
+    baseline = compile_at(dfg, core, 0, kwargs)
+    optimized = compile_at(dfg, core, 2, kwargs)
 
     stimulus = random_streams(dfg, seed=seed)
     expected = run_reference(dfg, stimulus)
@@ -93,6 +101,6 @@ def test_o2_matches_o0_and_reference(name, seed):
 @pytest.mark.parametrize("name", APP_NAMES)
 def test_o1_matches_reference(name):
     dfg, core, kwargs = _app_catalog()[name]
-    compiled = compile_application(dfg, core, opt_level=1, **kwargs)
+    compiled = compile_at(dfg, core, 1, kwargs)
     stimulus = random_streams(dfg, seed=7)
     assert compiled.run(stimulus) == run_reference(dfg, stimulus)

@@ -11,7 +11,7 @@ import random
 
 import pytest
 
-from repro import Q15, FixedFormat, compile_application, run_reference, tiny_core
+from repro import Q15, FixedFormat, Toolchain, run_reference, tiny_core
 from repro.arch import ControllerSpec, CoreSpec, Datapath, Operation, OpuKind
 from repro.arch.library import ClassDef
 from repro.arch.opu import standard_shift_operations
@@ -448,7 +448,7 @@ class TestStrengthReduction:
         # End to end: the shift core has no MULT OPU at all, so the
         # power-of-two multiply only compiles through the reduction.
         dfg = self.build_mult(0.25)
-        compiled = compile_application(dfg, shift_core(), opt_level=2)
+        compiled = Toolchain(shift_core(), cache=None, opt=2).compile(dfg)
         assert all(rt.operation != "mult" for rt in compiled.rt_program.rts)
         stimulus = random_streams(dfg, n=6, seed=2)
         assert compiled.run(stimulus) == run_reference(dfg, stimulus)
@@ -502,7 +502,7 @@ class TestPassManagerAndReport:
         b = DfgBuilder("carry")
         b.output("y", b.op("pass", b.input("x")))
         dfg = b.build()
-        compiled = compile_application(dfg, tiny_core(), opt_level=2)
+        compiled = Toolchain(tiny_core(), cache=None, opt=2).compile(dfg)
         assert compiled.source_dfg is dfg
         assert compiled.opt_report.level == 2
         assert compiled.opt_report.changed

@@ -1,4 +1,4 @@
-"""Tests for the persistent stage cache and batched sessions.
+"""Tests for the persistent stage cache and batched compiles.
 
 The load-bearing guarantees: a second process restores every stage from
 disk (zero stage-body executions, bit-identical binary), a bad entry is
@@ -13,14 +13,12 @@ import concurrent.futures
 
 import pytest
 
-from repro import Q15, audio_core, run_reference, tiny_core
+from repro import Q15, Toolchain, audio_core, run_reference, tiny_core
 from repro.errors import ReproError
 from repro.pipeline import (
     ARTIFACT_VERSIONS,
     STAGE_EXECUTIONS,
     STAGE_NAMES,
-    BatchSession,
-    CompileSession,
     DiskCache,
     StageCache,
 )
@@ -46,12 +44,12 @@ def stimulus():
     return {"i": [Q15.from_float(v) for v in (0.5, -0.25, 0.125, 0.0, 0.9)]}
 
 
-def session_on(cache_dir, **disk_options) -> CompileSession:
-    """A fresh session over ``cache_dir`` — an empty memory tier plus
+def toolchain_on(cache_dir, core=None, disk_options=None, **options) -> Toolchain:
+    """A fresh toolchain over ``cache_dir`` — an empty memory tier plus
     the shared store, which is exactly what a new process starts with."""
-    return CompileSession(
-        cache=StageCache(disk=DiskCache(cache_dir, **disk_options))
-    )
+    disk = DiskCache(cache_dir, **(disk_options or {}))
+    return Toolchain(core if core is not None else audio_core(),
+                     cache=StageCache(disk=disk), **options)
 
 
 class TestEnvelope:
@@ -107,10 +105,10 @@ class TestSecondProcess:
     stage work and reproduce the binary bit for bit."""
 
     def test_zero_stage_executions_and_bit_identical_binary(self, tmp_path):
-        first = session_on(tmp_path).compile(SOURCE, audio_core(), budget=64)
+        first = toolchain_on(tmp_path, budget=64).compile(SOURCE)
 
         before = dict(STAGE_EXECUTIONS)
-        state = session_on(tmp_path).run(SOURCE, audio_core(), budget=64)
+        state = toolchain_on(tmp_path, budget=64).run_pipeline(SOURCE)
         executed = {
             name: STAGE_EXECUTIONS[name] - before.get(name, 0)
             for name in STAGE_NAMES
@@ -126,36 +124,36 @@ class TestSecondProcess:
         assert second.run(stimulus()) == run_reference(second.dfg, stimulus())
 
     def test_different_request_still_executes(self, tmp_path):
-        session_on(tmp_path).compile(SOURCE, audio_core(), budget=64)
-        state = session_on(tmp_path).run(VARIANT, audio_core(), budget=64)
+        toolchain_on(tmp_path, budget=64).compile(SOURCE)
+        state = toolchain_on(tmp_path, budget=64).run_pipeline(VARIANT)
         assert not any(state.cache_hits.values())
 
     def test_partial_compile_resumes_across_processes(self, tmp_path):
-        session_on(tmp_path).run(SOURCE, audio_core(), budget=64,
-                                 stop_after="schedule")
-        state = session_on(tmp_path).run(SOURCE, audio_core(), budget=64)
+        toolchain_on(tmp_path, budget=64,
+                     stop_after="schedule").run_pipeline(SOURCE)
+        state = toolchain_on(tmp_path, budget=64).run_pipeline(SOURCE)
         assert all(state.cache_sources[name] == "disk"
                    for name in STAGE_NAMES[:6])
         assert not state.cache_hits["regalloc"]
 
     def test_memory_tier_hydrated_from_disk(self, tmp_path):
-        session_on(tmp_path).compile(SOURCE, audio_core(), budget=64)
-        session = session_on(tmp_path)
-        session.compile(SOURCE, audio_core(), budget=64)
-        state = session.run(SOURCE, audio_core(), budget=64)
-        # Second compile in the same session: served from memory, not
-        # re-read from disk.
+        toolchain_on(tmp_path, budget=64).compile(SOURCE)
+        toolchain = toolchain_on(tmp_path, budget=64)
+        toolchain.compile(SOURCE)
+        state = toolchain.run_pipeline(SOURCE)
+        # Second compile with the same toolchain: served from memory,
+        # not re-read from disk.
         assert all(src == "memory" for src in state.cache_sources.values())
-        assert session.cache.stats.disk_hits == len(STAGE_NAMES)
+        assert toolchain.cache.stats.disk_hits == len(STAGE_NAMES)
 
 
 class TestCorruptionTolerance:
     def test_corrupted_entry_is_a_miss(self, tmp_path):
-        session_on(tmp_path).compile(SOURCE, audio_core(), budget=64)
+        toolchain_on(tmp_path, budget=64).compile(SOURCE)
         disk = DiskCache(tmp_path)
         for path in sorted(disk.objects.glob("*/*.rpdc")):
             path.write_bytes(b"garbage" * 100)
-        state = session_on(tmp_path).run(SOURCE, audio_core(), budget=64)
+        state = toolchain_on(tmp_path, budget=64).run_pipeline(SOURCE)
         assert not any(state.cache_hits.values())
         assert state.as_compiled().binary.words
 
@@ -192,8 +190,9 @@ class TestUnwritableStore:
         blocker = tmp_path / "blocker"
         blocker.write_text("not a directory")
         disk = DiskCache(blocker / "cache")
-        session = CompileSession(cache=StageCache(disk=disk))
-        compiled = session.compile(SOURCE, audio_core(), budget=64)
+        toolchain = Toolchain(audio_core(), cache=StageCache(disk=disk),
+                              budget=64)
+        compiled = toolchain.compile(SOURCE)
         assert compiled.run(stimulus()) == \
             run_reference(compiled.dfg, stimulus())
         assert disk.stats.write_errors == len(STAGE_NAMES)
@@ -209,22 +208,22 @@ class TestUnwritableStore:
 
 class TestVersioning:
     def test_pipeline_version_skew_invalidates(self, tmp_path, monkeypatch):
-        session_on(tmp_path).compile(SOURCE, audio_core(), budget=64)
+        toolchain_on(tmp_path, budget=64).compile(SOURCE)
         monkeypatch.setattr(diskcache, "PIPELINE_VERSION", 999)
         disk = DiskCache(tmp_path)
-        state = CompileSession(cache=StageCache(disk=disk)).run(
-            SOURCE, audio_core(), budget=64)
+        state = Toolchain(audio_core(), cache=StageCache(disk=disk),
+                          budget=64).run_pipeline(SOURCE)
         assert not any(state.cache_hits.values())
         assert disk.stats.version_skips > 0
 
     def test_artifact_version_skew_invalidates(self, tmp_path, monkeypatch):
-        session_on(tmp_path).compile(SOURCE, audio_core(), budget=64)
+        toolchain_on(tmp_path, budget=64).compile(SOURCE)
         bumped = dict(ARTIFACT_VERSIONS, schedule=ARTIFACT_VERSIONS["schedule"] + 1)
         monkeypatch.setattr("repro.pipeline.artifacts.ARTIFACT_VERSIONS",
                             bumped)
         disk = DiskCache(tmp_path)
-        state = CompileSession(cache=StageCache(disk=disk)).run(
-            SOURCE, audio_core(), budget=64)
+        state = Toolchain(audio_core(), cache=StageCache(disk=disk),
+                          budget=64).run_pipeline(SOURCE)
         # Entries containing a schedule are skew; the pure prefix
         # (parse/optimize/rtgen/merge/impose) still serves.
         assert state.cache_hits["parse"]
@@ -247,8 +246,7 @@ class TestConcurrency:
         """Two 'processes' compiling the same sources into one cache
         directory concurrently: no crashes, correct results for both."""
         def compile_one(source):
-            compiled = session_on(tmp_path).compile(source, audio_core(),
-                                                    budget=64)
+            compiled = toolchain_on(tmp_path, budget=64).compile(source)
             return (compiled.binary.words, compiled.binary.rom_words)
 
         with concurrent.futures.ThreadPoolExecutor(max_workers=4) as pool:
@@ -289,8 +287,9 @@ class TestEviction:
     def test_tiny_bound_still_correct(self, tmp_path):
         """A cache too small to hold one compile's snapshots still
         compiles correctly — it just cannot help later."""
-        session = session_on(tmp_path, max_bytes=1)
-        compiled = session.compile(SOURCE, audio_core(), budget=64)
+        toolchain = toolchain_on(tmp_path, disk_options={"max_bytes": 1},
+                                 budget=64)
+        compiled = toolchain.compile(SOURCE)
         assert compiled.run(stimulus()) == \
             run_reference(compiled.dfg, stimulus())
 
@@ -348,11 +347,10 @@ class TestEviction:
         assert disk.get("aa" + "0" * 62) is not None
 
 
-class TestBatchSession:
+class TestBatchCompiles:
     def test_batch_shares_identical_prefixes(self, tmp_path):
-        batch = BatchSession(disk=DiskCache(tmp_path))
-        result = batch.compile_many([SOURCE, SOURCE, VARIANT], audio_core(),
-                                    budget=64)
+        batch = toolchain_on(tmp_path, budget=64)
+        result = batch.compile_many([SOURCE, SOURCE, VARIANT])
         assert result.ok
         assert len(result.states) == 3
         first, duplicate, variant = result.entries
@@ -365,17 +363,16 @@ class TestBatchSession:
         assert counts["executed"] == 2 * len(STAGE_NAMES)
 
     def test_batch_warm_across_processes(self, tmp_path):
-        BatchSession(disk=DiskCache(tmp_path)).compile_many(
-            [SOURCE, VARIANT], audio_core(), budget=64)
-        result = BatchSession(disk=DiskCache(tmp_path)).compile_many(
-            [SOURCE, VARIANT], audio_core(), budget=64)
+        toolchain_on(tmp_path, budget=64).compile_many([SOURCE, VARIANT])
+        result = toolchain_on(tmp_path, budget=64).compile_many(
+            [SOURCE, VARIANT])
         counts = result.stage_counts()
         assert counts["executed"] == 0
         assert counts["disk"] == 2 * len(STAGE_NAMES)
 
     def test_failures_do_not_abort_the_batch(self):
-        result = BatchSession(cache=None).compile_many(
-            [SOURCE, SOURCE], audio_core(), budget=1)
+        result = Toolchain(audio_core(), cache=None, budget=1) \
+            .compile_many([SOURCE, SOURCE])
         assert not result.ok
         assert [entry.ok for entry in result.entries] == [False, False]
         assert "BudgetExceededError" in result.entries[0].error
@@ -383,27 +380,22 @@ class TestBatchSession:
 
     def test_bad_budget_mixed_with_good(self):
         bad = "app broken; input i; output o; loop { o = frobnicate(i); }"
-        result = BatchSession(cache=None).compile_many(
-            [SOURCE, bad], audio_core(), budget=64)
+        result = Toolchain(audio_core(), cache=None, budget=64) \
+            .compile_many([SOURCE, bad])
         assert result.entries[0].ok
         assert not result.entries[1].ok
         assert not result.ok
 
     def test_names_label_entries(self):
-        result = BatchSession(cache=None).compile_many(
-            [SOURCE], audio_core(), names=["a.dsp"], budget=64)
+        toolchain = Toolchain(audio_core(), cache=None, budget=64)
+        result = toolchain.compile_many([SOURCE], names=["a.dsp"])
         assert result.entries[0].name == "a.dsp"
         with pytest.raises(ValueError, match="names"):
-            BatchSession(cache=None).compile_many(
-                [SOURCE], audio_core(), names=["a", "b"])
-
-    def test_prebuilt_cache_and_disk_are_exclusive(self, tmp_path):
-        with pytest.raises(ValueError, match="not both"):
-            BatchSession(cache=StageCache(), disk=DiskCache(tmp_path))
+            toolchain.compile_many([SOURCE], names=["a", "b"])
 
     def test_batch_stop_after(self):
-        result = BatchSession().compile_many([SOURCE], audio_core(),
-                                             stop_after="schedule")
+        result = Toolchain(audio_core(), cache=StageCache(),
+                           stop_after="schedule").compile_many([SOURCE])
         state = result.entries[0].state
         assert not state.is_complete
         assert state.schedule.length >= 1

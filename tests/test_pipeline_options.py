@@ -1,8 +1,8 @@
-"""Tests for compile_application's options and artifact integrity."""
+"""Tests for Toolchain's options and artifact integrity."""
 
 import pytest
 
-from repro import Q15, audio_core, compile_application, run_reference, tiny_core
+from repro import Q15, audio_core, Toolchain, run_reference, tiny_core
 from repro.arch import MergeSpec
 from repro.errors import BudgetExceededError, ReproError
 from repro.lang import parse_source
@@ -26,48 +26,52 @@ def stimulus():
 
 class TestOptions:
     def test_budget_none_minimises_nothing_but_still_compiles(self):
-        compiled = compile_application(SOURCE, audio_core())
+        compiled = Toolchain(audio_core(), cache=None).compile(SOURCE)
         assert compiled.schedule.budget is None
         assert compiled.run(stimulus()) == run_reference(compiled.dfg, stimulus())
 
     def test_budget_is_recorded(self):
-        compiled = compile_application(SOURCE, audio_core(), budget=64)
+        compiled = Toolchain(audio_core(), cache=None, budget=64) \
+            .compile(SOURCE)
         assert compiled.schedule.budget == 64
         assert compiled.n_cycles <= 64
 
     def test_budget_violation_raises_with_numbers(self):
         with pytest.raises(BudgetExceededError) as info:
-            compile_application(SOURCE, audio_core(), budget=2)
+            Toolchain(audio_core(), cache=None, budget=2).compile(SOURCE)
         assert info.value.budget == 2
         assert info.value.achieved > 2
 
     @pytest.mark.parametrize("algorithm", ["greedy", "exact", "edge"])
     def test_cover_algorithms_equivalent_outputs(self, algorithm):
-        compiled = compile_application(SOURCE, audio_core(),
-                                       cover_algorithm=algorithm)
+        compiled = Toolchain(audio_core(), cache=None, cover=algorithm) \
+            .compile(SOURCE)
         assert compiled.run(stimulus()) == run_reference(compiled.dfg, stimulus())
 
     def test_string_and_dfg_inputs_equivalent(self):
-        from_text = compile_application(SOURCE, audio_core(), budget=64)
-        from_dfg = compile_application(parse_source(SOURCE), audio_core(),
-                                       budget=64)
+        from_text = Toolchain(audio_core(), cache=None, budget=64) \
+            .compile(SOURCE)
+        from_dfg = Toolchain(audio_core(), cache=None, budget=64) \
+            .compile(parse_source(SOURCE))
         assert from_text.binary.words == from_dfg.binary.words
 
     def test_deterministic_compilation(self):
-        a = compile_application(SOURCE, audio_core(), budget=64)
-        b = compile_application(SOURCE, audio_core(), budget=64)
+        a = Toolchain(audio_core(), cache=None, budget=64).compile(SOURCE)
+        b = Toolchain(audio_core(), cache=None, budget=64).compile(SOURCE)
         assert a.binary.words == b.binary.words
 
     def test_merges_with_simulation(self):
         merges = MergeSpec().merge_register_files(
             "rf_opb", ["rf_opb1", "rf_opb2"])
-        compiled = compile_application(SOURCE, audio_core(), merges=merges)
+        compiled = Toolchain(audio_core(), cache=None) \
+            .compile(SOURCE, merges=merges)
         assert compiled.run(stimulus()) == run_reference(compiled.dfg, stimulus())
 
 
 class TestArtifacts:
     def test_all_stages_exposed(self):
-        compiled = compile_application(SOURCE, audio_core(), budget=64)
+        compiled = Toolchain(audio_core(), cache=None, budget=64) \
+            .compile(SOURCE)
         assert compiled.rt_program.rts
         assert compiled.conflict_model.cover == [frozenset("ABC")]
         assert compiled.dependence_graph.edges
@@ -75,18 +79,20 @@ class TestArtifacts:
         assert compiled.binary.words
 
     def test_schedule_instructions_cover_all_rts(self):
-        compiled = compile_application(SOURCE, audio_core(), budget=64)
+        compiled = Toolchain(audio_core(), cache=None, budget=64) \
+            .compile(SOURCE)
         instructions = compiled.schedule.instructions()
         total = sum(len(instruction) for instruction in instructions)
         assert total == len(compiled.rt_program.rts)
 
     def test_word_count_matches_structure(self):
-        compiled = compile_application(SOURCE, audio_core(), budget=64)
+        compiled = Toolchain(audio_core(), cache=None, budget=64) \
+            .compile(SOURCE)
         assert len(compiled.binary.words) == compiled.n_cycles + 1  # + IDLE
 
     def test_rom_only_when_params(self):
-        no_params = compile_application(
-            "app x; input i; output o; loop { o = pass(i); }", tiny_core())
+        no_params = Toolchain(tiny_core(), cache=None) \
+            .compile("app x; input i; output o; loop { o = pass(i); }")
         assert no_params.binary.rom_words == ()
-        with_params = compile_application(SOURCE, audio_core())
+        with_params = Toolchain(audio_core(), cache=None).compile(SOURCE)
         assert len(with_params.binary.rom_words) == 1

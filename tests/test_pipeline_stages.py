@@ -1,17 +1,37 @@
-"""Tests for the staged pipeline: sessions, caching, partial compiles.
+"""Tests for the staged pipeline: toolchains, caching, partial compiles.
 
 Satellite coverage of the stage cache: hit on identical re-compile,
-invalidation when the source / core / opt level changes, and
-bit-identical binaries between cached and cold compiles.
+invalidation when the source / core / opt level changes, bit-identical
+binaries between cached and cold compiles, and the
+:class:`CompileOptions` round-trip / fingerprint-stability properties
+the cache keys rest on.
 """
 
-import pytest
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
 
-from repro import Q15, audio_core, compile_application, run_reference, tiny_core
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import (
+    CompileOptions,
+    Q15,
+    Toolchain,
+    audio_core,
+    run_reference,
+    tiny_core,
+)
+from repro.errors import OptionsError
+from repro.options import SEMANTIC_FIELDS
 from repro.pipeline import (
     PIPELINE_STAGES,
     STAGE_NAMES,
-    CompileSession,
+    CompileRequest,
+    CompileState,
     StageCache,
     core_fingerprint,
     dfg_fingerprint,
@@ -39,11 +59,17 @@ def stimulus():
     return {"i": [Q15.from_float(v) for v in (0.5, -0.25, 0.125, 0.0, 0.9)]}
 
 
-class TestSessionBasics:
-    def test_wrapper_and_session_binaries_identical(self):
-        wrapped = compile_application(SOURCE, audio_core(), budget=64)
-        session = CompileSession().compile(SOURCE, audio_core(), budget=64)
-        assert wrapped.binary.words == session.binary.words
+def toolchain(core=None, **options):
+    """A memory-cached toolchain (the sessions' classic behavior)."""
+    return Toolchain(core if core is not None else audio_core(),
+                     cache=StageCache(), **options)
+
+
+class TestToolchainBasics:
+    def test_cached_and_cold_toolchains_binaries_identical(self):
+        cold = Toolchain(audio_core(), cache=None, budget=64).compile(SOURCE)
+        warm = toolchain(budget=64).compile(SOURCE)
+        assert cold.binary.words == warm.binary.words
 
     def test_stage_chain_names(self):
         assert STAGE_NAMES == ("parse", "optimize", "rtgen", "merge",
@@ -51,11 +77,11 @@ class TestSessionBasics:
 
     def test_unknown_stop_stage_rejected(self):
         with pytest.raises(ValueError, match="unknown stage"):
-            CompileSession().run(SOURCE, audio_core(), stop_after="codegen")
+            toolchain(stop_after="codegen")
 
     def test_partial_compile_stops_after_stage(self):
-        state = CompileSession().run(SOURCE, audio_core(), budget=64,
-                                     stop_after="schedule")
+        state = toolchain(budget=64, stop_after="schedule") \
+            .run_pipeline(SOURCE)
         assert state.completed == list(STAGE_NAMES[:6])
         assert not state.is_complete
         assert state.schedule.length <= 64
@@ -64,39 +90,51 @@ class TestSessionBasics:
             state.as_compiled()
 
     def test_partial_then_full_resumes_from_cached_prefix(self):
-        session = CompileSession()
-        session.run(SOURCE, audio_core(), budget=64, stop_after="schedule")
-        state = session.run(SOURCE, audio_core(), budget=64)
+        partial = toolchain(budget=64, stop_after="schedule")
+        partial.run_pipeline(SOURCE)
+        state = partial.replace(stop_after=None).run_pipeline(SOURCE)
         assert all(state.cache_hits[name] for name in STAGE_NAMES[:6])
         assert not state.cache_hits["regalloc"]
         compiled = state.as_compiled()
         assert compiled.run(stimulus()) == \
             run_reference(compiled.dfg, stimulus())
 
+    def test_compile_always_runs_the_full_chain(self):
+        # compile() ignores a configured stop_after: it promises a
+        # CompiledProgram (run_pipeline is the partial-compile verb).
+        compiled = toolchain(budget=64, stop_after="schedule") \
+            .compile(SOURCE)
+        assert compiled.binary.words
+
+    def test_core_resolution_by_name(self):
+        by_name = Toolchain("audio", cache=None, budget=64).compile(SOURCE)
+        by_spec = Toolchain(audio_core(), cache=None, budget=64) \
+            .compile(SOURCE)
+        assert by_name.binary.words == by_spec.binary.words
+
 
 class TestStageCache:
     def test_cache_hit_on_identical_recompile(self):
-        session = CompileSession()
-        first = session.compile(SOURCE, audio_core(), budget=64)
-        second = session.compile(SOURCE, audio_core(), budget=64)
-        assert session.cache.stats.hits == N_STAGES
-        assert session.cache.stats.misses == N_STAGES
+        tc = toolchain(budget=64)
+        first = tc.compile(SOURCE)
+        second = tc.compile(SOURCE)
+        assert tc.cache.stats.hits == N_STAGES
+        assert tc.cache.stats.misses == N_STAGES
         assert first.binary.words == second.binary.words
 
     def test_cached_and_cold_binaries_bit_identical(self):
-        cold = CompileSession(cache=None).compile(SOURCE, audio_core(),
-                                                  budget=64)
-        session = CompileSession()
-        session.compile(SOURCE, audio_core(), budget=64)
-        warm = session.compile(SOURCE, audio_core(), budget=64)
+        cold = Toolchain(audio_core(), cache=None, budget=64).compile(SOURCE)
+        tc = toolchain(budget=64)
+        tc.compile(SOURCE)
+        warm = tc.compile(SOURCE)
         assert warm.binary.words == cold.binary.words
         assert warm.binary.rom_words == cold.binary.rom_words
         assert warm.run(stimulus()) == cold.run(stimulus())
 
     def test_source_change_invalidates_everything(self):
-        session = CompileSession()
-        session.compile(SOURCE, audio_core(), budget=64)
-        state = session.run(VARIANT, audio_core(), budget=64)
+        tc = toolchain(budget=64)
+        tc.compile(SOURCE)
+        state = tc.run_pipeline(VARIANT)
         assert not any(state.cache_hits.values())
 
     def test_opt_level_change_invalidates_optimize(self):
@@ -112,9 +150,9 @@ class TestStageCache:
           o = add_clip(a, b);
         }
         """
-        session = CompileSession()
-        session.compile(cse_source, audio_core(), opt_level=1)
-        state = session.run(cse_source, audio_core(), opt_level=0)
+        tc = toolchain(opt=1)
+        tc.compile(cse_source)
+        state = tc.replace(opt=0).run_pipeline(cse_source)
         assert state.cache_hits["parse"]
         assert not state.cache_hits["optimize"]
         # -O0 lowers the unoptimized graph: different content, so the
@@ -125,19 +163,18 @@ class TestStageCache:
         # -O2 adds only strength reduction; on a graph it does not
         # rewrite, the optimize *stage* re-runs but its output content
         # is identical, so lowering and everything after it are reused.
-        session = CompileSession()
-        session.compile(SOURCE, audio_core(), opt_level=1)
-        state = session.run(SOURCE, audio_core(), opt_level=2)
+        tc = toolchain(opt=1)
+        tc.compile(SOURCE)
+        state = tc.replace(opt=2).run_pipeline(SOURCE)
         assert not state.cache_hits["optimize"]
         assert state.cache_hits["rtgen"]
         assert state.cache_hits["assemble"]
 
     def test_core_change_keeps_machine_independent_prefix(self):
-        session = CompileSession()
-        session.compile("app g; input i; output o; loop { o = pass(i); }",
-                        audio_core())
-        state = session.run("app g; input i; output o; loop { o = pass(i); }",
-                            tiny_core())
+        tc = toolchain()
+        tc.compile("app g; input i; output o; loop { o = pass(i); }")
+        state = tc.replace(core=tiny_core()).run_pipeline(
+            "app g; input i; output o; loop { o = pass(i); }")
         # audio and tiny share the fixed-point format, so parse AND the
         # machine-independent optimize stage are reused; lowering is not.
         assert state.cache_hits["parse"]
@@ -145,41 +182,41 @@ class TestStageCache:
         assert not state.cache_hits["rtgen"]
 
     def test_budget_change_reuses_prefix_through_impose(self):
-        session = CompileSession()
-        session.compile(SOURCE, audio_core(), budget=64)
-        state = session.run(SOURCE, audio_core(), budget=32)
+        tc = toolchain(budget=64)
+        tc.compile(SOURCE)
+        state = tc.replace(budget=32).run_pipeline(SOURCE)
         for name in ("parse", "optimize", "rtgen", "merge", "impose"):
             assert state.cache_hits[name], name
         assert not state.cache_hits["schedule"]
 
     def test_text_and_dfg_sources_converge_at_optimize(self):
-        session = CompileSession()
-        session.compile(SOURCE, audio_core(), budget=64)
-        state = session.run(parse_source(SOURCE), audio_core(), budget=64)
+        tc = toolchain(budget=64)
+        tc.compile(SOURCE)
+        state = tc.run_pipeline(parse_source(SOURCE))
         assert not state.cache_hits["parse"]      # different parse key...
         assert state.cache_hits["optimize"]       # ...same graph content
         assert state.cache_hits["assemble"]
 
     def test_downstream_mutation_cannot_poison_cache(self):
-        session = CompileSession()
-        first = session.compile(SOURCE, audio_core(), budget=64)
+        tc = toolchain(budget=64)
+        first = tc.compile(SOURCE)
         first.rt_program.rts.clear()
         first.binary.words.clear()
-        second = session.compile(SOURCE, audio_core(), budget=64)
+        second = tc.compile(SOURCE)
         assert second.binary.words
         assert second.run(stimulus()) == \
             run_reference(second.dfg, stimulus())
 
-    def test_shared_cache_across_sessions(self):
+    def test_shared_cache_across_toolchains(self):
         cache = StageCache()
-        CompileSession(cache=cache).compile(SOURCE, audio_core(), budget=64)
-        state = CompileSession(cache=cache).run(SOURCE, audio_core(),
-                                                budget=64)
+        Toolchain(audio_core(), cache=cache, budget=64).compile(SOURCE)
+        state = Toolchain(audio_core(), cache=cache, budget=64) \
+            .run_pipeline(SOURCE)
         assert all(state.cache_hits.values())
 
     def test_lru_eviction(self):
         cache = StageCache(max_entries=4)
-        CompileSession(cache=cache).compile(SOURCE, audio_core(), budget=64)
+        Toolchain(audio_core(), cache=cache, budget=64).compile(SOURCE)
         assert len(cache) == 4
         assert cache.stats.evictions == N_STAGES - 4
 
@@ -196,6 +233,109 @@ class TestFingerprints:
         assert core_fingerprint(audio_core()) != core_fingerprint(tiny_core())
 
 
+# ----------------------------------------------------------------------
+# CompileOptions round-trip and fingerprint stability (the properties
+# the stage-cache keys rest on).
+
+options_strategy = st.builds(
+    CompileOptions,
+    opt=st.sampled_from([0, 1, 2]),
+    budget=st.one_of(st.none(), st.integers(min_value=1, max_value=4096)),
+    cover=st.sampled_from(["greedy", "exact", "edge"]),
+    mode=st.sampled_from(["loop", "once", "repeat"]),
+    repeat=st.integers(min_value=1, max_value=16),
+    restarts=st.integers(min_value=0, max_value=8),
+    seed=st.integers(min_value=-2**31, max_value=2**31),
+    stop_after=st.sampled_from([None, *STAGE_NAMES]),
+    cache_dir=st.one_of(st.none(), st.text(min_size=1, max_size=20)),
+    disk_cache=st.booleans(),
+)
+
+
+class TestOptionsRoundTrip:
+    @given(options_strategy)
+    def test_to_dict_from_dict_identity(self, options):
+        assert CompileOptions.from_dict(options.to_dict()) == options
+
+    @given(options_strategy)
+    def test_to_dict_is_json_stable(self, options):
+        rendered = json.dumps(options.to_dict(), sort_keys=True)
+        assert CompileOptions.from_dict(json.loads(rendered)) == options
+
+    @given(options_strategy)
+    def test_fingerprint_is_deterministic(self, options):
+        copy = CompileOptions.from_dict(options.to_dict())
+        assert options.fingerprint() == copy.fingerprint()
+
+    @given(options_strategy)
+    def test_placement_fields_do_not_enter_the_fingerprint(self, options):
+        moved = options.replace(cache_dir="/somewhere/else",
+                                disk_cache=not options.disk_cache,
+                                stop_after=None)
+        assert moved.fingerprint() == options.fingerprint()
+
+    @given(options_strategy, st.sampled_from(SEMANTIC_FIELDS))
+    def test_semantic_change_changes_the_fingerprint(self, options, field):
+        changed = {
+            "opt": (options.opt + 1) % 3,
+            "budget": (options.budget or 0) + 1,
+            "cover": "exact" if options.cover != "exact" else "edge",
+            "mode": "once" if options.mode != "once" else "repeat",
+            "repeat": options.repeat + 1,
+            "restarts": options.restarts + 1,
+            "seed": options.seed + 1,
+        }[field]
+        assert options.replace(**{field: changed}).fingerprint() != \
+            options.fingerprint()
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(OptionsError, match="unknown option field"):
+            CompileOptions.from_dict({"opt": 1, "optlevel": 2})
+
+    def test_fingerprint_rejects_placement_fields(self):
+        with pytest.raises(OptionsError, match="non-semantic"):
+            CompileOptions().fingerprint("cache_dir")
+
+    def test_fingerprint_is_stable_across_processes(self):
+        options = CompileOptions(budget=64, opt=2, cover="exact", seed=3)
+        root = Path(__file__).resolve().parent.parent
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(root / "src")
+        script = ("from repro import CompileOptions; "
+                  "print(CompileOptions(budget=64, opt=2, cover='exact', "
+                  "seed=3).fingerprint())")
+        proc = subprocess.run([sys.executable, "-c", script],
+                              capture_output=True, text=True, env=env,
+                              cwd=root, timeout=60)
+        assert proc.returncode == 0, proc.stderr
+        assert proc.stdout.strip() == options.fingerprint()
+
+    def _schedule_key(self, options):
+        """The schedule stage's cache key under ``options``."""
+        state = CompileState(request=CompileRequest(
+            application=SOURCE, core=audio_core(), options=options))
+        for stage in PIPELINE_STAGES:
+            key = stage.key(state)
+            state.fingerprints[stage.name] = key
+            stage.execute(state)
+            state.completed.append(stage.name)
+            if stage.name == "schedule":
+                return key
+        raise AssertionError("no schedule stage")
+
+    def test_same_options_same_stage_key_changed_option_cache_miss(self):
+        base = CompileOptions(budget=64)
+        assert self._schedule_key(base) == \
+            self._schedule_key(CompileOptions(budget=64))
+        # A changed semantic option is a different key — a cache miss —
+        # while cache *placement* is not.
+        assert self._schedule_key(base) != \
+            self._schedule_key(CompileOptions(budget=32))
+        assert self._schedule_key(base) == \
+            self._schedule_key(CompileOptions(budget=64, cache_dir="/x",
+                                              disk_cache=False))
+
+
 class TestOptSplit:
     """The explore-facing optimizer split stays bit-exact."""
 
@@ -207,7 +347,7 @@ class TestOptSplit:
         source_dfg = parse_source(SOURCE)
         mi_dfg, _ = optimize_machine_independent(source_dfg, level=level)
         specialized, _ = specialize_for_core(mi_dfg, core, level=level)
-        compiled = compile_application(specialized, core, opt_level=0)
+        compiled = Toolchain(core, cache=None, opt=0).compile(specialized)
         assert compiled.run(stimulus()) == run_reference(source_dfg, stimulus())
 
     def test_specialization_is_noop_below_o2(self):

@@ -9,7 +9,7 @@ simulator's in-flight result queue.
 
 import pytest
 
-from repro import Q15, compile_application, run_reference
+from repro import Q15, Toolchain, run_reference
 from repro.arch import ControllerSpec, CoreSpec, Datapath, Operation, OpuKind
 from repro.lang import DfgBuilder, parse_source
 from repro.rtgen import generate_rts
@@ -144,20 +144,22 @@ class TestPipelinedMultiplier:
                     assert cycle >= schedule.cycle_of[producer] + producer.latency
 
     def test_end_to_end_bit_exact(self):
-        compiled = compile_application(parse_source(FIR3), pipelined_core())
+        compiled = Toolchain(pipelined_core(), cache=None) \
+            .compile(parse_source(FIR3))
         xs = [Q15.from_float(v) for v in (0.5, -0.25, 0.125, 0.75, 0.0, -0.5)]
         expected = run_reference(compiled.dfg, {"x": xs})
         assert compiled.run({"x": xs}) == expected
 
     def test_longer_latency_still_works(self):
-        compiled = compile_application(parse_source(FIR3),
-                                       pipelined_core(mult_latency=3))
+        compiled = Toolchain(pipelined_core(mult_latency=3), cache=None) \
+            .compile(parse_source(FIR3))
         xs = [Q15.from_float(v) for v in (0.9, -0.9, 0.3, 0.1)]
         expected = run_reference(compiled.dfg, {"x": xs})
         assert compiled.run({"x": xs}) == expected
 
     def test_pipelining_allows_back_to_back_mults(self):
-        compiled = compile_application(parse_source(FIR3), pipelined_core())
+        compiled = Toolchain(pipelined_core(), cache=None) \
+            .compile(parse_source(FIR3))
         cycles = sorted(
             cycle for rt, cycle in compiled.schedule.cycle_of.items()
             if rt.opu == "mult"

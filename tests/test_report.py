@@ -1,6 +1,6 @@
 """Tests for the reporting package (figure-9 chart, tables, Gantt)."""
 
-from repro import audio_core, compile_application
+from repro import audio_core, Toolchain
 from repro.arch import Allocation, ExplorationPoint
 from repro.core import ClassTable, ConflictGraph, InstructionSet, greedy_cover
 from repro.lang import parse_source
@@ -28,7 +28,8 @@ loop {
 
 
 def compiled():
-    return compile_application(parse_source(SOURCE), audio_core(), budget=64)
+    return Toolchain(audio_core(), cache=None, budget=64) \
+        .compile(parse_source(SOURCE))
 
 
 class TestOccupation:
