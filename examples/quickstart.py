@@ -10,13 +10,27 @@ The flow of the paper's figure 1b in its smallest form:
    generation, instruction-set conflict modelling, scheduling,
    register allocation, binary encoding,
 4. execute the binary on the cycle-accurate simulator and compare with
-   the golden reference interpreter.
+   the golden reference interpreter,
+5. read the telemetry: the same ``Toolchain`` call recorded a span per
+   pipeline stage, cache counters and subsystem tallies (see
+   ``docs/observability.md``), printed here as a timeline,
+6. sweep a few candidate architectures with a progress callback — the
+   paper's phase-1 exploration in miniature.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import CompileOptions, Q15, Toolchain, parse_source, run_reference
-from repro.report import gantt_chart, summary_report
+from repro import (
+    CompileOptions,
+    Q15,
+    Telemetry,
+    Toolchain,
+    parse_source,
+    run_reference,
+)
+from repro.apps import fir_application
+from repro.arch import Allocation
+from repro.report import gantt_chart, summary_report, timeline
 
 SOURCE = """
 app quickstart;
@@ -31,7 +45,8 @@ loop {
 
 
 def main() -> None:
-    toolchain = Toolchain("tiny", CompileOptions(budget=8))
+    obs = Telemetry()  # everything the toolchain does lands here
+    toolchain = Toolchain("tiny", CompileOptions(budget=8), telemetry=obs)
     compiled = toolchain.compile(SOURCE)
 
     print(summary_report(compiled))
@@ -49,6 +64,28 @@ def main() -> None:
     print("reference :", expected["o"])
     assert simulated == expected, "compiled code must match the reference"
     print("bit-exact ✔")
+
+    # Where did the compile spend its time?  The telemetry registry
+    # holds a span per stage plus cache/scheduler counters.
+    print()
+    print(timeline(obs))
+
+    # Phase 1 in miniature: which allocation schedules a 4-tap FIR
+    # fastest?  The progress callback streams one record per candidate.
+    print()
+    fir4 = fir_application([0.1, 0.2, 0.3, 0.4], name="fir4")
+    candidates = [Allocation(n_mult=m, n_alu=1, n_ram=1) for m in (1, 2)]
+    points = toolchain.explore(
+        [fir4], candidates,
+        progress=lambda r: print(
+            f"  candidate {r['done']}/{r['total']} "
+            f"{r['allocation']} feasible={r['feasible']}"
+        ),
+    )
+    for point in points:
+        if point.feasible:
+            print(f"  {point.allocation.astuple()} -> "
+                  f"worst schedule {point.worst_length} cycles")
 
 
 if __name__ == "__main__":

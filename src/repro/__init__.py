@@ -24,6 +24,12 @@ Quick start::
 pre-Toolchain entry points (:func:`compile_application`,
 :class:`CompileSession`, :class:`BatchSession`) remain as deprecated
 wrappers; see ``docs/api.md`` for the migration table.
+
+Observability: hand a :class:`Telemetry` to
+``Toolchain(..., telemetry=obs)`` (or scope one with
+:func:`use_telemetry`) and every verb records per-stage spans, cache
+and subsystem counters, and progress events — see
+``docs/observability.md``.
 """
 
 from .apps import adaptive_core
@@ -48,6 +54,14 @@ from .arch import (
 from .errors import OptionsError, ReproError
 from .fixed import Q15, FixedFormat
 from .lang import DfgBuilder, parse_source, run_reference
+from .obs import (
+    Telemetry,
+    current_telemetry,
+    profile_compile,
+    set_telemetry,
+    use_telemetry,
+    write_chrome_trace,
+)
 from .opt import OptReport, PassManager, optimize
 from .options import CompileOptions
 from .pipeline import (
@@ -62,7 +76,7 @@ from .pipeline import (
 )
 from .toolchain import Toolchain
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "Allocation",
@@ -85,10 +99,12 @@ __all__ = [
     "ReproError",
     "StageCache",
     "SweepSpec",
+    "Telemetry",
     "Toolchain",
     "adaptive_core",
     "audio_core",
     "compile_application",
+    "current_telemetry",
     "explore",
     "explore_refined",
     "fir_core",
@@ -98,9 +114,13 @@ __all__ = [
     "optimize",
     "pareto_front",
     "parse_source",
+    "profile_compile",
     "register_core",
     "resolve_core",
     "run_reference",
+    "set_telemetry",
     "tiny_core",
+    "use_telemetry",
+    "write_chrome_trace",
     "__version__",
 ]

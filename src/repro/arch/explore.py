@@ -60,6 +60,7 @@ if TYPE_CHECKING:
 
 from ..errors import ArchitectureError, ReproError
 from ..lang.dfg import Dfg, NodeKind
+from ..obs import current_telemetry
 from ..opt import optimize_machine_independent, specialize_for_core
 from .controller import ControllerSpec
 from .datapath import Datapath
@@ -691,6 +692,7 @@ def explore(
     cache_dir: str | None = None,
     preoptimized: bool = False,
     options: "CompileOptions | None" = None,
+    progress=None,
 ) -> list[ExplorationPoint]:
     """Compile every application on every candidate architecture.
 
@@ -722,6 +724,14 @@ def explore(
     take effect per candidate (``mode``/``repeat`` do not — evaluation
     stops before assembly).  These knobs key the candidate memo, so
     sweeps differing in any of them never share cache entries.
+
+    ``progress`` is an optional callable invoked once per candidate as
+    its result resolves (memo hit during the scan, evaluation as it
+    completes) with a dict: ``allocation`` (the candidate's field
+    tuple), ``feasible``, ``cached``, ``done``, ``total``.  The same
+    payload is recorded as an ``explore.candidate`` telemetry event,
+    with ``explore.candidates``/``explore.cache_hits`` counters
+    tracking evaluations vs memo hits.
     """
     from ..pipeline import DiskCache, dfg_fingerprint, fingerprint
 
@@ -740,6 +750,23 @@ def explore(
     # seed) must key the memo too, or two sweeps differing only there
     # would share entries wrongly; the digest is loop-invariant.
     options_fp = options.fingerprint("cover", "restarts", "seed")
+    obs = current_telemetry()
+    total = len(allocations)
+    done = 0
+
+    def report(allocation: Allocation, point: ExplorationPoint,
+               cached: bool) -> None:
+        nonlocal done
+        done += 1
+        if progress is None and not obs.enabled:
+            return
+        record = {"allocation": allocation.astuple(),
+                  "feasible": point.feasible, "cached": cached,
+                  "done": done, "total": total}
+        obs.event("explore.candidate", **record)
+        if progress is not None:
+            progress(record)
+
     results: dict[int, ExplorationPoint] = {}
     pending: list[tuple[int, Allocation, str]] = []
     pending_keys: dict[str, int] = {}
@@ -756,23 +783,32 @@ def explore(
         cached = cache.get(key) if cache is not None else None
         if cached is not None:
             results[index] = cached
+            obs.count("explore.cache_hits")
+            report(allocation, cached, cached=True)
         elif key in pending_keys:
             aliases.append((index, key))
         else:
             pending_keys[key] = index
             pending.append((index, allocation, key))
 
+    evaluated: list[ExplorationPoint] = []
     if jobs is not None and jobs > 1 and len(pending) > 1:
         with ProcessPoolExecutor(
                 max_workers=jobs, initializer=_worker_init,
                 initargs=(optimized, options)) as pool:
-            evaluated = list(pool.map(
-                _worker_evaluate, [alloc for _, alloc, _ in pending]))
+            # Iterate the (ordered) map so progress streams as results
+            # land instead of arriving in one burst at pool shutdown.
+            for (_, alloc, _), point in zip(pending, pool.map(
+                    _worker_evaluate, [a for _, a, _ in pending])):
+                evaluated.append(point)
+                obs.count("explore.candidates")
+                report(alloc, point, cached=False)
     else:
-        evaluated = [
-            _evaluate_candidate(optimized, alloc, options)
-            for _, alloc, _ in pending
-        ]
+        for _, alloc, _ in pending:
+            point = _evaluate_candidate(optimized, alloc, options)
+            evaluated.append(point)
+            obs.count("explore.candidates")
+            report(alloc, point, cached=False)
     by_key: dict[str, ExplorationPoint] = {}
     for (index, _, key), point in zip(pending, evaluated):
         results[index] = point
@@ -781,6 +817,7 @@ def explore(
             cache.put(key, point)
     for index, key in aliases:
         results[index] = ExploreCache._copy(by_key[key])
+        report(allocations[index], results[index], cached=True)
     return [results[index] for index in range(len(allocations))]
 
 
@@ -814,6 +851,7 @@ def explore_refined(
     cache_dir: str | None = None,
     axes: tuple[str, ...] | None = None,
     options: "CompileOptions | None" = None,
+    progress=None,
 ) -> RefinedSweep:
     """Two-phase coarse-to-fine sweep over a multi-dimensional grid.
 
@@ -828,6 +866,8 @@ def explore_refined(
     refinement skipped.  ``options`` supplies the base
     :class:`~repro.options.CompileOptions` (budget, opt level, cover,
     scheduler restarts/seed), exactly as in :func:`explore`.
+    ``progress`` is forwarded to both phases' :func:`explore` calls
+    (each phase reports its own ``done``/``total``).
     """
     from ..pipeline import DiskCache
 
@@ -847,7 +887,8 @@ def explore_refined(
 
     coarse_allocations = spec.coarse().allocations()
     coarse_points = explore(optimized, coarse_allocations, options=options,
-                            jobs=jobs, cache=cache, preoptimized=True)
+                            jobs=jobs, cache=cache, preoptimized=True,
+                            progress=progress)
     coarse_front = pareto_front(coarse_points, axes=axes)
 
     # Dedup on *canonical* tuples: explore() collapses degenerate merge
@@ -871,7 +912,8 @@ def explore_refined(
                 seen.add(key)
                 fine_allocations.append(allocation)
     fine_points = explore(optimized, fine_allocations, options=options,
-                          jobs=jobs, cache=cache, preoptimized=True)
+                          jobs=jobs, cache=cache, preoptimized=True,
+                          progress=progress)
 
     points = coarse_points + fine_points
     return RefinedSweep(

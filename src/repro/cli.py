@@ -11,6 +11,8 @@ without writing code.
     python -m repro run app.dsp --core fir --input x=0.5,-0.25,0.125
     python -m repro inspect-core --core audio
     python -m repro run-image program.json --input x=100,200
+    python -m repro profile --app audio -n 5 --out BENCH_compile_profile.json
+    python -m repro compile app.dsp --timings --trace trace.json
 
 Cores are registered core names (``audio``, ``fir``, ``tiny``,
 ``adaptive``, plus anything added via
@@ -29,9 +31,14 @@ turns the parsed namespace back into the typed options object the
 ``compile``, ``batch`` and ``explore`` keep a persistent stage cache
 under ``~/.cache/repro`` (override with ``--cache-dir`` or
 ``$REPRO_CACHE_DIR``; disable with ``--no-disk-cache``), so re-runs in
-new processes restore artifacts instead of recompiling.  The complete
-reference, including exit codes and JSON output shapes, is in
-``docs/cli.md``.
+new processes restore artifacts instead of recompiling.
+
+Every verb records into a live :mod:`repro.obs` registry: ``--timings``
+prints the span timeline to stderr, ``--trace FILE`` writes a Chrome
+``trace_event`` JSON, and ``repro profile`` times repeated cold/warm
+compiles into a per-stage p50/p95 table (see ``docs/observability.md``).
+The complete reference, including exit codes and JSON output shapes, is
+in ``docs/cli.md``.
 """
 
 from __future__ import annotations
@@ -57,6 +64,14 @@ from .encode import derive_format, dump_program, load_program
 from .errors import ReproError
 from .fixed import FixedFormat
 from .lang import parse_source
+from .obs import (
+    Telemetry,
+    profile_compile,
+    render_profile,
+    use_telemetry,
+    write_chrome_trace,
+    write_profile,
+)
 from .options import CompileOptions
 from .pipeline import PIPELINE_STAGES, DiskCache, StageCache
 from .report import (
@@ -66,6 +81,7 @@ from .report import (
     gantt_chart,
     occupation_chart,
     summary_report,
+    timeline,
 )
 from .sim import run_program
 from .toolchain import Toolchain
@@ -136,27 +152,76 @@ def parse_merge_variants(spec: str) -> list[str]:
     return variants
 
 
-def cache_summary_line(state) -> str:
-    """One line describing where a compile's stages came from."""
+def cache_summary_line(state, telemetry: Telemetry | None = None) -> str:
+    """One line describing where a compile's stages came from.
+
+    With a live registry the figures come from its ``stagecache.*``
+    counters — the single source of truth the cache tiers themselves
+    emit (so the line and ``--timings``/``--trace`` can never
+    disagree); without one, from the state's per-stage cache sources.
+    """
+    if telemetry is not None and telemetry.enabled:
+        hits = telemetry.counters.get("stagecache.hit", 0)
+        disk = telemetry.counters.get("stagecache.disk_hit", 0)
+        return (f"stage cache  : {hits}/{len(state.completed)} stages "
+                f"cached ({disk} disk)")
     counts = state.cache_counts()
     cached = counts["memory"] + counts["disk"]
     return (f"stage cache  : {cached}/{len(state.completed)} stages cached "
             f"({counts['disk']} disk)")
 
 
+def command_telemetry(args: argparse.Namespace) -> Telemetry:
+    """The live registry one CLI command records into.
+
+    Always enabled — the per-compile cost is a handful of spans, and it
+    makes the cache summary line, ``--timings`` and ``--trace`` all
+    read from the same record.
+    """
+    return Telemetry()
+
+
+def emit_telemetry(args: argparse.Namespace, telemetry: Telemetry) -> None:
+    """Honor ``--timings``/``--trace`` after a command's work is done.
+
+    Both land on stderr (the trace JSON on disk), so ``--json`` stdout
+    consumers never see telemetry mixed into their payload.
+    """
+    if getattr(args, "timings", False):
+        print(timeline(telemetry), file=sys.stderr)
+    if getattr(args, "trace", None):
+        path = write_chrome_trace(telemetry, args.trace)
+        print(f"chrome trace written to {path} "
+              f"(open in chrome://tracing or ui.perfetto.dev)",
+              file=sys.stderr)
+
+
+def add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
+    """The observability flags every verb-like subcommand shares."""
+    parser.add_argument(
+        "--timings", action="store_true",
+        help="print the telemetry timeline (per-stage spans, counters, "
+             "events) to stderr")
+    parser.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="write a Chrome trace_event JSON of the command to FILE")
+
+
 def cmd_compile(args: argparse.Namespace) -> int:
     options = CompileOptions.from_args(args)
+    obs = command_telemetry(args)
     # Without a disk store, a full compile needs no snapshots at all
     # (the classic cold path); --stop-after always needs a cache so the
     # per-stage fingerprints are recorded.
     if options.disk_cache:
-        toolchain = Toolchain(args.core, options)
+        toolchain = Toolchain(args.core, options, telemetry=obs)
     else:
         toolchain = Toolchain(
-            args.core, options,
+            args.core, options, telemetry=obs,
             cache=StageCache() if options.stop_after else None)
     source = Path(args.source).read_text()
     state = toolchain.run_pipeline(source)
+    emit_telemetry(args, obs)
     if options.stop_after:
         provides = {s.name: "/".join(s.provides) for s in PIPELINE_STAGES}
         print(f"partial compilation (stopped after {options.stop_after!r}):")
@@ -195,7 +260,7 @@ def cmd_compile(args: argparse.Namespace) -> int:
     compiled = state.as_compiled()
     print(summary_report(compiled))
     if options.disk_cache:
-        print(cache_summary_line(state))
+        print(cache_summary_line(state, obs))
     if args.occupation:
         print()
         print(occupation_chart(compiled.schedule))
@@ -213,10 +278,12 @@ def cmd_compile(args: argparse.Namespace) -> int:
 
 def cmd_batch(args: argparse.Namespace) -> int:
     options = CompileOptions.from_args(args)
-    toolchain = Toolchain(args.core, options)
+    obs = command_telemetry(args)
+    toolchain = Toolchain(args.core, options, telemetry=obs)
     sources = [Path(source).read_text() for source in args.sources]
     names = [Path(source).name for source in args.sources]
     result = toolchain.compile_many(sources, names=names)
+    emit_telemetry(args, obs)
     if args.out_dir:
         out_dir = Path(args.out_dir)
         out_dir.mkdir(parents=True, exist_ok=True)
@@ -280,22 +347,35 @@ def sweep_spec_from_args(args: argparse.Namespace) -> SweepSpec:
 
 def cmd_explore(args: argparse.Namespace) -> int:
     options = CompileOptions.from_args(args)
+    obs = command_telemetry(args)
     dfgs = [parse_source(Path(source).read_text()) for source in args.sources]
     spec = sweep_spec_from_args(args)
     axes = pareto_axes(spec)
     cache = (ExploreCache(disk=DiskCache(options.cache_dir))
              if options.disk_cache else None)
-    if args.refine:
-        # NB: an empty ExploreCache is falsy (it has __len__), so the
-        # disk-backed cache must be tested against None, not truthiness.
-        sweep = explore_refined(dfgs, spec, options=options,
-                                jobs=args.jobs, cache=cache, axes=axes)
-        points, front_points = sweep.points, sweep.front
-    else:
-        sweep = None
-        points = explore(dfgs, spec.allocations(), options=options,
-                         jobs=args.jobs, cache=cache)
-        front_points = pareto_front(points, axes=axes)
+    progress = None
+    if args.progress:
+        def progress(record: dict) -> None:
+            tag = "memo" if record["cached"] else (
+                "ok" if record["feasible"] else "infeasible")
+            print(f"  [{record['done']}/{record['total']}] "
+                  f"{record['allocation']} {tag}", file=sys.stderr)
+    with use_telemetry(obs):
+        if args.refine:
+            # NB: an empty ExploreCache is falsy (it has __len__), so
+            # the disk-backed cache must be tested against None, not
+            # truthiness.
+            sweep = explore_refined(dfgs, spec, options=options,
+                                    jobs=args.jobs, cache=cache, axes=axes,
+                                    progress=progress)
+            points, front_points = sweep.points, sweep.front
+        else:
+            sweep = None
+            points = explore(dfgs, spec.allocations(), options=options,
+                             jobs=args.jobs, cache=cache,
+                             progress=progress)
+            front_points = pareto_front(points, axes=axes)
+    emit_telemetry(args, obs)
     if args.json:
         front = {id(p) for p in front_points}
         payload = {
@@ -348,13 +428,14 @@ def cmd_explore(args: argparse.Namespace) -> int:
 
 def cmd_run(args: argparse.Namespace) -> int:
     options = CompileOptions.from_args(args)
-    toolchain = Toolchain(args.core, options, cache=None)
+    obs = command_telemetry(args)
+    toolchain = Toolchain(args.core, options, cache=None, telemetry=obs)
     source = Path(args.source).read_text()
-    compiled = toolchain.compile(source)
     core = toolchain.core
     fmt = FixedFormat(core.data_width, core.frac_bits)
     inputs = dict(parse_stream(spec, fmt) for spec in args.input)
-    outputs = compiled.run(inputs, args.frames)
+    outputs = toolchain.run(source, inputs, args.frames)
+    emit_telemetry(args, obs)
     for port in sorted(outputs):
         rendered = ", ".join(str(v) for v in outputs[port])
         print(f"{port}: [{rendered}]")
@@ -371,6 +452,40 @@ def cmd_run_image(args: argparse.Namespace) -> int:
     outputs = run_program(program, inputs, args.frames)
     for port in sorted(outputs):
         print(f"{port}: [{', '.join(str(v) for v in outputs[port])}]")
+    return 0
+
+
+#: Cores the built-in ``repro profile`` applications naturally target.
+PROFILE_APPS = {"audio": "audio", "fir": "fir", "stress": "audio"}
+
+
+def _profile_application(name: str):
+    from .apps import audio_application, fir_application, stress_application
+
+    if name == "audio":
+        return audio_application()
+    if name == "fir":
+        return fir_application([0.05 * (k + 1) for k in range(8)],
+                               name="fir8")
+    return stress_application(8)
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    if args.runs < 1:
+        raise ReproError(f"--runs must be >= 1, got {args.runs}")
+    if args.source is not None:
+        application = Path(args.source).read_text()
+        core = args.core or "audio"
+    else:
+        application = _profile_application(args.app)
+        core = args.core or PROFILE_APPS[args.app]
+    options = CompileOptions.from_args(args)
+    result = profile_compile(application, core=core, options=options,
+                             runs=args.runs)
+    print(render_profile(result))
+    if args.out:
+        path = write_profile(result, args.out)
+        print(f"\nprofile written to {path}")
     return 0
 
 
@@ -417,6 +532,7 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--occupation", action="store_true")
     c.add_argument("--gantt", action="store_true")
     c.add_argument("--out", default=None, help="write the microcode image JSON")
+    add_telemetry_flags(c)
     c.set_defaults(handler=cmd_compile)
 
     b = sub.add_parser(
@@ -432,6 +548,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write one microcode image JSON per application")
     b.add_argument("--json", action="store_true",
                    help="machine-readable output")
+    add_telemetry_flags(b)
     b.set_defaults(handler=cmd_batch)
 
     e = sub.add_parser(
@@ -467,6 +584,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "worker processes")
     e.add_argument("--json", action="store_true",
                    help="machine-readable output")
+    e.add_argument("--progress", action="store_true",
+                   help="print one line per candidate to stderr as "
+                        "results land")
+    add_telemetry_flags(e)
     e.set_defaults(handler=cmd_explore)
 
     r = sub.add_parser("run", help="compile and simulate a source file")
@@ -478,7 +599,30 @@ def build_parser() -> argparse.ArgumentParser:
     r.add_argument("--frames", type=int, default=None)
     r.add_argument("--floats", action="store_true",
                    help="also print outputs as real numbers")
+    add_telemetry_flags(r)
     r.set_defaults(handler=cmd_run)
+
+    p = sub.add_parser(
+        "profile",
+        help="compile an application repeatedly (cold and warm) and "
+             "report per-stage p50/p95 wall clock",
+    )
+    p.add_argument("source", nargs="?", default=None,
+                   help="application source file (default: a built-in "
+                        "application, see --app)")
+    p.add_argument("--app", default="audio", choices=sorted(PROFILE_APPS),
+                   help="built-in application to profile when no source "
+                        "file is given (default audio)")
+    p.add_argument("--core", default=None,
+                   help="target core (default: the app's natural core, "
+                        "or 'audio' for a source file)")
+    CompileOptions.add_to_parser(p, include=("budget", "opt"))
+    p.add_argument("-n", "--runs", type=int, default=5,
+                   help="cold runs and warm runs to time (default 5)")
+    p.add_argument("--out", default=None, metavar="FILE",
+                   help="write the profile JSON "
+                        "(e.g. BENCH_compile_profile.json)")
+    p.set_defaults(handler=cmd_profile)
 
     i = sub.add_parser("run-image", help="simulate a saved microcode image")
     i.add_argument("image")

@@ -25,6 +25,7 @@ import re
 
 from ..arch.datapath import Datapath
 from ..arch.merge import MergeSpec
+from ..obs import current_telemetry
 from ..rtgen.program import LoopCarry, RTProgram
 from ..rtgen.rt import RT, Destination, Operand, ResourceUse
 
@@ -97,6 +98,7 @@ def apply_merges(program: RTProgram, spec: MergeSpec) -> RTProgram:
     rf_map = spec.register_file_map()
     bus_map = spec.bus_map()
     rts = [merge_rt(rt, rf_map, bus_map) for rt in program.rts]
+    current_telemetry().count("merge.rts_rewritten", len(rts))
     carries = [
         LoopCarry(
             register_file=rf_map.get(c.register_file, c.register_file),

@@ -1,0 +1,72 @@
+"""Chrome ``trace_event`` export of a telemetry registry.
+
+:func:`chrome_trace` renders a :class:`~repro.obs.core.Telemetry` as
+the JSON object format of the Trace Event specification — open the
+written file in ``chrome://tracing`` or https://ui.perfetto.dev to see
+the compile as a flame chart.  Every span becomes one complete
+("ph": "X") event with microsecond timestamps relative to the registry
+epoch; tags travel in ``args``; counters and gauges are appended as a
+final instant event so they survive into the viewer.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+from .core import Span, Telemetry
+
+
+def _span_events(span: Span, pid: int, events: list[dict[str, Any]]) -> None:
+    events.append({
+        "name": span.name,
+        "cat": "repro",
+        "ph": "X",
+        "ts": round(span.start * 1e6, 3),
+        "dur": round(span.duration * 1e6, 3),
+        "pid": pid,
+        "tid": span.thread_id,
+        "args": {k: v for k, v in span.tags.items() if v is not None},
+    })
+    for child in span.children:
+        _span_events(child, pid, events)
+
+
+def chrome_trace(telemetry: Telemetry) -> dict[str, Any]:
+    """The registry as a Trace-Event-format JSON object."""
+    pid = os.getpid()
+    events: list[dict[str, Any]] = [{
+        "name": "process_name",
+        "ph": "M",
+        "pid": pid,
+        "args": {"name": "repro toolchain"},
+    }]
+    for root in list(telemetry.roots):
+        _span_events(root, pid, events)
+    last = max(
+        (span["ts"] + span["dur"] for span in events if span["ph"] == "X"),
+        default=0.0,
+    )
+    summary: dict[str, Any] = dict(sorted(telemetry.counters.items()))
+    summary.update(sorted(telemetry.gauges.items()))
+    if summary:
+        events.append({
+            "name": "counters",
+            "cat": "repro",
+            "ph": "i",
+            "s": "g",  # global-scope instant event
+            "ts": round(last, 3),
+            "pid": pid,
+            "tid": 0,
+            "args": summary,
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(telemetry: Telemetry, path: str | Path) -> Path:
+    """Write :func:`chrome_trace` to ``path``; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(chrome_trace(telemetry), indent=2) + "\n")
+    return path

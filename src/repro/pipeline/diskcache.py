@@ -52,6 +52,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
 
+from ..obs import current_telemetry
 from .artifacts import PIPELINE_VERSION
 
 #: Bump when the on-disk envelope itself changes shape.
@@ -177,6 +178,11 @@ class DiskCache:
         self.max_bytes = max_bytes
         self.stats = DiskCacheStats()
         self._lock = threading.Lock()
+        #: One structured warning per cache instance: the first
+        #: abandoned store emits a ``diskcache.write_error`` telemetry
+        #: event; later ones only bump the counters (a persistently
+        #: unwritable directory would otherwise flood the event log).
+        self._write_error_reported = False
         #: running size guess; None until the first put scans the store.
         #: Only gates *when* the real (scanning) eviction runs — drift
         #: from concurrent processes cannot over- or under-delete.
@@ -211,11 +217,13 @@ class DiskCache:
     def get(self, key: str, schema: dict[str, int] | None = None) -> Any:
         """The object stored under ``key``, or ``None`` on any miss."""
         path = self.path_for(key)
+        obs = current_telemetry()
         try:
             blob = path.read_bytes()
         except OSError:
             with self._lock:
                 self.stats.misses += 1
+            obs.count("diskcache.miss")
             return None
         try:
             obj = deserialize(blob, schema)
@@ -223,12 +231,16 @@ class DiskCache:
             with self._lock:
                 self.stats.version_skips += 1
                 self.stats.misses += 1
+            obs.count("diskcache.version_skip")
+            obs.count("diskcache.miss")
             self._drop(path)
             return None
         except CacheEntryError:
             with self._lock:
                 self.stats.corrupt += 1
                 self.stats.misses += 1
+            obs.count("diskcache.corrupt")
+            obs.count("diskcache.miss")
             self._drop(path)
             return None
         try:
@@ -237,6 +249,7 @@ class DiskCache:
             pass
         with self._lock:
             self.stats.hits += 1
+        obs.count("diskcache.hit")
         return obj
 
     def put(self, key: str, obj: Any,
@@ -246,7 +259,11 @@ class DiskCache:
 
         Write failures (unwritable directory, full disk) degrade to an
         uncached compile — counted on ``stats.write_errors``, never
-        raised: a broken cache must not break the compiler.
+        raised: a broken cache must not break the compiler.  The first
+        failure per cache additionally emits a structured
+        ``diskcache.write_error`` telemetry event naming the path and
+        the error, so a silently-degraded cache is visible in
+        ``--timings``/``--trace`` output.
         """
         path = self.path_for(key)
         tmp = None
@@ -265,11 +282,20 @@ class DiskCache:
             with os.fdopen(fd, "wb") as handle:
                 handle.write(blob)
             os.replace(tmp, path)
-        except Exception:  # noqa: BLE001 — OSError *or* pickling failure
+        except Exception as exc:  # noqa: BLE001 — OSError *or* pickling failure
             if tmp is not None:
                 self._drop(Path(tmp))
             with self._lock:
                 self.stats.write_errors += 1
+                first = not self._write_error_reported
+                self._write_error_reported = True
+            obs = current_telemetry()
+            obs.count("diskcache.write_error")
+            if first:
+                obs.event("diskcache.write_error",
+                          level="warning",
+                          path=str(path),
+                          error=f"{type(exc).__name__}: {exc}")
             return
         with self._lock:
             self.stats.stores += 1
@@ -278,6 +304,7 @@ class DiskCache:
             else:
                 self._size_estimate += len(blob) - old_size
             over_bound = self._size_estimate > self.max_bytes
+        current_telemetry().count("diskcache.store")
         if over_bound:
             self._evict()
 
@@ -320,6 +347,7 @@ class DiskCache:
             self._drop(path)
             with self._lock:
                 self.stats.evictions += 1
+            current_telemetry().count("diskcache.eviction")
             total -= size
         with self._lock:
             self._size_estimate = total

@@ -42,6 +42,7 @@ from typing import Any
 from ..arch.library import CoreSpec
 from ..arch.merge import MergeSpec
 from ..lang.dfg import Dfg
+from ..obs import current_telemetry
 from ..options import CompileOptions
 from .artifacts import CompileState, artifact_schema
 from .diskcache import DiskCache
@@ -121,6 +122,7 @@ class StageCache:
                 self._entries.move_to_end(key)
                 self.stats.hits += 1
         if snapshot is not None:
+            current_telemetry().count("stagecache.hit")
             # Deep-copy outside the lock: snapshots are never mutated
             # once stored, and the copy is the expensive part.
             return copy.deepcopy(snapshot, dict(shared)), "memory"
@@ -134,9 +136,13 @@ class StageCache:
                     self._insert(key, snapshot)
                     self.stats.hits += 1
                     self.stats.disk_hits += 1
+                obs = current_telemetry()
+                obs.count("stagecache.hit")
+                obs.count("stagecache.disk_hit")
                 return copy.deepcopy(snapshot, dict(shared)), "disk"
         with self._lock:
             self.stats.misses += 1
+        current_telemetry().count("stagecache.miss")
         return None, None
 
     def put(self, key: str, artifacts: dict[str, Any],
@@ -147,6 +153,7 @@ class StageCache:
         with self._lock:
             self._insert(key, snapshot)
             self.stats.stores += 1
+        current_telemetry().count("stagecache.store")
         if self.disk is not None:
             self.disk.put(key, snapshot, schema=artifact_schema(snapshot))
 
@@ -157,6 +164,7 @@ class StageCache:
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
+            current_telemetry().count("stagecache.eviction")
 
     def clear(self) -> None:
         """Drop the memory tier (the disk store is untouched)."""

@@ -34,6 +34,7 @@ from ..core.merge import apply_merges, merged_register_file_sizes
 from ..core.rtclass import ClassTable
 from ..encode.assembler import assemble
 from ..lang.parser import parse_source
+from ..obs import current_telemetry
 from ..opt import optimize
 from ..rtgen.generator import generate_rts
 from ..sched.dependence import build_dependence_graph
@@ -76,9 +77,27 @@ class Stage:
 
         The session driver calls this (never :meth:`run` directly) so
         :data:`STAGE_EXECUTIONS` stays an exact record of work done.
+        When telemetry is live, the body runs inside a
+        ``stage:<name>`` span tagged ``cache_source="executed"``.  A
+        caching driver already has that span open (it covers the cache
+        lookup too); execute then joins it — tagging instead of
+        nesting a duplicate — while the uncached path opens its own.
         """
         STAGE_EXECUTIONS[self.name] += 1
-        self.run(state)
+        obs = current_telemetry()
+        if not obs.enabled:
+            self.run(state)
+            return
+        current = obs.current_span
+        if current is not None and current.name == f"stage:{self.name}":
+            current.tag(cache_source="executed")
+            self.run(state)
+            return
+        key = state.fingerprints.get(self.name)
+        with obs.span(f"stage:{self.name}", stage=self.name,
+                      fingerprint=key[:16] if key else None,
+                      cache_source="executed"):
+            self.run(state)
 
     def _chain(self, state: CompileState, *parts) -> str:
         """Fingerprint ``parts`` chained onto the previous stage's key."""

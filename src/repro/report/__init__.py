@@ -1,4 +1,5 @@
-"""Reporting: the paper's figures as text artifacts."""
+"""Reporting: the paper's figures as text artifacts, plus the
+telemetry timeline renderer."""
 
 from .occupation import OccupationRow, occupation_chart, occupation_rows
 from .tables import (
@@ -10,6 +11,7 @@ from .tables import (
     optimization_report,
     summary_report,
 )
+from .timeline import timeline
 
 __all__ = [
     "OccupationRow",
@@ -22,4 +24,5 @@ __all__ = [
     "occupation_rows",
     "optimization_report",
     "summary_report",
+    "timeline",
 ]

@@ -1,0 +1,68 @@
+"""Human-readable rendering of a telemetry registry.
+
+:func:`timeline` turns a :class:`~repro.obs.core.Telemetry` (or its
+:meth:`~repro.obs.core.Telemetry.to_dict` rendering) into the text the
+CLI's ``--timings`` flag prints: the span tree with durations and
+share-of-root percentages, then the counters and any recorded events.
+The Chrome-trace export (:func:`repro.obs.write_chrome_trace`) is the
+machine-readable sibling.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+#: Tags rendered inline next to a span, in this order.
+_SHOWN_TAGS = ("cache_source", "core", "application", "stage",
+               "fingerprint")
+
+
+def _span_line(span: dict[str, Any], depth: int, root_duration: float,
+               lines: list[str]) -> None:
+    indent = "  " * depth
+    share = ""
+    if depth and root_duration > 0:
+        share = f" {100.0 * span['duration'] / root_duration:5.1f}%"
+    tags = span.get("tags", {})
+    shown = [f"{k}={tags[k]}" for k in _SHOWN_TAGS
+             if tags.get(k) is not None and k != "stage"]
+    extra = f"  [{', '.join(shown)}]" if shown else ""
+    label = f"{indent}{span['name']}"
+    lines.append(
+        f"{label:<32} {span['duration'] * 1e3:9.3f} ms{share}{extra}"
+    )
+    for child in span.get("children", []):
+        _span_line(child, depth + 1, root_duration, lines)
+
+
+def timeline(telemetry) -> str:
+    """The span tree, counters and events of one registry, as text."""
+    data = telemetry if isinstance(telemetry, dict) else telemetry.to_dict()
+    spans = data.get("spans", [])
+    counters = data.get("counters", {})
+    gauges = data.get("gauges", {})
+    events = data.get("events", [])
+
+    lines: list[str] = ["telemetry timeline"]
+    if not spans:
+        lines.append("  (no spans recorded)")
+    for root in spans:
+        _span_line(root, 1, root.get("duration", 0.0), lines)
+    if counters or gauges:
+        lines.append("counters")
+        for name in sorted(counters):
+            lines.append(f"  {name:<28} {counters[name]}")
+        for name in sorted(gauges):
+            lines.append(f"  {name:<28} {gauges[name]} (gauge)")
+    if events:
+        lines.append(f"events ({len(events)})")
+        for event in events:
+            fields = ", ".join(
+                f"{k}={v}" for k, v in event.items()
+                if k not in ("name", "time")
+            )
+            lines.append(
+                f"  {event['time'] * 1e3:9.3f} ms  {event['name']}"
+                + (f"  {fields}" if fields else "")
+            )
+    return "\n".join(lines)

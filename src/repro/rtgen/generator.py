@@ -38,6 +38,7 @@ from ..arch.library import CoreSpec
 from ..arch.opu import Operation, Opu
 from ..errors import RoutingError
 from ..fixed import FixedFormat
+from ..obs import current_telemetry
 from ..lang.dfg import Dfg, Node, NodeKind
 from .binding import Binding, bind
 from .memory import MemoryLayout, RomLayout
@@ -215,6 +216,7 @@ class _Generator:
                 self._plan_value(value, readers)
 
     def _plan_value(self, value: int, readers: list[_Consumer]) -> None:
+        current_telemetry().count("rtgen.values_routed")
         value_node = self.dfg.node(value)
         producer = self._producer_opu(value_node)
         direct: list[str] = []
@@ -263,6 +265,7 @@ class _Generator:
                 )
                 plan = _CopyPlan(copier, target, copy_value)
                 plans.append(plan)
+                current_telemetry().count("rtgen.copies_inserted")
                 return plan
         raise RoutingError(
             f"value of node n{value_node.id} ({value_node.name}) produced on "

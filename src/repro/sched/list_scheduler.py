@@ -28,6 +28,7 @@ import random
 from collections import Counter
 
 from ..errors import BudgetExceededError, SchedulingError
+from ..obs import current_telemetry
 from ..rtgen.rt import RT
 from .dependence import DependenceGraph, compute_priorities
 from .interval import execution_intervals
@@ -51,7 +52,9 @@ def list_schedule(
         fallback = _run_critical_path(graph, None)
         raise BudgetExceededError(fallback.length, budget)
     if budget is not None and minimize:
+        obs = current_telemetry()
         while best.length > _resource_bound(graph):
+            obs.count("sched.list.tightenings")
             tighter = _best_for_budget(graph, best.length - 1, restarts, seed)
             if tighter is None:
                 break
@@ -76,6 +79,7 @@ def _best_for_budget(
     attempts: list[Schedule] = []
 
     def record(schedule: Schedule | None) -> bool:
+        current_telemetry().count("sched.list.attempts")
         if schedule is None:
             return False
         attempts.append(schedule)

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..errors import RegisterPressureError
+from ..obs import current_telemetry
 from ..rtgen.program import RTProgram
 from ..rtgen.rt import RT
 from .schedule import Schedule
@@ -111,6 +112,9 @@ def allocate_registers(
         reserved.setdefault(carry.register_file, set()).add(carry.register)
 
     intervals = compute_intervals(program, schedule)
+    obs = current_telemetry()
+    obs.count("sched.regalloc.intervals",
+              sum(len(v) for v in intervals.values()))
     register_of: dict[tuple[str, int], int] = {}
     pressure: dict[str, int] = {}
 
@@ -147,6 +151,7 @@ def allocate_registers(
         needed = max([used] + [r + 1 for r in blocked])
         pressure[register_file] = needed
         if needed > capacity:
+            obs.count("sched.regalloc.overflows")
             raise RegisterPressureError(
                 f"register file {register_file!r} needs {needed} registers "
                 f"but has {capacity}; lengthen the schedule, enlarge the "

@@ -35,6 +35,7 @@ from .arch.merge import MergeSpec
 from .arch.registry import resolve_core
 from .errors import ReproError
 from .lang.dfg import Dfg
+from .obs import Telemetry, current_telemetry, use_telemetry
 from .options import CompileOptions
 from .pipeline.artifacts import CompileRequest, CompileState
 from .pipeline.diskcache import DiskCache
@@ -69,6 +70,12 @@ class Toolchain:
         one-shot path); a shared :class:`StageCache` reuses artifacts
         across toolchains.  By default the toolchain owns a private
         cache, disk-backed per ``options.disk_cache``/``cache_dir``.
+    telemetry:
+        A :class:`repro.obs.Telemetry` this toolchain's verbs report
+        spans/counters/events to; ``None`` (the default) reports to the
+        process-wide registry (:func:`repro.obs.current_telemetry` —
+        the disabled null registry unless one was installed), so
+        instrumentation costs nothing until observability is wanted.
     """
 
     def __init__(
@@ -77,6 +84,7 @@ class Toolchain:
         options: CompileOptions | None = None,
         *,
         cache: StageCache | None | _DefaultCache = _DEFAULT_CACHE,
+        telemetry: Telemetry | None = None,
         **option_fields: Any,
     ):
         options = options if options is not None else CompileOptions()
@@ -88,10 +96,17 @@ class Toolchain:
             self._default_cache() if isinstance(cache, _DefaultCache)
             else cache
         )
+        self.telemetry: Telemetry | None = telemetry
         self.stages = PIPELINE_STAGES
         #: Lazily-built default candidate memo for :meth:`explore`,
         #: kept on the instance so repeated sweeps reuse evaluations.
         self._explore_cache = None
+
+    def _obs(self) -> Telemetry:
+        """The registry this toolchain reports to: the bound one, else
+        whatever is currently installed process-wide."""
+        return self.telemetry if self.telemetry is not None \
+            else current_telemetry()
 
     def _default_cache(self) -> StageCache:
         if self.options.disk_cache:
@@ -133,7 +148,7 @@ class Toolchain:
             if self.cache is None or not placement_changed:
                 cache = self.cache
         return Toolchain(self.core if core is None else core, new_options,
-                         cache=cache)
+                         cache=cache, telemetry=self.telemetry)
 
     # ------------------------------------------------------------------
     # The engine: the stage-chain driver
@@ -160,26 +175,42 @@ class Toolchain:
         )
         state = CompileState(request=request)
         shared = {id(self.core): self.core}
-        for stage in self.stages:
-            if self.cache is None:
-                stage.execute(state)
-                state.completed.append(stage.name)
-            else:
-                key = stage.key(state)
-                restored, source = self.cache.get_entry(key, shared)
-                if restored is not None:
-                    state.artifacts = restored
-                    state.cache_hits[stage.name] = True
-                    state.cache_sources[stage.name] = source
-                else:
+        obs = self._obs()
+        app_name = (application.name if isinstance(application, Dfg)
+                    else None)
+        with use_telemetry(obs), \
+                obs.span("compile", core=self.core.name,
+                         application=app_name):
+            for stage in self.stages:
+                if self.cache is None:
                     stage.execute(state)
-                    state.cache_hits[stage.name] = False
-                state.fingerprints[stage.name] = key
-                state.completed.append(stage.name)
-                if restored is None:
-                    self.cache.put(key, state.artifacts, shared)
-            if stage.name == self.options.stop_after:
-                break
+                    state.completed.append(stage.name)
+                else:
+                    key = stage.key(state)
+                    state.fingerprints[stage.name] = key
+                    # One span covers the whole stage slot — lookup,
+                    # then restore *or* execute-and-store
+                    # (Stage.execute joins this span rather than
+                    # nesting a duplicate) — so the cache tiers' deep-
+                    # copy costs are attributed to the stage that pays
+                    # them and the tree fully accounts the compile.
+                    with obs.span(f"stage:{stage.name}",
+                                  stage=stage.name,
+                                  fingerprint=key[:16]) as span:
+                        restored, source = self.cache.get_entry(
+                            key, shared)
+                        if restored is not None:
+                            span.tag(cache_source=source)
+                            state.artifacts = restored
+                            state.cache_hits[stage.name] = True
+                            state.cache_sources[stage.name] = source
+                        else:
+                            stage.execute(state)
+                            state.cache_hits[stage.name] = False
+                            self.cache.put(key, state.artifacts, shared)
+                    state.completed.append(stage.name)
+                if stage.name == self.options.stop_after:
+                    break
         return state
 
     # ------------------------------------------------------------------
@@ -228,23 +259,27 @@ class Toolchain:
                 f"{len(names)} names for {len(applications)} applications"
             )
         result = BatchResult()
+        obs = self._obs()
         batch_start = time.perf_counter()
-        for index, application in enumerate(applications):
-            if names is not None:
-                name = names[index]
-            elif isinstance(application, Dfg):
-                name = application.name
-            else:
-                name = f"app[{index}]"
-            start = time.perf_counter()
-            entry = BatchEntry(name=name)
-            try:
-                entry.state = self.run_pipeline(
-                    application, io_binding=io_binding, merges=merges)
-            except ReproError as exc:
-                entry.error = f"{type(exc).__name__}: {exc}"
-            entry.seconds = time.perf_counter() - start
-            result.entries.append(entry)
+        with use_telemetry(obs), \
+                obs.span("batch", core=self.core.name,
+                         applications=len(applications)):
+            for index, application in enumerate(applications):
+                if names is not None:
+                    name = names[index]
+                elif isinstance(application, Dfg):
+                    name = application.name
+                else:
+                    name = f"app[{index}]"
+                start = time.perf_counter()
+                entry = BatchEntry(name=name)
+                try:
+                    entry.state = self.run_pipeline(
+                        application, io_binding=io_binding, merges=merges)
+                except ReproError as exc:
+                    entry.error = f"{type(exc).__name__}: {exc}"
+                entry.seconds = time.perf_counter() - start
+                result.entries.append(entry)
         result.seconds = time.perf_counter() - batch_start
         return result
 
@@ -258,9 +293,13 @@ class Toolchain:
         merges: MergeSpec | None = None,
     ) -> dict[str, list[int]]:
         """Compile and execute on the cycle-accurate core simulator."""
-        compiled = self.compile(application, io_binding=io_binding,
-                                merges=merges)
-        return compiled.run(inputs, n_frames)
+        obs = self._obs()
+        with use_telemetry(obs), \
+                obs.span("run", core=self.core.name):
+            compiled = self.compile(application, io_binding=io_binding,
+                                    merges=merges)
+            with obs.span("simulate"):
+                return compiled.run(inputs, n_frames)
 
     def explore(
         self,
@@ -271,6 +310,7 @@ class Toolchain:
         refine: bool = False,
         axes: tuple[str, ...] | None = None,
         cache=_DEFAULT_CACHE,
+        progress=None,
     ):
         """Design-space exploration under this toolchain's options.
 
@@ -285,6 +325,11 @@ class Toolchain:
         Pass ``cache=ExploreCache(...)`` explicitly to override.  The
         bound *core* is deliberately not used: exploration synthesizes
         its own intermediate candidates (phase 1 of the paper).
+
+        ``progress`` is an optional callable invoked once per evaluated
+        candidate with a dict (``allocation``, ``feasible``, ``cached``,
+        ``done``, ``total``) — the same payload the telemetry registry
+        records as ``explore.candidate`` events.
 
         Returns a :class:`~repro.arch.explore.RefinedSweep` when
         ``refine`` is on, else the list of
@@ -310,17 +355,21 @@ class Toolchain:
                 if self._explore_cache is None:
                     self._explore_cache = ExploreCache(disk=self.cache.disk)
                 cache = self._explore_cache
-        if refine:
-            if not isinstance(spec, SweepSpec):
-                raise ValueError("refine=True needs a SweepSpec")
-            return explore_refined(dfgs, spec, options=self.options,
-                                   jobs=jobs, cache=cache, axes=axes)
-        if axes is not None:
-            raise ValueError(
-                "axes= only applies to refine=True sweeps; compute "
-                "pareto_front(points, axes=...) over the returned points "
-                "instead")
-        allocations = (spec.allocations() if isinstance(spec, SweepSpec)
-                       else list(spec))
-        return explore(dfgs, allocations, options=self.options, jobs=jobs,
-                       cache=cache)
+        obs = self._obs()
+        with use_telemetry(obs), \
+                obs.span("explore", applications=len(dfgs), refine=refine):
+            if refine:
+                if not isinstance(spec, SweepSpec):
+                    raise ValueError("refine=True needs a SweepSpec")
+                return explore_refined(dfgs, spec, options=self.options,
+                                       jobs=jobs, cache=cache, axes=axes,
+                                       progress=progress)
+            if axes is not None:
+                raise ValueError(
+                    "axes= only applies to refine=True sweeps; compute "
+                    "pareto_front(points, axes=...) over the returned "
+                    "points instead")
+            allocations = (spec.allocations() if isinstance(spec, SweepSpec)
+                           else list(spec))
+            return explore(dfgs, allocations, options=self.options,
+                           jobs=jobs, cache=cache, progress=progress)

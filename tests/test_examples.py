@@ -23,6 +23,24 @@ def test_example_runs(script):
     assert result.stdout.strip(), "examples must print their findings"
 
 
+def test_quickstart_shows_telemetry():
+    """The quickstart demonstrates the observability surface: a span
+    timeline from ``Toolchain(..., telemetry=...)`` and per-candidate
+    explore progress lines from the callback."""
+    script = next(p for p in EXAMPLES if p.stem == "quickstart")
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "stage:schedule" in result.stdout      # timeline span rows
+    assert "counters" in result.stdout            # timeline counter block
+    assert "candidate 1/2" in result.stdout       # explore progress callback
+    assert "candidate 2/2" in result.stdout
+
+
 def test_example_inventory():
     names = {path.stem for path in EXAMPLES}
     assert {"quickstart", "audio_tone_control", "isa_conflicts",

@@ -1,0 +1,112 @@
+"""Tests for ``tools/check_profile_regression.py`` — the CI guard
+comparing per-stage compile-profile shares against the committed
+baseline."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+TOOL = (Path(__file__).resolve().parent.parent
+        / "tools" / "check_profile_regression.py")
+BASELINE = (Path(__file__).resolve().parent.parent
+            / "benchmarks" / "compile_profile_baseline.json")
+
+spec = importlib.util.spec_from_file_location("check_profile_regression",
+                                              TOOL)
+tool = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(tool)
+
+
+def regime(**p50s):
+    """A profile regime dict from stage -> p50 seconds."""
+    total = sum(p50s.values())
+    out = {stage: {"n": 5, "p50": p50, "p95": p50, "mean": p50}
+           for stage, p50 in p50s.items()}
+    out["total"] = {"n": 5, "p50": total, "p95": total, "mean": total}
+    return out
+
+
+def record(**p50s):
+    return {"application": "x", "core": "audio", "runs": 5,
+            "stages": [s for s in p50s],
+            "cold": regime(**p50s), "warm": regime(**p50s)}
+
+
+class TestShares:
+    def test_shares_normalize_by_total(self):
+        shares = tool.shares(regime(a=0.010, b=0.030))
+        assert shares == {"a": 0.25, "b": 0.75}
+        assert "total" not in shares
+
+    def test_zero_total_yields_nothing(self):
+        assert tool.shares(regime(a=0.0)) == {}
+
+
+class TestCheckRegime:
+    def test_within_ratio_passes(self):
+        problems, notes = [], []
+        tool.check_regime("cold", regime(a=0.010, b=0.010),
+                          regime(a=0.012, b=0.008),
+                          3.0, 0.002, problems, notes)
+        assert problems == [] and notes == []
+
+    def test_share_growth_beyond_ratio_fails(self):
+        problems, notes = [], []
+        # a: 10% of total -> 50% of total = 5x share growth.
+        tool.check_regime("cold", regime(a=0.050, b=0.050),
+                          regime(a=0.010, b=0.090),
+                          3.0, 0.002, problems, notes)
+        assert len(problems) == 1
+        assert "'a'" in problems[0] and "cold" in problems[0]
+
+    def test_sub_floor_stages_never_fail(self):
+        problems, notes = [], []
+        # Same 5x share growth, but at 0.1 ms absolute: noise.
+        tool.check_regime("cold", regime(a=0.0001, b=0.0001),
+                          regime(a=0.00002, b=0.00018),
+                          3.0, 0.002, problems, notes)
+        assert problems == []
+
+    def test_new_stage_is_a_note_not_a_failure(self):
+        problems, notes = [], []
+        tool.check_regime("cold", regime(a=0.010, new=0.010),
+                          regime(a=0.010),
+                          3.0, 0.002, problems, notes)
+        assert problems == []
+        assert len(notes) == 1 and "'new'" in notes[0]
+
+
+class TestMain:
+    def write(self, tmp_path, name, rec):
+        path = tmp_path / name
+        path.write_text(json.dumps(rec))
+        return str(path)
+
+    def test_identical_profiles_pass(self, tmp_path, capsys):
+        current = self.write(tmp_path, "current.json",
+                             record(a=0.010, b=0.020))
+        base = self.write(tmp_path, "base.json", record(a=0.010, b=0.020))
+        assert tool.main(["prog", current, "--baseline", base]) == 0
+        assert "profile shares ok" in capsys.readouterr().out
+
+    def test_regression_fails_with_report(self, tmp_path, capsys):
+        current = self.write(tmp_path, "current.json",
+                             record(a=0.090, b=0.010))
+        base = self.write(tmp_path, "base.json", record(a=0.010, b=0.090))
+        assert tool.main(["prog", current, "--baseline", base]) == 1
+        out = capsys.readouterr().out
+        assert "regression" in out and "'a'" in out
+
+    def test_committed_baseline_is_a_valid_record(self):
+        """The baseline CI compares against must itself be a complete
+        profile record for the audio application."""
+        from repro.pipeline import STAGE_NAMES
+
+        rec = json.loads(BASELINE.read_text())
+        assert rec["core"] == "audio"
+        assert rec["stages"] == list(STAGE_NAMES)
+        for reg in ("cold", "warm"):
+            assert set(rec[reg]) == set(STAGE_NAMES) | {"total"}
+            assert rec[reg]["total"]["p50"] > 0

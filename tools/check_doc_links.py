@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Fail CI on broken intra-repo Markdown links.
+"""Fail CI on broken intra-repo Markdown links (and stale doc tables).
 
 Scans every ``*.md`` file in the repository for inline links and
 images (``[text](target)``), and checks that:
@@ -8,6 +8,11 @@ images (``[text](target)``), and checks that:
 * fragment links (``#anchor`` — bare, or appended to a Markdown
   target) name a heading that actually exists, using GitHub's
   heading-slug rules.
+
+It also checks that the telemetry counter table in
+``docs/observability.md`` matches the canonical ``repro.obs.COUNTERS``
+dict exactly — every counter the code can emit is documented, and no
+documented counter has been removed from the code.
 
 External schemes (``http://``, ``https://``, ``mailto:``) are ignored
 — this guards the repository's own docs tree, not the internet.
@@ -113,6 +118,46 @@ def check_file(path: Path, root: Path, anchor_cache: dict[Path, set[str]],
                     )
 
 
+#: ``| `counter.name` | meaning |`` rows of the observability doc.
+COUNTER_ROW = re.compile(r"^\|\s*`([a-z0-9_.]+)`\s*\|")
+
+
+def documented_counters(doc: Path) -> set[str]:
+    """Counter names listed in the observability doc's table."""
+    names: set[str] = set()
+    for line in doc.read_text(encoding="utf-8").splitlines():
+        match = COUNTER_ROW.match(line)
+        if match:
+            names.add(match.group(1))
+    return names
+
+
+def check_counter_table(root: Path, problems: list[str]) -> None:
+    """``docs/observability.md`` table == ``repro.obs.COUNTERS`` keys."""
+    doc = root / "docs" / "observability.md"
+    src = root / "src"
+    if not doc.is_file() or not (src / "repro" / "obs").is_dir():
+        return  # run against a tree without the package: nothing to check
+    sys.path.insert(0, str(src))
+    try:
+        from repro.obs import COUNTERS
+    finally:
+        sys.path.pop(0)
+    documented = documented_counters(doc)
+    canonical = set(COUNTERS)
+    shown = doc.relative_to(root)
+    for name in sorted(canonical - documented):
+        problems.append(
+            f"{shown}: counter {name!r} (repro.obs.COUNTERS) is missing "
+            f"from the counter table"
+        )
+    for name in sorted(documented - canonical):
+        problems.append(
+            f"{shown}: documented counter {name!r} does not exist in "
+            f"repro.obs.COUNTERS"
+        )
+
+
 def main(argv: list[str]) -> int:
     root = Path(argv[1]).resolve() if len(argv) > 1 else \
         Path(__file__).resolve().parent.parent
@@ -121,6 +166,7 @@ def main(argv: list[str]) -> int:
     anchor_cache: dict[Path, set[str]] = {}
     for path in files:
         check_file(path, root, anchor_cache, problems)
+    check_counter_table(root, problems)
     if problems:
         print(f"{len(problems)} broken doc link(s):")
         for problem in problems:

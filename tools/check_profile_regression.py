@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Fail CI when a pipeline stage's share of compile time regresses.
+
+Compares a fresh ``repro profile`` record (``BENCH_compile_profile.json``,
+produced by ``python -m repro profile --app audio --out ...``) against
+the committed baseline ``benchmarks/compile_profile_baseline.json``.
+
+Absolute wall clock is machine-dependent, so the guard is *normalized*:
+for each regime (``cold``, ``warm``) every stage's p50 is divided by
+that regime's total p50, and the resulting *share* is compared to the
+baseline's share.  A stage whose share grew by more than ``--max-ratio``
+(default 3×) fails — that shape change survives hardware differences,
+while a uniformly slower CI runner does not trip it.
+
+Two noise guards:
+
+* stages whose current p50 is below ``--min-seconds`` (default 2 ms)
+  never fail — at sub-millisecond durations the share is timer noise;
+* a stage missing from the baseline (a newly added pipeline stage)
+  is reported as informational, never a failure — commit a refreshed
+  baseline to start guarding it.
+
+Usage::
+
+    python tools/check_profile_regression.py BENCH_compile_profile.json \
+        [--baseline benchmarks/compile_profile_baseline.json] \
+        [--max-ratio 3.0] [--min-seconds 0.002]
+
+Exits 0 when every stage's share is within bounds, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REGIMES = ("cold", "warm")
+
+
+def shares(regime: dict[str, dict[str, float]]) -> dict[str, float]:
+    """Stage -> p50 share of the regime's total p50."""
+    total = regime["total"]["p50"]
+    if total <= 0.0:
+        return {}
+    return {
+        stage: stats["p50"] / total
+        for stage, stats in regime.items()
+        if stage != "total"
+    }
+
+
+def check_regime(
+    name: str,
+    current: dict[str, dict[str, float]],
+    baseline: dict[str, dict[str, float]],
+    max_ratio: float,
+    min_seconds: float,
+    problems: list[str],
+    notes: list[str],
+) -> None:
+    current_shares = shares(current)
+    baseline_shares = shares(baseline)
+    for stage, share in sorted(current_shares.items()):
+        if stage not in baseline_shares:
+            notes.append(
+                f"{name}: stage {stage!r} has no baseline share — "
+                f"refresh benchmarks/compile_profile_baseline.json to "
+                f"guard it"
+            )
+            continue
+        if current[stage]["p50"] < min_seconds:
+            continue  # sub-noise-floor absolute time: share is noise
+        base = baseline_shares[stage]
+        if base <= 0.0:
+            continue
+        ratio = share / base
+        if ratio > max_ratio:
+            problems.append(
+                f"{name}: stage {stage!r} share of total p50 grew "
+                f"{ratio:.1f}x (baseline {base:.1%} -> now {share:.1%}, "
+                f"p50 {current[stage]['p50'] * 1e3:.2f} ms) — "
+                f"limit {max_ratio:.1f}x"
+            )
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        description="compare a repro profile record against the "
+                    "committed per-stage baseline")
+    parser.add_argument("profile",
+                        help="fresh profile JSON (repro profile --out ...)")
+    parser.add_argument(
+        "--baseline",
+        default=str(Path(__file__).resolve().parent.parent
+                    / "benchmarks" / "compile_profile_baseline.json"),
+        help="committed baseline record (default: "
+             "benchmarks/compile_profile_baseline.json)")
+    parser.add_argument("--max-ratio", type=float, default=3.0,
+                        help="largest tolerated share growth (default 3.0)")
+    parser.add_argument("--min-seconds", type=float, default=0.002,
+                        help="stages faster than this never fail "
+                             "(default 0.002)")
+    args = parser.parse_args(argv[1:])
+
+    current = json.loads(Path(args.profile).read_text())
+    baseline = json.loads(Path(args.baseline).read_text())
+
+    problems: list[str] = []
+    notes: list[str] = []
+    for regime in REGIMES:
+        check_regime(regime, current[regime], baseline[regime],
+                     args.max_ratio, args.min_seconds, problems, notes)
+
+    for note in notes:
+        print(f"note: {note}")
+    if problems:
+        print(f"{len(problems)} stage-share regression(s) vs "
+              f"{args.baseline}:")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    checked = sum(
+        1 for regime in REGIMES
+        for stage in current[regime] if stage != "total"
+    )
+    print(f"profile shares ok: {checked} stage regimes within "
+          f"{args.max_ratio:.1f}x of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
