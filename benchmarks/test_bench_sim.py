@@ -1,0 +1,116 @@
+"""Experiment: simulation throughput across engines and batch widths.
+
+The explorer's quantitative loop (compile candidates, *simulate* them
+over stimulus, compare outputs) was bottlenecked on the scalar
+simulator, which re-decodes every instruction word on every cycle.
+The decode-once engines amortize that decode, and the numpy engine
+steps whole stimulus batches as array operations.
+
+This bench measures cycles/second for all three engines at batch
+widths 1, 16 and 256, asserts every engine stays bit-identical to the
+scalar oracle, asserts the numpy engine clears a 10x speedup at width
+256, and writes the trajectory to ``BENCH_sim.json`` (uploaded as a
+CI artifact; ``tools/check_sim_regression.py`` guards it against the
+committed ``benchmarks/sim_baseline.json``).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import CompileOptions, Q15, Telemetry, Toolchain, use_telemetry
+from repro.apps import fir_application
+from repro.sim import NUMPY_AVAILABLE, run_batch
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_sim.json"
+
+BATCH_WIDTHS = (1, 16, 256)
+N_SAMPLES = 16
+#: The acceptance floor for the numpy engine at the widest batch.
+MIN_NUMPY_SPEEDUP = 10.0
+
+
+def compiled_program():
+    toolchain = Toolchain("fir", CompileOptions(disk_cache=False))
+    coefficients = [0.05 * (k + 1) for k in range(8)]
+    return toolchain.compile(fir_application(coefficients, name="fir8")).binary
+
+
+def stimulus_lanes(n_lanes: int, seed: int = 0):
+    rng = random.Random(seed)
+    return [
+        {"x": [rng.randint(Q15.min_value, Q15.max_value)
+               for _ in range(N_SAMPLES)]}
+        for _ in range(n_lanes)
+    ]
+
+
+def timed_run(program, lanes, engine):
+    """(outputs, seconds, simulated cycles) for one engine pass."""
+    obs = Telemetry()
+    start = time.perf_counter()
+    with use_telemetry(obs):
+        outputs = run_batch(program, [dict(lane) for lane in lanes],
+                            engine=engine)
+    seconds = time.perf_counter() - start
+    return outputs, seconds, obs.counters["sim.cycles"]
+
+
+def test_bench_sim_engines():
+    program = compiled_program()
+    engines = ["scalar", "decoded"] + (["numpy"] if NUMPY_AVAILABLE else [])
+
+    record = {
+        "program": "fir8 on the fir core",
+        "n_samples": N_SAMPLES,
+        "numpy_available": NUMPY_AVAILABLE,
+        "batch": {},
+    }
+    print(f"\n{'N':>4}  {'engine':8}  {'seconds':>9}  {'cycles/s':>12}  "
+          f"{'speedup':>8}")
+    for n_lanes in BATCH_WIDTHS:
+        lanes = stimulus_lanes(n_lanes, seed=n_lanes)
+        rows = {}
+        oracle = None
+        for engine in engines:
+            outputs, seconds, cycles = timed_run(program, lanes, engine)
+            if engine == "scalar":
+                oracle = outputs
+            else:
+                # The load-bearing check: engines are bit-identical.
+                assert outputs == oracle, f"{engine} diverged at N={n_lanes}"
+            rows[engine] = {
+                "seconds": seconds,
+                "cycles": cycles,
+                "cycles_per_sec": cycles / seconds if seconds else None,
+            }
+        scalar_rate = rows["scalar"]["cycles_per_sec"]
+        for engine in engines:
+            rate = rows[engine]["cycles_per_sec"]
+            rows[engine]["speedup_vs_scalar"] = (
+                rate / scalar_rate if scalar_rate and rate else None)
+            print(f"{n_lanes:>4}  {engine:8}  "
+                  f"{rows[engine]['seconds']:>9.4f}  {rate:>12.0f}  "
+                  f"{rows[engine]['speedup_vs_scalar']:>7.1f}x")
+        record["batch"][str(n_lanes)] = rows
+
+    if NUMPY_AVAILABLE:
+        widest = record["batch"][str(BATCH_WIDTHS[-1])]
+        speedup = widest["numpy"]["speedup_vs_scalar"]
+        assert speedup >= MIN_NUMPY_SPEEDUP, (
+            f"numpy engine at N={BATCH_WIDTHS[-1]} is only "
+            f"{speedup:.1f}x over scalar (floor {MIN_NUMPY_SPEEDUP}x)")
+
+    RESULTS_PATH.write_text(json.dumps(record, indent=2) + "\n")
+
+
+@pytest.mark.skipif(NUMPY_AVAILABLE, reason="numpy installed")
+def test_bench_sim_records_fallback():
+    """Without numpy the bench still runs (and records that it did) —
+    the pure-Python engines are the only requirement."""
+    assert not NUMPY_AVAILABLE

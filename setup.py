@@ -3,8 +3,17 @@
 ``pip install -e .`` on this machine lacks ``bdist_wheel`` (offline,
 no ``wheel`` distribution), so editable installs fall back to the
 legacy path: ``pip install -e . --no-build-isolation --no-use-pep517``.
+
+The core package is dependency-free; ``repro[batch]`` adds numpy for
+the vectorized batch simulator (``repro.sim.batch`` — every entry
+point degrades to the pure-Python decoded engine without it, see
+``docs/simulator.md``).
 """
 
 from setuptools import setup
 
-setup()
+setup(
+    extras_require={
+        "batch": ["numpy"],
+    },
+)

@@ -35,6 +35,7 @@ and subsystem counters, and progress events — see
 from .apps import adaptive_core
 from .arch import (
     Allocation,
+    CandidateSimulation,
     CoreSpec,
     ExploreCache,
     RefinedSweep,
@@ -49,6 +50,7 @@ from .arch import (
     pareto_front,
     register_core,
     resolve_core,
+    simulate_points,
     tiny_core,
 )
 from .errors import OptionsError, ReproError
@@ -74,14 +76,16 @@ from .pipeline import (
     StageCache,
     compile_application,
 )
+from .sim import run_batch, run_program, run_programs
 from .toolchain import Toolchain
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "Allocation",
     "BatchResult",
     "BatchSession",
+    "CandidateSimulation",
     "CompileOptions",
     "CompileSession",
     "CompileState",
@@ -117,8 +121,12 @@ __all__ = [
     "profile_compile",
     "register_core",
     "resolve_core",
+    "run_batch",
+    "run_program",
+    "run_programs",
     "run_reference",
     "set_telemetry",
+    "simulate_points",
     "tiny_core",
     "use_telemetry",
     "write_chrome_trace",

@@ -16,6 +16,7 @@ from .explore import (
     PARETO_AXES,
     STORAGE_AXES,
     Allocation,
+    CandidateSimulation,
     ExplorationPoint,
     ExploreCache,
     RefinedSweep,
@@ -27,6 +28,7 @@ from .explore import (
     pareto_axes,
     pareto_front,
     required_operations,
+    simulate_points,
 )
 from .interconnect import Bus, BusSink, Mux
 from .library import (
@@ -73,6 +75,7 @@ __all__ = [
     "AUDIO_INSTRUCTION_TYPES",
     "Allocation",
     "Bus",
+    "CandidateSimulation",
     "ExplorationPoint",
     "ExploreCache",
     "MERGE_VARIANTS",
@@ -87,6 +90,7 @@ __all__ = [
     "pareto_axes",
     "pareto_front",
     "required_operations",
+    "simulate_points",
     "BusMerge",
     "BusSink",
     "ClassDef",

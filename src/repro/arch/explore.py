@@ -922,3 +922,102 @@ def explore_refined(
         n_grid=spec.size, n_coarse=len(coarse_allocations),
         n_refined=len(fine_allocations),
     )
+
+
+@dataclass
+class CandidateSimulation:
+    """The simulation of one exploration point: the compiled binary's
+    output streams for every stimulus lane, or why it could not run."""
+
+    point: ExplorationPoint
+    #: One output-stream dict per stimulus lane (empty on failure).
+    outputs: list[dict[str, list[int]]] = field(default_factory=list)
+    failure: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None
+
+
+def simulate_points(
+    dfg: Dfg,
+    points: list[ExplorationPoint],
+    stimuli: list[dict[str, list[int]]] | dict[str, list[int]],
+    *,
+    options: "CompileOptions | None" = None,
+    n_frames: int | None = None,
+    engine: str = "auto",
+) -> list[CandidateSimulation]:
+    """Simulate exploration candidates on real stimulus, batched.
+
+    Exploration scores candidates by schedule length alone (evaluation
+    stops at register allocation); this closes the loop — each feasible
+    point's core is re-synthesized, ``dfg`` is compiled *end to end* on
+    it, and every binary runs the stimulus batch through
+    :mod:`repro.sim.batch`.  Candidates whose binaries share a control
+    path are stacked into one numpy batch by
+    :func:`~repro.sim.batch.run_programs` when ``stimuli`` is a single
+    shared dict; with a per-lane stimulus list each binary steps the
+    whole batch at once instead.  Outputs are bit-identical to the
+    scalar oracle, so they are directly comparable across candidates
+    and against :func:`repro.lang.reference.run_reference`.
+
+    Returns one :class:`CandidateSimulation` per point, in order;
+    infeasible points (and points whose compile or simulation fails)
+    carry ``failure`` instead of outputs.
+    """
+    from ..options import CompileOptions as Options
+    from ..sim.batch import run_batch, run_programs
+    from ..toolchain import Toolchain
+
+    if options is None:
+        options = Options()
+    results: list[CandidateSimulation] = []
+    compiled: list[tuple[int, object]] = []   # (result index, binary)
+    for point in points:
+        result = CandidateSimulation(point=point)
+        results.append(result)
+        if point.failures:
+            result.failure = "; ".join(
+                f"{name}: {reason}"
+                for name, reason in sorted(point.failures.items())
+            )
+            continue
+        try:
+            core = intermediate_architecture([dfg], point.allocation)
+            merges = merge_spec_for(point.allocation.merge_variant, core)
+            toolchain = Toolchain(core, options.replace(opt=0), cache=None)
+            specialized, _ = specialize_for_core(dfg, core, options.opt)
+            state = toolchain.run_pipeline(specialized, merges=merges)
+            compiled.append((len(results) - 1, state.artifacts["binary"]))
+        except ReproError as exc:
+            result.failure = f"{type(exc).__name__}: {exc}"
+
+    if not compiled:
+        return results
+    try:
+        if isinstance(stimuli, dict):
+            outputs = run_programs(
+                [binary for _, binary in compiled], stimuli,
+                n_frames=n_frames, engine=engine)
+            for (index, _), lane_out in zip(compiled, outputs):
+                results[index].outputs = [lane_out]
+        else:
+            for index, binary in compiled:
+                results[index].outputs = run_batch(
+                    binary, stimuli, n_frames=n_frames, engine=engine)
+    except ReproError as exc:
+        # A per-candidate failure mid-batch: fall back to one-at-a-time
+        # so a single diverging binary cannot sink the whole sweep.
+        for index, binary in compiled:
+            if results[index].outputs:
+                continue
+            lanes = [stimuli] if isinstance(stimuli, dict) else stimuli
+            try:
+                results[index].outputs = run_batch(
+                    binary, lanes, n_frames=n_frames, engine=engine)
+            except ReproError as lane_exc:
+                results[index].failure = \
+                    f"{type(lane_exc).__name__}: {lane_exc}"
+        del exc
+    return results

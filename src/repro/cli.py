@@ -83,7 +83,7 @@ from .report import (
     summary_report,
     timeline,
 )
-from .sim import run_program
+from .sim import ENGINES, run_batch, run_program
 from .toolchain import Toolchain
 
 
@@ -434,7 +434,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     core = toolchain.core
     fmt = FixedFormat(core.data_width, core.frac_bits)
     inputs = dict(parse_stream(spec, fmt) for spec in args.input)
-    outputs = toolchain.run(source, inputs, args.frames)
+    outputs = toolchain.run(source, inputs, args.frames, engine=args.engine)
     emit_telemetry(args, obs)
     for port in sorted(outputs):
         rendered = ", ".join(str(v) for v in outputs[port])
@@ -449,7 +449,11 @@ def cmd_run_image(args: argparse.Namespace) -> int:
     program = load_program(Path(args.image).read_text())
     fmt = FixedFormat(program.core.data_width, program.core.frac_bits)
     inputs = dict(parse_stream(spec, fmt) for spec in args.input)
-    outputs = run_program(program, inputs, args.frames)
+    if args.engine == "scalar":
+        outputs = run_program(program, inputs, args.frames)
+    else:
+        outputs = run_batch(program, [inputs], args.frames,
+                            engine=args.engine)[0]
     for port in sorted(outputs):
         print(f"{port}: [{', '.join(str(v) for v in outputs[port])}]")
     return 0
@@ -599,6 +603,10 @@ def build_parser() -> argparse.ArgumentParser:
     r.add_argument("--frames", type=int, default=None)
     r.add_argument("--floats", action="store_true",
                    help="also print outputs as real numbers")
+    r.add_argument("--engine", default="auto", choices=ENGINES,
+                   help="simulator engine: the scalar oracle, the "
+                        "decoded single-lane interpreter, the numpy "
+                        "batch engine, or auto (default)")
     add_telemetry_flags(r)
     r.set_defaults(handler=cmd_run)
 
@@ -629,6 +637,8 @@ def build_parser() -> argparse.ArgumentParser:
     i.add_argument("--input", action="append", default=[],
                    metavar="PORT=V1,V2,...")
     i.add_argument("--frames", type=int, default=None)
+    i.add_argument("--engine", default="auto", choices=ENGINES,
+                   help="simulator engine (default auto)")
     i.set_defaults(handler=cmd_run_image)
 
     k = sub.add_parser("inspect-core", help="describe a core")

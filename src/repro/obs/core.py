@@ -61,6 +61,12 @@ COUNTERS: dict[str, str] = {
     "explore.candidates": "design-space candidates actually evaluated "
                           "(memo misses)",
     "explore.cache_hits": "candidates served from the ExploreCache memo",
+    "sim.cycles": "machine cycles executed, summed over every simulated "
+                  "lane",
+    "sim.frames": "sample frames consumed, summed over every simulated "
+                  "lane",
+    "sim.batch_width": "stimulus/candidate lanes entering the simulator "
+                       "(1 per scalar run)",
 }
 
 

@@ -13,6 +13,7 @@ from ..rtgen.program import RTProgram
 from ..sched.dependence import DependenceGraph
 from ..sched.regalloc import Allocation
 from ..sched.schedule import Schedule
+from ..sim.batch import run_batch
 from ..sim.machine import run_program
 
 
@@ -42,6 +43,23 @@ class CompiledProgram:
         return self.schedule.length
 
     def run(self, inputs: dict[str, list[int]],
-            n_frames: int | None = None) -> dict[str, list[int]]:
-        """Execute the binary on the cycle-accurate core simulator."""
-        return run_program(self.binary, inputs, n_frames)
+            n_frames: int | None = None,
+            engine: str = "auto") -> dict[str, list[int]]:
+        """Execute the binary on the cycle-accurate core simulator.
+
+        ``engine`` picks the execution tier (see
+        :func:`repro.sim.batch.resolve_engine`): ``"scalar"`` is the
+        per-word oracle loop, everything else goes through the
+        decoded-plan engines — bit-identical, much faster.
+        """
+        if engine == "scalar":
+            return run_program(self.binary, inputs, n_frames)
+        return run_batch(self.binary, [inputs], n_frames, engine=engine)[0]
+
+    def run_batch(self, inputs: list[dict[str, list[int]]],
+                  n_frames: int | None = None,
+                  engine: str = "auto") -> list[dict[str, list[int]]]:
+        """Execute the binary over a batch of stimulus lanes (one input
+        dict per lane, one output dict per lane, see
+        :func:`repro.sim.batch.run_batch`)."""
+        return run_batch(self.binary, inputs, n_frames, engine=engine)

@@ -1,6 +1,47 @@
-"""Cycle-accurate core simulator: executes the encoded microcode and
-must reproduce the reference interpreter bit-exactly."""
+"""Cycle-accurate core simulation.
 
-from .machine import CoreSimulator, TraceEntry, run_program
+Two execution tiers share one machine model:
 
-__all__ = ["CoreSimulator", "TraceEntry", "run_program"]
+* :mod:`repro.sim.machine` — the scalar oracle.  One instruction word
+  at a time, decoded on every cycle; slow, simple, and the semantic
+  reference every other engine is asserted bit-identical against.
+* :mod:`repro.sim.batch` — the production path.  Decode once into a
+  flat :class:`~repro.sim.batch.DecodedPlan`, then step it either one
+  lane at a time in pure Python (:class:`~repro.sim.batch.DecodedSimulator`)
+  or over whole stimulus/candidate batches as numpy array ops
+  (:class:`~repro.sim.batch.BatchSimulator`; numpy is an optional
+  extra).  :func:`~repro.sim.batch.run_batch` and
+  :func:`~repro.sim.batch.run_programs` pick an engine via
+  :func:`~repro.sim.batch.resolve_engine`.
+"""
+
+from .batch import (
+    ENGINES,
+    NUMPY_AVAILABLE,
+    BatchSimulator,
+    DecodedPlan,
+    DecodedSimulator,
+    PlanError,
+    decode_program,
+    resolve_engine,
+    run_batch,
+    run_programs,
+)
+from .machine import CoreSimulator, TraceEntry, default_frame_count, run_program
+
+__all__ = [
+    "ENGINES",
+    "NUMPY_AVAILABLE",
+    "BatchSimulator",
+    "CoreSimulator",
+    "DecodedPlan",
+    "DecodedSimulator",
+    "PlanError",
+    "TraceEntry",
+    "decode_program",
+    "default_frame_count",
+    "resolve_engine",
+    "run_batch",
+    "run_program",
+    "run_programs",
+]

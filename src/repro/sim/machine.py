@@ -31,6 +31,7 @@ from ..encode.assembler import EncodedProgram
 from ..encode.fields import CTRL_DECODE, opcode_table
 from ..errors import SimulationError
 from ..fixed import FixedFormat
+from ..obs import current_telemetry
 
 
 @dataclass
@@ -350,6 +351,31 @@ class CoreSimulator:
             raise SimulationError(f"unhandled controller op {ctrl}")
 
 
+def default_frame_count(
+    program: EncodedProgram, inputs: dict[str, list[int]]
+) -> int:
+    """Stream-derived frame count: the shortest input stream divided by
+    the block size (a block-repeat program consumes ``repeat_count``
+    samples per stream per frame).
+
+    A stream too short for even one frame is an error — the old
+    behaviour of computing zero frames and silently returning empty
+    output streams hid stimulus bugs.
+    """
+    if not inputs:
+        raise SimulationError("n_frames is required without inputs")
+    port = min(inputs, key=lambda name: len(inputs[name]))
+    shortest = len(inputs[port])
+    n_frames = shortest // program.repeat_count
+    if n_frames == 0:
+        raise SimulationError(
+            f"input stream {port!r} has {shortest} samples but one frame "
+            f"consumes {program.repeat_count}; supply at least a full "
+            f"frame or pass n_frames explicitly"
+        )
+    return n_frames
+
+
 def run_program(
     program: EncodedProgram,
     inputs: dict[str, list[int]],
@@ -357,15 +383,19 @@ def run_program(
 ) -> dict[str, list[int]]:
     """Convenience wrapper: fresh simulator, run, return output streams.
 
-    ``n_frames`` counts *start signals*; a block-repeat program consumes
-    ``repeat_count`` samples per stream per frame, so the default frame
-    count divides the shortest stream by the block size.
+    ``n_frames`` counts *start signals*; the default comes from
+    :func:`default_frame_count`.  This is the scalar oracle path — the
+    batch engines live in :mod:`repro.sim.batch` and are asserted
+    bit-identical to it.
     """
     if n_frames is None:
-        if not inputs:
-            raise SimulationError("n_frames is required without inputs")
-        shortest = min(len(stream) for stream in inputs.values())
-        n_frames = shortest // program.repeat_count
-    simulator = CoreSimulator(program)
-    simulator.load_inputs(inputs)
-    return simulator.run_frames(n_frames)
+        n_frames = default_frame_count(program, inputs)
+    obs = current_telemetry()
+    with obs.span("simulate", engine="scalar", lanes=1, n_frames=n_frames):
+        simulator = CoreSimulator(program)
+        simulator.load_inputs(inputs)
+        outputs = simulator.run_frames(n_frames)
+        obs.count("sim.cycles", simulator.cycle)
+        obs.count("sim.frames", simulator.frame)
+        obs.count("sim.batch_width", 1)
+    return outputs

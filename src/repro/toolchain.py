@@ -286,20 +286,31 @@ class Toolchain:
     def run(
         self,
         application: Dfg | str,
-        inputs: dict[str, list[int]],
+        inputs: dict[str, list[int]] | list[dict[str, list[int]]],
         n_frames: int | None = None,
         *,
         io_binding: dict[str, str] | None = None,
         merges: MergeSpec | None = None,
-    ) -> dict[str, list[int]]:
-        """Compile and execute on the cycle-accurate core simulator."""
+        engine: str = "auto",
+    ) -> dict[str, list[int]] | list[dict[str, list[int]]]:
+        """Compile and execute on the cycle-accurate core simulator.
+
+        ``inputs`` is either one stream dict (returns one output dict)
+        or a *batch* — a list of stream dicts, one per stimulus lane —
+        in which case the decoded/numpy batch engines step every lane
+        through one compiled binary and a list of output dicts comes
+        back, in lane order.  ``engine`` picks the execution tier (see
+        :func:`repro.sim.batch.resolve_engine`); the simulator emits
+        the ``simulate`` span itself, tagged with the engine it chose.
+        """
         obs = self._obs()
         with use_telemetry(obs), \
                 obs.span("run", core=self.core.name):
             compiled = self.compile(application, io_binding=io_binding,
                                     merges=merges)
-            with obs.span("simulate"):
-                return compiled.run(inputs, n_frames)
+            if isinstance(inputs, dict):
+                return compiled.run(inputs, n_frames, engine=engine)
+            return compiled.run_batch(inputs, n_frames, engine=engine)
 
     def explore(
         self,

@@ -1,0 +1,433 @@
+"""Batch simulator tests: decode plans, engine parity, stacking.
+
+The scalar :class:`repro.sim.CoreSimulator` is the oracle; every other
+engine (the decoded single-lane interpreter and the numpy batch
+engine) must be bit-identical to it on every program the toolchain can
+produce.  The suite covers:
+
+* differential parity over compiled applications (fixed seeds plus a
+  Hypothesis-driven random-stimulus property),
+* the controller edge cases batches make interesting — nested
+  hardware loops, flag-driven CJMP *divergence* across lanes,
+  pipelined-OPU in-flight results,
+* candidate stacking (``run_programs`` executing several compiled
+  variants as lanes of one batch),
+* engine resolution (``auto``, ``REPRO_SIM_ENGINE``, the scalar
+  fallback for undecodable programs),
+* the short-stimulus guard and the ``sim.*`` telemetry counters.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import CompileOptions, Q15, Telemetry, Toolchain, use_telemetry
+from repro.apps import fir_application, lms_application
+from repro.arch import ControllerSpec, CoreSpec, CtrlOp, tiny_datapath
+from repro.encode import CTRL_OPCODES
+from repro.encode.assembler import EncodedProgram
+from repro.errors import SimulationError
+from repro.sim import (
+    ENGINES,
+    NUMPY_AVAILABLE,
+    CoreSimulator,
+    DecodedSimulator,
+    PlanError,
+    decode_program,
+    resolve_engine,
+    run_batch,
+    run_program,
+    run_programs,
+)
+from repro.sim import batch as batch_module
+
+from test_pipelined_opu import FIR3, pipelined_core
+from test_sim_controller import ProgramBuilder, make_core, mux_index
+
+BATCH_ENGINES = ["decoded"] + (["numpy"] if NUMPY_AVAILABLE else [])
+
+OPTIONS = CompileOptions(disk_cache=False)
+
+
+def random_streams(ports, n_samples, seed):
+    rng = random.Random(seed)
+    return {
+        port: [rng.randint(Q15.min_value, Q15.max_value)
+               for _ in range(n_samples)]
+        for port in ports
+    }
+
+
+def scalar_oracle(program, lanes, n_frames=None):
+    return [run_program(program, dict(streams), n_frames)
+            for streams in lanes]
+
+
+@pytest.fixture(scope="module")
+def fir_program():
+    toolchain = Toolchain("fir", OPTIONS)
+    return toolchain.compile(fir_application([0.25, 0.5, -0.125, 0.3])).binary
+
+
+@pytest.fixture(scope="module")
+def lms_program():
+    toolchain = Toolchain("adaptive", OPTIONS)
+    return toolchain.compile(lms_application(n_taps=3)).binary
+
+
+class TestDecodePlan:
+    def test_plan_covers_every_word(self, fir_program):
+        plan = decode_program(fir_program)
+        assert plan.n_words == len(fir_program.words)
+
+    def test_structure_key_is_stable(self, fir_program):
+        a = decode_program(fir_program).structure_key()
+        b = decode_program(fir_program).structure_key()
+        assert a == b
+
+    def test_decoded_simulator_matches_scalar(self, fir_program):
+        streams = random_streams(["x"], 12, seed=7)
+        simulator = DecodedSimulator(decode_program(fir_program))
+        simulator.load_inputs(dict(streams))
+        assert simulator.run_frames(12) == run_program(
+            fir_program, dict(streams), 12)
+
+
+class TestDifferentialApps:
+    """Compiled applications: every engine equals the scalar oracle."""
+
+    @pytest.mark.parametrize("engine", BATCH_ENGINES)
+    def test_fir_batch_parity(self, fir_program, engine):
+        lanes = [random_streams(["x"], 10, seed=s) for s in range(9)]
+        assert run_batch(fir_program, lanes, engine=engine) == \
+            scalar_oracle(fir_program, lanes)
+
+    @pytest.mark.parametrize("engine", BATCH_ENGINES)
+    def test_lms_batch_parity(self, lms_program, engine):
+        ports = sorted(set(lms_program.input_map.values()))
+        lanes = [random_streams(ports, 8, seed=40 + s) for s in range(8)]
+        assert run_batch(lms_program, lanes, engine=engine) == \
+            scalar_oracle(lms_program, lanes)
+
+    @pytest.mark.parametrize("engine", BATCH_ENGINES)
+    def test_ragged_stream_lengths_group_by_frames(self, fir_program,
+                                                   engine):
+        # Lanes with different stream lengths derive different frame
+        # counts; the batch path must split them without reordering.
+        lanes = [random_streams(["x"], n, seed=n) for n in (4, 9, 4, 6)]
+        assert run_batch(fir_program, lanes, engine=engine) == \
+            scalar_oracle(fir_program, lanes)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seeds=st.lists(st.integers(min_value=0, max_value=2 ** 16),
+                          min_size=1, max_size=12),
+           n_samples=st.integers(min_value=1, max_value=16))
+    def test_property_random_stimulus_bit_identical(self, fir_program,
+                                                    seeds, n_samples):
+        lanes = [random_streams(["x"], n_samples, seed=s) for s in seeds]
+        expected = scalar_oracle(fir_program, lanes)
+        for engine in BATCH_ENGINES:
+            assert run_batch(fir_program, lanes, engine=engine) == expected
+
+
+def build_divergent_program():
+    """A hand-assembled conditional: lanes take the CJMP (flag 0 set by
+    a negative input) or fall through, writing 222 or 111."""
+    core = make_core(n_flags=2, conditionals=True)
+    pb = ProgramBuilder(core)
+    read = {
+        "ipb.op": pb.opcodes["ipb"]["read"],
+        "rf_alu_p0.wr_en": 1,
+        "rf_alu_p0.wr_addr": 0,
+        "rf_alu_p0.mux": mux_index(core, "rf_alu_p0", "bus_ipb"),
+    }
+    pb.word(**read)                                        # w0: p0[0] <- x
+    pb.alu("add", a=0, b=0)                                # w1: flags <- x
+    pb.word(ctrl=CtrlOp.CJMP, arg=7, flag=0)               # w2: if neg
+    pb.const_p1(111, 1)                                    # w3
+    pb.alu("add", a=1, b=1, dest=("rf_opb", 0))            # w4 (p0[1]=0)
+    pb.word(**{"opb.op": pb.opcodes["opb"]["write"],
+               "opb.p0.addr": 0})                          # w5: y <- 111
+    pb.word(ctrl=CtrlOp.JUMP, arg=10)                      # w6
+    pb.const_p1(222, 1)                                    # w7
+    pb.alu("add", a=1, b=1, dest=("rf_opb", 0))            # w8
+    pb.word(**{"opb.op": pb.opcodes["opb"]["write"],
+               "opb.p0.addr": 0})                          # w9: y <- 222
+    pb.word(ctrl=CtrlOp.HALT)                              # w10
+    program = pb.build()
+    return EncodedProgram(
+        core=program.core, format=program.format, words=program.words,
+        n_body=program.n_body, body_offset=0, rom_words=(),
+        acu_moduli={}, input_map={("ipb", 0): "x"},
+        output_map={("opb", 5): "y", ("opb", 9): "y"},
+        initial_registers={}, mode="once")
+
+
+class TestControlFlowEdges:
+    @pytest.mark.parametrize("engine", BATCH_ENGINES)
+    def test_cjmp_lane_divergence(self, engine):
+        program = build_divergent_program()
+        lanes = [{"x": [value]} for value in
+                 (5, -3, 0, -1, 100, -100, 7, -7, 1, -1, 0)]
+        outputs = run_batch(program, lanes, n_frames=0, engine=engine)
+        assert outputs == scalar_oracle(program, lanes, n_frames=0)
+        got = [out["y"][0] for out in outputs]
+        assert got == [111 if x >= 0 else 222
+                       for x in (5, -3, 0, -1, 100, -100, 7, -7, 1, -1, 0)]
+
+    @pytest.mark.parametrize("engine", BATCH_ENGINES)
+    def test_nested_loops_fill_the_stack(self, engine):
+        core = make_core(stack_depth=4)
+        pb = ProgramBuilder(core)
+        pb.const_p1(1, 0)
+        for count in (2, 3, 2, 2):                         # 24 iterations
+            pb.word(ctrl=CtrlOp.LOOP, arg=count)
+        pb.alu("add", a=0, b=0, dest=("rf_alu_p0", 0))
+        for _ in range(4):
+            pb.word(ctrl=CtrlOp.ENDL)
+        pb.word(ctrl=CtrlOp.HALT)
+        program = pb.build()
+        oracle = CoreSimulator(program)
+        oracle.run_frames(0, max_cycles=500)
+        assert oracle.registers["rf_alu_p0"][0] == 24
+        plan = decode_program(program)
+        if engine == "decoded":
+            simulator = DecodedSimulator(plan)
+            simulator.run_frames(0, max_cycles=500)
+            assert simulator.registers["rf_alu_p0"][0] == 24
+            assert simulator.cycle == oracle.cycle
+        else:
+            simulator = batch_module.BatchSimulator(plan, 6)
+            simulator.load_inputs([{} for _ in range(6)])
+            simulator.run_frames(0, max_cycles=500)
+            assert list(simulator.registers["rf_alu_p0"][:, 0]) == [24] * 6
+            assert simulator.lane_cycles == 6 * oracle.cycle
+
+    @pytest.mark.parametrize("engine", BATCH_ENGINES)
+    def test_pipelined_opu_latency(self, engine):
+        toolchain = Toolchain(pipelined_core(mult_latency=2), OPTIONS)
+        program = toolchain.compile(FIR3).binary
+        lanes = [random_streams(["x"], 8, seed=s) for s in range(8)]
+        assert run_batch(program, lanes, engine=engine) == \
+            scalar_oracle(program, lanes)
+
+
+class TestShortStreams:
+    def test_run_program_rejects_short_stream(self, fir_program):
+        with pytest.raises(SimulationError, match="'x'"):
+            run_program(fir_program, {"x": []})
+
+    def test_error_names_the_short_stream(self, lms_program):
+        ports = sorted(set(lms_program.input_map.values()))
+        streams = {port: [1, 2, 3] for port in ports}
+        streams[ports[-1]] = []
+        with pytest.raises(SimulationError, match=repr(ports[-1])):
+            run_program(lms_program, streams)
+
+    def test_run_batch_rejects_short_stream(self, fir_program):
+        for engine in BATCH_ENGINES:
+            with pytest.raises(SimulationError, match="'x'"):
+                run_batch(fir_program, [{"x": [1]}, {"x": []}],
+                          engine=engine)
+
+    def test_explicit_n_frames_still_allowed(self, fir_program):
+        # An explicit frame count bypasses the stream-derived default
+        # (the simulator then raises only if it actually runs dry).
+        outputs = run_program(fir_program, {"x": [100, 200]}, n_frames=2)
+        assert len(outputs["y"]) == 2
+
+
+class TestEngineResolution:
+    def test_known_engines(self):
+        assert set(ENGINES) == {"auto", "scalar", "decoded", "numpy"}
+        assert resolve_engine("scalar", 256) == "scalar"
+        assert resolve_engine("decoded", 256) == "decoded"
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(SimulationError, match="unknown simulation"):
+            resolve_engine("jit", 1)
+
+    def test_auto_small_batches_stay_pure_python(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SIM_ENGINE", raising=False)
+        assert resolve_engine("auto", 1) == "decoded"
+
+    @pytest.mark.skipif(not NUMPY_AVAILABLE, reason="numpy not installed")
+    def test_auto_wide_batches_pick_numpy(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SIM_ENGINE", raising=False)
+        assert resolve_engine("auto", batch_module.NUMPY_MIN_LANES) == "numpy"
+
+    def test_env_var_forces_engine(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_ENGINE", "decoded")
+        assert resolve_engine("auto", 512) == "decoded"
+        monkeypatch.setenv("REPRO_SIM_ENGINE", "bogus")
+        with pytest.raises(SimulationError, match="REPRO_SIM_ENGINE"):
+            resolve_engine("auto", 512)
+
+    def test_env_var_does_not_override_explicit(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_ENGINE", "scalar")
+        assert resolve_engine("decoded", 512) == "decoded"
+
+    def test_numpy_without_numpy_is_an_error(self, monkeypatch):
+        monkeypatch.setattr(batch_module, "NUMPY_AVAILABLE", False)
+        with pytest.raises(SimulationError, match="numpy is not installed"):
+            resolve_engine("numpy", 16)
+
+    def test_auto_without_numpy_degrades(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SIM_ENGINE", raising=False)
+        monkeypatch.setattr(batch_module, "NUMPY_AVAILABLE", False)
+        assert resolve_engine("auto", 512) == "decoded"
+
+    def test_undecodable_program_falls_back_to_scalar(self, fir_program,
+                                                      monkeypatch):
+        def refuse(program):
+            raise PlanError("not decodable")
+
+        monkeypatch.setattr(batch_module, "decode_program", refuse)
+        streams = random_streams(["x"], 6, seed=3)
+        expected = run_program(fir_program, dict(streams))
+        obs = Telemetry()
+        with use_telemetry(obs):
+            assert run_batch(fir_program, [streams]) == [expected]
+        (span,) = obs.spans("simulate")
+        assert span.tags["engine"] == "scalar"
+        assert span.tags["fallback"] == "plan"
+        with pytest.raises(PlanError):
+            run_batch(fir_program, [streams], engine="decoded")
+
+
+class TestRunPrograms:
+    COEFFS = [[0.3, -0.45, 0.21], [0.11, 0.27, -0.33], [0.6, -0.15, 0.09]]
+
+    @pytest.fixture(scope="class")
+    def variants(self):
+        options = CompileOptions(disk_cache=False, opt=0)
+        return [Toolchain("fir", options).compile(fir_application(c)).binary
+                for c in self.COEFFS]
+
+    def test_variants_share_a_control_path(self, variants):
+        keys = {decode_program(b).structure_key() for b in variants}
+        assert len(keys) == 1
+
+    @pytest.mark.skipif(not NUMPY_AVAILABLE, reason="numpy not installed")
+    def test_stacked_outputs_match_oracle(self, variants):
+        streams = random_streams(["x"], 10, seed=11)
+        stacked = run_programs(variants, streams, engine="numpy")
+        oracle = [run_program(b, dict(streams)) for b in variants]
+        assert stacked == oracle
+        assert len({tuple(out["y"]) for out in stacked}) == len(variants)
+
+    def test_per_program_inputs(self, variants):
+        lanes = [random_streams(["x"], 8, seed=70 + s)
+                 for s in range(len(variants))]
+        expected = [run_program(b, dict(streams))
+                    for b, streams in zip(variants, lanes)]
+        for engine in BATCH_ENGINES:
+            assert run_programs(variants, lanes, engine=engine) == expected
+
+    def test_mixed_structures_keep_program_order(self, variants,
+                                                 lms_program):
+        programs = [variants[0], lms_program, variants[1]]
+        lms_ports = sorted(set(lms_program.input_map.values()))
+        lanes = [random_streams(["x"], 8, seed=1),
+                 random_streams(lms_ports, 8, seed=2),
+                 random_streams(["x"], 8, seed=3)]
+        expected = [run_program(b, dict(streams))
+                    for b, streams in zip(programs, lanes)]
+        for engine in BATCH_ENGINES:
+            assert run_programs(programs, lanes, engine=engine) == expected
+
+    def test_empty_and_mismatched_inputs(self, variants):
+        assert run_programs([], {}) == []
+        with pytest.raises(SimulationError, match="stimulus dicts"):
+            run_programs(variants, [{"x": [1]}])
+
+
+class TestTelemetry:
+    def test_scalar_run_counts_and_span(self, fir_program):
+        obs = Telemetry()
+        streams = random_streams(["x"], 6, seed=5)
+        with use_telemetry(obs):
+            run_program(fir_program, streams)
+        expected_frames = 6 // fir_program.repeat_count
+        (span,) = obs.spans("simulate")
+        assert span.tags["engine"] == "scalar"
+        assert span.tags["n_frames"] == expected_frames
+        assert obs.counters["sim.frames"] == expected_frames
+        assert obs.counters["sim.batch_width"] == 1
+        assert obs.counters["sim.cycles"] > 0
+
+    @pytest.mark.parametrize("engine", BATCH_ENGINES)
+    def test_batch_run_counts_every_lane(self, fir_program, engine):
+        obs = Telemetry()
+        lanes = [random_streams(["x"], 4, seed=s) for s in range(3)]
+        with use_telemetry(obs):
+            run_batch(fir_program, lanes, engine=engine)
+        (span,) = obs.spans("simulate")
+        assert span.tags["engine"] == engine
+        assert span.tags["lanes"] == 3
+        assert obs.counters["sim.frames"] == 3 * (4 // fir_program.repeat_count)
+        assert obs.counters["sim.batch_width"] == 3
+        assert obs.counters["sim.cycles"] > 0
+
+    def test_counters_are_documented(self):
+        from repro.obs import COUNTERS
+        for name in ("sim.cycles", "sim.frames", "sim.batch_width"):
+            assert name in COUNTERS
+
+
+class TestSimulatePoints:
+    def test_exploration_candidates_run_real_stimulus(self):
+        from repro import simulate_points
+        from repro.arch import Allocation, explore
+
+        dfg = fir_application([0.5, 0.25, 0.125])
+        points = explore([dfg], [Allocation(n_mult=1),
+                                 Allocation(n_mult=2)])
+        stimuli = random_streams(["x"], 8, seed=31)
+        sims = simulate_points(dfg, points, stimuli)
+        assert len(sims) == len(points)
+        streams = []
+        for sim in sims:
+            if sim.point.feasible:
+                assert sim.ok
+                assert len(sim.outputs) == 1
+                streams.append(sim.outputs[0])
+            else:
+                assert not sim.ok and sim.failure
+        # The same application on different feasible cores computes the
+        # same streams — that is what makes candidates comparable.
+        assert streams and all(out == streams[0] for out in streams)
+
+    def test_per_lane_stimuli(self):
+        from repro import simulate_points
+        from repro.arch import Allocation, explore
+
+        dfg = fir_application([0.5, 0.25, 0.125])
+        points = explore([dfg], [Allocation()])
+        lanes = [random_streams(["x"], 6, seed=s) for s in (1, 2)]
+        (sim,) = simulate_points(dfg, points, lanes)
+        assert sim.ok and len(sim.outputs) == 2
+        assert sim.outputs[0] != sim.outputs[1]
+
+
+class TestToolchainIntegration:
+    def test_toolchain_run_accepts_engine(self):
+        toolchain = Toolchain("fir", OPTIONS)
+        app = fir_application([0.25, 0.5, 0.25])
+        streams = random_streams(["x"], 6, seed=9)
+        expected = toolchain.run(app, dict(streams), engine="scalar")
+        for engine in BATCH_ENGINES:
+            assert toolchain.run(app, dict(streams), engine=engine) == \
+                expected
+
+    def test_toolchain_run_batch_of_stimuli(self):
+        toolchain = Toolchain("fir", OPTIONS)
+        app = fir_application([0.25, 0.5, 0.25])
+        lanes = [random_streams(["x"], 6, seed=20 + s) for s in range(4)]
+        outputs = toolchain.run(app, [dict(l) for l in lanes])
+        program = toolchain.compile(app).binary
+        assert outputs == scalar_oracle(program, lanes)
