@@ -55,6 +55,17 @@ from .arch import (
 )
 from .errors import OptionsError, ReproError
 from .fixed import Q15, FixedFormat
+from .gen import (
+    CorpusReport,
+    FuzzConfig,
+    FuzzReport,
+    GenSpec,
+    fuzz,
+    generate_corpus,
+    generate_dfg,
+    run_corpus,
+    shrink_dfg,
+)
 from .lang import DfgBuilder, parse_source, run_reference
 from .obs import (
     Telemetry,
@@ -79,7 +90,7 @@ from .pipeline import (
 from .sim import run_batch, run_program, run_programs
 from .toolchain import Toolchain
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "Allocation",
@@ -91,10 +102,14 @@ __all__ = [
     "CompileState",
     "CompiledProgram",
     "CoreSpec",
+    "CorpusReport",
     "DfgBuilder",
     "DiskCache",
     "ExploreCache",
     "FixedFormat",
+    "FuzzConfig",
+    "FuzzReport",
+    "GenSpec",
     "OptReport",
     "OptionsError",
     "PassManager",
@@ -112,6 +127,9 @@ __all__ = [
     "explore",
     "explore_refined",
     "fir_core",
+    "fuzz",
+    "generate_corpus",
+    "generate_dfg",
     "get_core",
     "intermediate_architecture",
     "list_cores",
@@ -122,10 +140,12 @@ __all__ = [
     "register_core",
     "resolve_core",
     "run_batch",
+    "run_corpus",
     "run_program",
     "run_programs",
     "run_reference",
     "set_telemetry",
+    "shrink_dfg",
     "simulate_points",
     "tiny_core",
     "use_telemetry",

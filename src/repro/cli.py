@@ -9,6 +9,8 @@ without writing code.
     python -m repro explore app1.dsp app2.dsp --mults 1-2 --alus 1,2 --jobs 4
     python -m repro explore app1.dsp app2.dsp --rf-sizes 8-16 --merges none,alu-operands --refine
     python -m repro run app.dsp --core fir --input x=0.5,-0.25,0.125
+    python -m repro fuzz --core fir --time 120 --report fuzz_report.json
+    python -m repro corpus --count 200 --out BENCH_corpus.json
     python -m repro inspect-core --core audio
     python -m repro run-image program.json --input x=100,200
     python -m repro profile --app audio -n 5 --out BENCH_compile_profile.json
@@ -83,8 +85,25 @@ from .report import (
     summary_report,
     timeline,
 )
-from .sim import ENGINES, run_batch, run_program
+from .sim import ENGINES, batch as _batch, run_batch, run_program
 from .toolchain import Toolchain
+
+
+def engine_argument(value: str) -> str:
+    """``--engine`` argparse type: make "numpy without numpy" a usage
+    error (exit 2, with the fix named) instead of a late failure.
+
+    ``auto`` stays permissive — it silently falls back to the decoded
+    engine when numpy is absent, which is the whole point of ``auto``.
+    The availability flag is read through the module at call time so
+    tests can monkeypatch :data:`repro.sim.batch.NUMPY_AVAILABLE`.
+    """
+    if value == "numpy" and not _batch.NUMPY_AVAILABLE:
+        raise argparse.ArgumentTypeError(
+            "engine 'numpy' requires numpy, which is not installed "
+            "(pip install repro[batch]); use --engine decoded, or "
+            "--engine auto to fall back automatically")
+    return value
 
 
 def parse_stream(spec: str, fmt: FixedFormat) -> tuple[str, list[int]]:
@@ -459,6 +478,161 @@ def cmd_run_image(args: argparse.Namespace) -> int:
     return 0
 
 
+def parse_levels(spec: str) -> tuple[int, ...]:
+    """``0,1,2`` → ordered unique optimizer levels."""
+    levels: list[int] = []
+    for token in spec.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        try:
+            level = int(token)
+        except ValueError:
+            raise ReproError(
+                f"bad --levels {spec!r}: expected integers like 0,1,2"
+            ) from None
+        if level not in (0, 1, 2):
+            raise ReproError(
+                f"bad --levels {spec!r}: optimizer levels are 0, 1 or 2")
+        if level not in levels:
+            levels.append(level)
+    if not levels:
+        raise ReproError(f"bad --levels {spec!r}: no levels named")
+    return tuple(levels)
+
+
+def parse_engines(spec: str) -> tuple[str, ...]:
+    """``scalar,decoded,numpy`` → ordered unique differential engines."""
+    from .gen import available_engines
+
+    known = ("scalar", "decoded", "numpy")
+    engines: list[str] = []
+    for token in spec.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        if token not in known:
+            raise ReproError(
+                f"bad --engines {spec!r}: unknown engine {token!r} "
+                f"(known: {', '.join(known)}; 'auto' is not a "
+                f"differential engine)")
+        if token == "numpy" and "numpy" not in available_engines():
+            raise ReproError(
+                "engine 'numpy' requires numpy, which is not installed "
+                "(pip install repro[batch]); drop it from --engines")
+        if token not in engines:
+            engines.append(token)
+    if not engines:
+        raise ReproError(f"bad --engines {spec!r}: no engines named")
+    return tuple(engines)
+
+
+def _gen_spec_from_args(args: argparse.Namespace):
+    """The generator shape knobs ``fuzz``/``corpus`` expose."""
+    from .gen import GenSpec
+
+    fields = {}
+    if args.max_ops is not None:
+        fields["max_ops"] = args.max_ops
+    if getattr(args, "min_ops", None) is not None:
+        fields["min_ops"] = args.min_ops
+    return GenSpec(**fields)
+
+
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    from .gen import FuzzConfig, fuzz
+
+    obs = command_telemetry(args)
+    count = args.count
+    if count is None and args.time is None:
+        count = 100
+    config = FuzzConfig(
+        core=args.core,
+        seed=args.seed,
+        count=count,
+        time_budget=args.time,
+        levels=parse_levels(args.levels),
+        engines=parse_engines(args.engines) if args.engines else None,
+        n_frames=args.frames,
+        n_lanes=args.lanes,
+        shrink=not args.no_shrink,
+        spec=_gen_spec_from_args(args),
+        inject=args.inject,
+    )
+    progress = None
+    if args.progress:
+        def progress(record: dict) -> None:
+            print(f"  [{record['done']}] seed={record['seed']} "
+                  f"{record['status']}", file=sys.stderr)
+    with use_telemetry(obs):
+        report = fuzz(config, progress=progress)
+    emit_telemetry(args, obs)
+    if args.report:
+        Path(args.report).write_text(
+            json.dumps(report.to_dict(), indent=2) + "\n")
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(f"fuzz: core={report.core} seed={report.seed} "
+              f"levels={','.join(str(l) for l in report.levels)} "
+              f"engines={','.join(report.engines)}")
+        print(f"{report.n_cases} cases in {report.seconds:.2f}s: "
+              f"{report.n_ok} ok, {report.n_infeasible} infeasible, "
+              f"{len(report.failures)} failures")
+        for failure in report.failures:
+            print(f"\nFAILURE seed={failure.seed} [{failure.status}] "
+                  f"{failure.detail}")
+            if failure.shrunk_source is not None:
+                print(f"shrunk {failure.n_nodes} -> {failure.shrunk_nodes} "
+                      f"nodes:")
+                print(failure.shrunk_source.rstrip())
+            print(f"replay: repro fuzz --core {report.core} "
+                  f"--seed {failure.seed} --count 1")
+        if args.report:
+            print(f"\nfuzz report written to {args.report}")
+    return 0 if report.ok else 1
+
+
+def cmd_corpus(args: argparse.Namespace) -> int:
+    from .gen import run_corpus
+
+    report = run_corpus(
+        args.count,
+        seed=args.seed,
+        core=args.core,
+        spec=_gen_spec_from_args(args),
+        levels=parse_levels(args.levels),
+        engines=parse_engines(args.engines) if args.engines else None,
+        n_frames=args.frames,
+        n_lanes=args.lanes,
+    )
+    if args.out:
+        report.write(args.out)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(f"corpus: core={report.core} seed={report.seed} "
+              f"count={report.count} ({report.attempts} seeds drawn)")
+        for level, stats in sorted(report.compile_stats.items()):
+            rate = stats["apps_per_second"]
+            print(f"  compile -O{level}: {stats['seconds']:.3f}s "
+                  f"({rate:.0f} apps/s, {stats['cycles_total']} cycles total)"
+                  if rate is not None else
+                  f"  compile -O{level}: {stats['seconds']:.3f}s")
+        for engine, stats in report.sim_stats.items():
+            rate = stats["lane_frames_per_second"]
+            print(f"  sim {engine}: {stats['seconds']:.3f}s "
+                  f"({rate:.0f} lane-frames/s)"
+                  if rate is not None else
+                  f"  sim {engine}: {stats['seconds']:.3f}s")
+        print(f"  mismatches: {report.mismatches}")
+        for line in report.failures:
+            print(f"  failure: {line}")
+        if args.out:
+            print(f"corpus report written to {args.out}")
+    return 0 if report.ok else 1
+
+
 #: Cores the built-in ``repro profile`` applications naturally target.
 PROFILE_APPS = {"audio": "audio", "fir": "fir", "stress": "audio"}
 
@@ -604,6 +778,7 @@ def build_parser() -> argparse.ArgumentParser:
     r.add_argument("--floats", action="store_true",
                    help="also print outputs as real numbers")
     r.add_argument("--engine", default="auto", choices=ENGINES,
+                   type=engine_argument,
                    help="simulator engine: the scalar oracle, the "
                         "decoded single-lane interpreter, the numpy "
                         "batch engine, or auto (default)")
@@ -632,12 +807,87 @@ def build_parser() -> argparse.ArgumentParser:
                         "(e.g. BENCH_compile_profile.json)")
     p.set_defaults(handler=cmd_profile)
 
+    f = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing: random seeded applications through "
+             "every -O level and simulator engine against the reference "
+             "interpreter",
+    )
+    f.add_argument("--core", default="fir",
+                   help="target core (default fir)")
+    f.add_argument("--seed", type=int, default=0,
+                   help="base case seed (default 0); failures report the "
+                        "exact case seed to replay with --count 1")
+    f.add_argument("--count", type=int, default=None,
+                   help="number of cases (default 100 when no --time)")
+    f.add_argument("--time", type=float, default=None, metavar="SECONDS",
+                   help="wall-clock budget; stops after the case that "
+                        "crosses it (combines with --count)")
+    f.add_argument("--levels", default="0,1,2", metavar="LEVELS",
+                   help="optimizer levels to cross (default 0,1,2)")
+    f.add_argument("--engines", default=None, metavar="ENGINES",
+                   help="engines to compare, e.g. scalar,decoded,numpy "
+                        "(default: every engine available)")
+    f.add_argument("--frames", type=int, default=6,
+                   help="stimulus frames per lane (default 6)")
+    f.add_argument("--lanes", type=int, default=3,
+                   help="stimulus lanes per case (default 3)")
+    f.add_argument("--min-ops", type=int, default=None,
+                   help="smallest generated op count")
+    f.add_argument("--max-ops", type=int, default=None,
+                   help="largest generated op count")
+    f.add_argument("--no-shrink", action="store_true",
+                   help="report failures unminimized")
+    f.add_argument("--inject", default=None, metavar="OP",
+                   help="plant an artificial decoded-engine defect on "
+                        "graphs containing OP (harness self-test)")
+    f.add_argument("--report", default=None, metavar="FILE",
+                   help="write the JSON crash report to FILE")
+    f.add_argument("--json", action="store_true",
+                   help="machine-readable output")
+    f.add_argument("--progress", action="store_true",
+                   help="print one line per case to stderr")
+    add_telemetry_flags(f)
+    f.set_defaults(handler=cmd_fuzz)
+
+    g = sub.add_parser(
+        "corpus",
+        help="materialize a pinned random corpus, batch-compile it at "
+             "every -O level and measure differential simulation "
+             "throughput",
+    )
+    g.add_argument("--core", default="fir",
+                   help="target core (default fir)")
+    g.add_argument("--seed", type=int, default=0,
+                   help="corpus base seed (default 0)")
+    g.add_argument("--count", type=int, default=200,
+                   help="corpus size (default 200)")
+    g.add_argument("--levels", default="0,1,2", metavar="LEVELS",
+                   help="optimizer levels (default 0,1,2)")
+    g.add_argument("--engines", default=None, metavar="ENGINES",
+                   help="engines to time (default: every engine available)")
+    g.add_argument("--frames", type=int, default=8,
+                   help="stimulus frames per lane (default 8)")
+    g.add_argument("--lanes", type=int, default=4,
+                   help="stimulus lanes per application (default 4)")
+    g.add_argument("--min-ops", type=int, default=None,
+                   help="smallest generated op count")
+    g.add_argument("--max-ops", type=int, default=None,
+                   help="largest generated op count")
+    g.add_argument("--out", default=None, metavar="FILE",
+                   help="write the throughput report JSON "
+                        "(e.g. BENCH_corpus.json)")
+    g.add_argument("--json", action="store_true",
+                   help="machine-readable output")
+    g.set_defaults(handler=cmd_corpus)
+
     i = sub.add_parser("run-image", help="simulate a saved microcode image")
     i.add_argument("image")
     i.add_argument("--input", action="append", default=[],
                    metavar="PORT=V1,V2,...")
     i.add_argument("--frames", type=int, default=None)
     i.add_argument("--engine", default="auto", choices=ENGINES,
+                   type=engine_argument,
                    help="simulator engine (default auto)")
     i.set_defaults(handler=cmd_run_image)
 

@@ -150,5 +150,19 @@ _OPERATIONS = {
     "pass_clip": _dispatch_pass_clip,
 }
 
+
+def has_semantics(operation: str) -> bool:
+    """Whether :meth:`FixedFormat.apply` can interpret ``operation``.
+
+    True for the shared semantics table plus the ``asr<k>`` opcode
+    family.  The random-DFG generator (:mod:`repro.gen`) uses this to
+    restrict its draws from a core's OPU library to operations the
+    golden reference can execute — custom ASU operations without
+    fixed-point semantics cannot be differentially checked.
+    """
+    return operation in _OPERATIONS or (
+        operation.startswith("asr") and operation[3:].isdigit()
+    )
+
 #: The default format of the library cores.
 Q15 = FixedFormat(width=16, frac_bits=15)

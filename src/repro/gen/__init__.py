@@ -1,0 +1,61 @@
+"""``repro.gen`` — seeded random-DFG corpora and differential fuzzing.
+
+Four pieces, layered:
+
+* :mod:`repro.gen.generator` — :class:`GenSpec` + :func:`generate_dfg`
+  turn a seed into a well-formed time-loop application whose operations
+  come from a target core's OPU library; :func:`generate_corpus` pins
+  whole compile-filtered corpora to a single seed.
+* :mod:`repro.gen.fuzz` — :func:`fuzz` runs each generated case through
+  every ``-O`` level and every simulator engine, bit-compared against
+  the reference interpreter; findings carry a replay seed.
+* :mod:`repro.gen.shrink` — :func:`shrink_dfg` greedily minimizes a
+  failing graph while the caller's predicate keeps reproducing.
+* :mod:`repro.gen.corpus` — :func:`run_corpus` measures corpus-scale
+  compile and simulation throughput into ``BENCH_corpus.json``.
+
+CLI: ``repro fuzz`` and ``repro corpus``; strategy notes in
+``docs/testing.md``.
+"""
+
+from .corpus import CORPUS_REPORT_VERSION, CorpusReport, run_corpus
+from .fuzz import (
+    CaseResult,
+    FuzzConfig,
+    FuzzFailure,
+    FuzzReport,
+    available_engines,
+    fuzz,
+    random_stimulus,
+    run_case,
+)
+from .generator import (
+    GeneratedApp,
+    GenSpec,
+    case_seed,
+    generate_corpus,
+    generate_dfg,
+    op_vocabulary,
+)
+from .shrink import shrink_dfg
+
+__all__ = [
+    "CORPUS_REPORT_VERSION",
+    "CaseResult",
+    "CorpusReport",
+    "FuzzConfig",
+    "FuzzFailure",
+    "FuzzReport",
+    "GenSpec",
+    "GeneratedApp",
+    "available_engines",
+    "case_seed",
+    "fuzz",
+    "generate_corpus",
+    "generate_dfg",
+    "op_vocabulary",
+    "random_stimulus",
+    "run_case",
+    "run_corpus",
+    "shrink_dfg",
+]

@@ -1,0 +1,178 @@
+"""Corpus-scale benchmarking: hundreds of generated apps, one report.
+
+``repro corpus`` materializes a pinned, compile-filtered corpus
+(:func:`repro.gen.generator.generate_corpus`), batch-compiles it at
+every requested optimizer level through one
+:class:`~repro.toolchain.Toolchain` session, then runs every binary
+over a random stimulus batch on every available engine — differentially
+checked against the reference interpreter while the clock runs.  The
+result (:class:`CorpusReport`, serialized to ``BENCH_corpus.json``) is
+the corpus-scale companion to ``BENCH_sim.json``: compile throughput in
+applications/second per level, simulation throughput in lane-frames/
+second per engine, and a mismatch count that CI requires to be zero.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..arch.library import CoreSpec
+from ..arch.registry import resolve_core
+from ..errors import ReproError
+from ..fixed import FixedFormat
+from ..lang.reference import run_reference
+from ..pipeline.session import StageCache
+from .fuzz import available_engines, random_stimulus
+from .generator import GenSpec, GeneratedApp, generate_corpus
+
+#: Report schema version (bump when the JSON shape changes).
+CORPUS_REPORT_VERSION = 1
+
+
+@dataclass
+class CorpusReport:
+    """Throughput and correctness figures over one pinned corpus."""
+
+    core: str
+    seed: int
+    count: int
+    levels: tuple[int, ...]
+    engines: tuple[str, ...]
+    spec: GenSpec
+    n_frames: int
+    n_lanes: int
+    #: Seeds drawn to find ``count`` compilable graphs.
+    attempts: int = 0
+    #: level -> {"seconds", "apps_per_second", "cycles_total"}
+    compile_stats: dict[int, dict] = field(default_factory=dict)
+    #: engine -> {"seconds", "lane_frames", "lane_frames_per_second"}
+    sim_stats: dict[str, dict] = field(default_factory=dict)
+    mismatches: int = 0
+    failures: list[str] = field(default_factory=list)
+    seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.mismatches == 0 and not self.failures
+
+    def to_dict(self) -> dict:
+        return {
+            "version": CORPUS_REPORT_VERSION,
+            "core": self.core,
+            "seed": self.seed,
+            "count": self.count,
+            "levels": list(self.levels),
+            "engines": list(self.engines),
+            "spec": self.spec.to_dict(),
+            "n_frames": self.n_frames,
+            "n_lanes": self.n_lanes,
+            "attempts": self.attempts,
+            "compile": {f"O{level}": stats
+                        for level, stats in self.compile_stats.items()},
+            "sim": dict(self.sim_stats),
+            "mismatches": self.mismatches,
+            "failures": list(self.failures),
+            "seconds": round(self.seconds, 3),
+        }
+
+    def write(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+        return path
+
+
+def run_corpus(
+    count: int,
+    seed: int = 0,
+    core: CoreSpec | str = "fir",
+    spec: GenSpec | None = None,
+    levels: tuple[int, ...] = (0, 1, 2),
+    engines: tuple[str, ...] | None = None,
+    n_frames: int = 8,
+    n_lanes: int = 4,
+) -> CorpusReport:
+    """Materialize, batch-compile and differentially simulate a corpus.
+
+    Every stage is deterministic in ``(spec, seed, core, levels)``
+    except the wall-clock figures.  Raises only on corpus-generation
+    exhaustion; per-application compile or simulation failures land in
+    ``report.failures`` and mismatches in ``report.mismatches``.
+    """
+    from ..sim.batch import run_batch
+    from ..toolchain import Toolchain
+
+    resolved = resolve_core(core)
+    spec = spec if spec is not None else GenSpec()
+    engines = tuple(engines) if engines is not None else available_engines()
+    report = CorpusReport(core=resolved.name, seed=seed, count=count,
+                          levels=tuple(levels), engines=engines, spec=spec,
+                          n_frames=n_frames, n_lanes=n_lanes)
+    started = time.perf_counter()
+
+    corpus: list[GeneratedApp] = generate_corpus(
+        spec, count, seed=seed, core=resolved, levels=tuple(levels))
+    report.attempts = corpus[-1].seed - seed + 1 if corpus else 0
+    dfgs = [app.dfg for app in corpus]
+    names = [f"gen_{app.seed}" for app in corpus]
+
+    # Compile throughput: one cached batch session per level (the
+    # filtering pass above already proved feasibility, so failures here
+    # are findings, not noise).
+    binaries: list = []
+    for level in levels:
+        toolchain = Toolchain(resolved, cache=StageCache(), opt=level)
+        result = toolchain.compile_many(dfgs, names=names)
+        level_binaries = []
+        for app, entry in zip(corpus, result.entries):
+            if entry.state is None:
+                report.failures.append(
+                    f"seed={app.seed} -O{level}: {entry.error}")
+            else:
+                level_binaries.append((app, entry.state.artifacts["binary"]))
+        report.compile_stats[level] = {
+            "seconds": round(result.seconds, 4),
+            "apps_per_second": round(len(dfgs) / result.seconds, 2)
+            if result.seconds else None,
+            "cycles_total": sum(app.cycles.get(level, 0) for app in corpus),
+        }
+        if level == levels[-1]:
+            binaries = level_binaries
+
+    # Simulation throughput + differential check, per engine.
+    fmt = FixedFormat(resolved.data_width, resolved.frac_bits)
+    cases = []
+    for app, binary in binaries:
+        stimulus = random_stimulus(app.dfg, n_lanes, n_frames, app.seed, fmt)
+        expected = [run_reference(app.dfg, lane, n_frames, fmt=fmt)
+                    for lane in stimulus]
+        cases.append((app, binary, stimulus, expected))
+    for engine in engines:
+        engine_start = time.perf_counter()
+        lane_frames = 0
+        for app, binary, stimulus, expected in cases:
+            try:
+                actual = run_batch(binary, stimulus, n_frames, engine=engine)
+            except ReproError as exc:
+                report.failures.append(
+                    f"seed={app.seed} engine={engine}: "
+                    f"{type(exc).__name__}: {exc}")
+                continue
+            lane_frames += n_lanes * n_frames
+            if actual != expected:
+                report.mismatches += 1
+                report.failures.append(
+                    f"seed={app.seed} engine={engine}: outputs differ "
+                    f"from reference")
+        elapsed = time.perf_counter() - engine_start
+        report.sim_stats[engine] = {
+            "seconds": round(elapsed, 4),
+            "lane_frames": lane_frames,
+            "lane_frames_per_second": round(lane_frames / elapsed, 1)
+            if elapsed else None,
+        }
+
+    report.seconds = time.perf_counter() - started
+    return report

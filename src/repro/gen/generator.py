@@ -1,0 +1,297 @@
+"""Seeded random-DFG generation: the corpus behind the scaling claims.
+
+The paper's pitch is that *one* toolchain compiles arbitrary DSP
+dataflow graphs onto in-house cores — but a test suite of five
+hand-built applications only ever exercises five shapes.  This module
+turns a seed into an endless, reproducible stream of well-formed
+time-loop applications:
+
+* operations are drawn from a target core's OPU library
+  (:func:`op_vocabulary`) restricted to the ops the golden reference
+  interpreter can execute, so every generated graph has a bit-exact
+  reference interpretation via :func:`repro.lang.run_reference`;
+* a :class:`GenSpec` parameterizes size and shape — op count, input/
+  output/state counts, delay-line depth (the time-loop's feedback
+  structure), operand locality (deep chains vs wide fan-out) and
+  constant density (how often operands are quantised coefficients);
+* generation is a pure function of ``(spec, seed)``: the same pair
+  always yields the same graph, which is what makes fuzz failures
+  replayable from a seed alone.
+
+:func:`generate_corpus` materializes N applications, optionally
+*compile-filtered* against a core (graphs a small core cannot route are
+resampled deterministically), giving the pinned corpora the property
+suite and the ``repro corpus`` benchmark run on.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+
+from ..arch.library import CoreSpec
+from ..arch.opu import OpuKind
+from ..arch.registry import resolve_core
+from ..errors import ReproError
+from ..fixed import has_semantics
+from ..lang.builder import DfgBuilder
+from ..lang.dfg import Dfg
+
+#: OPU kinds whose operations are dataflow computations an application
+#: can name (memory, address, IO and constant units are infrastructure
+#: the compiler inserts on its own).
+_COMPUTE_KINDS = (OpuKind.ALU, OpuKind.MULT, OpuKind.ASU)
+
+
+def op_vocabulary(core: CoreSpec | str) -> tuple[tuple[str, int], ...]:
+    """The ``(operation, arity)`` draws a core offers the generator.
+
+    Walks the core's OPU library and keeps every compute operation the
+    reference interpreter has fixed-point semantics for
+    (:func:`repro.fixed.has_semantics`).  Sorted and deduplicated, so
+    the vocabulary — and with it every generated graph — is a
+    deterministic function of the core.
+    """
+    spec = resolve_core(core)
+    vocabulary: dict[str, int] = {}
+    for opu in spec.datapath.opus.values():
+        if opu.kind not in _COMPUTE_KINDS:
+            continue
+        for operation in opu.operations.values():
+            if has_semantics(operation.name):
+                vocabulary.setdefault(operation.name, operation.arity)
+    if not vocabulary:
+        raise ReproError(
+            f"core {spec.name!r} offers no operations with reference "
+            f"semantics; nothing to generate")
+    return tuple(sorted(vocabulary.items()))
+
+
+@dataclass(frozen=True)
+class GenSpec:
+    """Size/shape knobs of the random-DFG generator.
+
+    All fields have corpus-friendly defaults: graphs small enough that
+    the library cores route most of them, varied enough to exercise
+    every node kind.  ``ops`` pins an explicit vocabulary; ``None``
+    derives it from the target core at generation time.
+    """
+
+    min_ops: int = 3
+    max_ops: int = 14
+    max_inputs: int = 2
+    max_outputs: int = 2
+    max_states: int = 2
+    #: Deepest history window a state may declare (``s@k``, k <= this).
+    max_delay: int = 3
+    #: Probability an operand position draws a quantised coefficient
+    #: (PARAM node) instead of an already-computed value.
+    constant_density: float = 0.3
+    #: Probability an operand comes from the most recent values
+    #: (``operand_window``) — high bias makes deep chains, low bias
+    #: wide fan-out over the whole value set.
+    depth_bias: float = 0.6
+    operand_window: int = 3
+    #: Probability an op slot reads a delay line instead, when states
+    #: exist (the time-loop's cross-iteration feedback structure).
+    delay_density: float = 0.2
+    #: Probability a ``mult`` forces one coefficient operand — the
+    #: library cores feed the coefficient port from the constant/ROM
+    #: path only, so value*value products rarely route.
+    mult_coefficient_bias: float = 0.85
+    #: Explicit ``((name, arity), ...)`` vocabulary; ``None`` derives
+    #: it from the core via :func:`op_vocabulary`.
+    ops: tuple[tuple[str, int], ...] | None = None
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.min_ops <= self.max_ops:
+            raise ReproError(
+                f"GenSpec: need 1 <= min_ops <= max_ops, got "
+                f"[{self.min_ops}, {self.max_ops}]")
+        if self.max_inputs < 1:
+            raise ReproError("GenSpec: max_inputs must be >= 1")
+        if self.max_outputs < 1:
+            raise ReproError("GenSpec: max_outputs must be >= 1")
+        if self.max_states < 0:
+            raise ReproError("GenSpec: max_states must be >= 0")
+        if self.max_delay < 1:
+            raise ReproError("GenSpec: max_delay must be >= 1")
+        for name, probability in (
+                ("constant_density", self.constant_density),
+                ("depth_bias", self.depth_bias),
+                ("delay_density", self.delay_density),
+                ("mult_coefficient_bias", self.mult_coefficient_bias)):
+            if not 0.0 <= probability <= 1.0:
+                raise ReproError(
+                    f"GenSpec: {name} must be in [0, 1], got {probability}")
+        if self.operand_window < 1:
+            raise ReproError("GenSpec: operand_window must be >= 1")
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (embedded in crash reports and bench JSON)."""
+        payload = {
+            "min_ops": self.min_ops, "max_ops": self.max_ops,
+            "max_inputs": self.max_inputs, "max_outputs": self.max_outputs,
+            "max_states": self.max_states, "max_delay": self.max_delay,
+            "constant_density": self.constant_density,
+            "depth_bias": self.depth_bias,
+            "operand_window": self.operand_window,
+            "delay_density": self.delay_density,
+            "mult_coefficient_bias": self.mult_coefficient_bias,
+        }
+        if self.ops is not None:
+            payload["ops"] = [list(pair) for pair in self.ops]
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "GenSpec":
+        ops = payload.get("ops")
+        fields = dict(payload)
+        if ops is not None:
+            fields["ops"] = tuple((name, arity) for name, arity in ops)
+        return cls(**fields)
+
+
+def generate_dfg(
+    spec: GenSpec,
+    seed: int,
+    core: CoreSpec | str | None = None,
+    name: str | None = None,
+) -> Dfg:
+    """One well-formed random application: a pure function of its
+    arguments.
+
+    ``core`` supplies the op vocabulary when ``spec.ops`` is ``None``
+    (default: the ``"fir"`` library core).  The graph always validates
+    and always has a reference interpretation; whether a given core can
+    *route* it is exactly what the differential harness explores.
+    """
+    rng = random.Random(seed)
+    vocabulary = spec.ops if spec.ops is not None else op_vocabulary(
+        core if core is not None else "fir")
+    b = DfgBuilder(name or f"gen_{seed}")
+
+    values = [b.input(f"i{k}")
+              for k in range(rng.randint(1, spec.max_inputs))]
+    states = []
+    for index in range(rng.randint(0, spec.max_states)):
+        depth = rng.randint(1, spec.max_delay)
+        states.append((b.state(f"s{index}", depth), depth))
+
+    def pick_value():
+        if rng.random() < spec.depth_bias:
+            window = values[-spec.operand_window:]
+            return rng.choice(window)
+        return rng.choice(values)
+
+    n_params = 0
+
+    def pick_coefficient():
+        nonlocal n_params
+        coefficient = b.param(f"c{n_params}",
+                              round(rng.uniform(-0.95, 0.95), 6))
+        n_params += 1
+        return coefficient
+
+    for _ in range(rng.randint(spec.min_ops, spec.max_ops)):
+        if states and rng.random() < spec.delay_density:
+            state, depth = rng.choice(states)
+            values.append(b.delay(state, rng.randint(1, depth)))
+            continue
+        operation, arity = rng.choice(vocabulary)
+        # At most one coefficient per operation, and only on a port the
+        # library cores feed from the constant path: the multiplier's
+        # coefficient port, or the second ALU operand.  Unary ops never
+        # draw coefficients (``pass(c)`` routes on no library core).
+        operands = []
+        has_coefficient = False
+        for position in range(arity):
+            draw_coefficient = False
+            if not has_coefficient:
+                if operation == "mult" and position == 0:
+                    draw_coefficient = (
+                        rng.random() < spec.mult_coefficient_bias)
+                elif arity >= 2 and position == arity - 1:
+                    draw_coefficient = rng.random() < spec.constant_density
+            if draw_coefficient:
+                operands.append(pick_coefficient())
+                has_coefficient = True
+            else:
+                operands.append(pick_value())
+        values.append(b.op(operation, *operands))
+
+    for state, _ in states:
+        b.write(state, pick_value())
+    b.output("o0", values[-1])
+    for index in range(1, rng.randint(1, spec.max_outputs)):
+        b.output(f"o{index}", pick_value())
+    return b.build()
+
+
+@dataclass
+class GeneratedApp:
+    """One corpus member: the graph plus the seed that replays it."""
+
+    seed: int
+    dfg: Dfg
+    #: Schedule lengths per opt level when the corpus was
+    #: compile-filtered (level -> cycles); empty otherwise.
+    cycles: dict[int, int] = field(default_factory=dict)
+
+
+def case_seed(base_seed: int, index: int) -> int:
+    """The per-case seed ``index`` steps after ``base_seed``.
+
+    Deliberately just ``base_seed + index``: a failure at case seed
+    ``S`` is replayed by ``--seed S --count 1``, no arithmetic needed.
+    """
+    return base_seed + index
+
+
+def generate_corpus(
+    spec: GenSpec,
+    count: int,
+    seed: int = 0,
+    core: CoreSpec | str | None = None,
+    levels: tuple[int, ...] | None = None,
+    max_attempts: int | None = None,
+) -> list[GeneratedApp]:
+    """Materialize ``count`` applications from consecutive case seeds.
+
+    With ``levels`` given, each candidate is compiled against ``core``
+    at every level and kept only if all compiles succeed (schedule
+    lengths are recorded on the :class:`GeneratedApp`); rejected seeds
+    are skipped deterministically, so a pinned ``(spec, seed, core,
+    levels)`` tuple always names the same corpus.  ``max_attempts``
+    bounds the search (default ``50 * count``).
+    """
+    from ..toolchain import Toolchain
+
+    if count < 1:
+        raise ReproError(f"corpus count must be >= 1, got {count}")
+    resolved = resolve_core(core if core is not None else "fir")
+    if spec.ops is None:
+        spec = replace(spec, ops=op_vocabulary(resolved))
+    toolchains = {
+        level: Toolchain(resolved, cache=None, opt=level)
+        for level in (levels or ())
+    }
+    budget = max_attempts if max_attempts is not None else 50 * count
+    corpus: list[GeneratedApp] = []
+    for attempt in range(budget):
+        if len(corpus) >= count:
+            break
+        app_seed = case_seed(seed, attempt)
+        dfg = generate_dfg(spec, app_seed)
+        app = GeneratedApp(seed=app_seed, dfg=dfg)
+        try:
+            for level, toolchain in toolchains.items():
+                app.cycles[level] = toolchain.compile(dfg).n_cycles
+        except ReproError:
+            continue
+        corpus.append(app)
+    if len(corpus) < count:
+        raise ReproError(
+            f"generated only {len(corpus)}/{count} compilable applications "
+            f"in {budget} attempts; relax the GenSpec or raise max_attempts")
+    return corpus

@@ -1,8 +1,18 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite.
+
+The plain-function stimulus helper lives in ``stream_helpers.py`` (see
+its docstring for why it is not defined here); the fixtures below wrap
+it for test bodies that prefer injection.
+"""
 
 from __future__ import annotations
 
+import random
+
 import pytest
+
+from repro.arch import register_core, unregister_core
+from stream_helpers import random_streams
 
 
 @pytest.fixture(autouse=True)
@@ -14,3 +24,40 @@ def hermetic_disk_cache(tmp_path, monkeypatch):
     bugs) nor litter it.
     """
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))
+
+
+@pytest.fixture
+def rng():
+    """A deterministically seeded PRNG, fresh per test."""
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture
+def make_streams():
+    """Factory fixture over :func:`random_streams` for test bodies."""
+    return random_streams
+
+
+@pytest.fixture
+def registered_core():
+    """Factory registering cores for one test, unregistered afterwards.
+
+    ::
+
+        def test_x(registered_core):
+            registered_core("my-core", tiny_core)
+            Toolchain("my-core", cache=None).compile(src)
+    """
+    registered: list[str] = []
+
+    def register(name, factory, replace=False):
+        register_core(name, factory, replace=replace)
+        registered.append(name)
+        return name
+
+    yield register
+    for name in reversed(registered):
+        try:
+            unregister_core(name)
+        except Exception:
+            pass

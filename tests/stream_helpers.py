@@ -1,0 +1,29 @@
+"""Shared stimulus helper for the test suite.
+
+``random_streams`` lives in its own module (imported as
+``from stream_helpers import random_streams``) rather than in
+``conftest.py`` because ``conftest`` is not an importable name when the
+full repo is collected — ``benchmarks/conftest.py`` claims the module
+name first.  ``tests/conftest.py`` wraps it in fixtures for test bodies
+that prefer injection.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.fixed import Q15
+
+
+def random_streams(ports, n=8, seed=0, fmt=Q15):
+    """Full-range random stimulus for a Dfg or an iterable of ports.
+
+    The single source of the stimulus idiom every differential test
+    uses: seeded, so each call site names its determinism explicitly.
+    """
+    names = ports.inputs if hasattr(ports, "inputs") else ports
+    rng = random.Random(seed)
+    return {
+        port: [rng.randint(fmt.min_value, fmt.max_value) for _ in range(n)]
+        for port in names
+    }

@@ -1,0 +1,176 @@
+"""Error-path audit for :func:`repro.arch.simulate_points`.
+
+The happy path is covered by the explore tests; this module pins the
+contract on the ways a candidate can fail: infeasible exploration
+points (carried failures), per-point compile errors, and mid-batch
+simulation errors that must degrade to a one-at-a-time fallback rather
+than sink the whole sweep.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from stream_helpers import random_streams
+from repro import CompileOptions, run_reference, simulate_points
+import importlib
+
+from repro.arch import Allocation, ExplorationPoint, explore
+
+# The package re-exports the explore *function* under the same name as
+# its defining module; reach the module itself for monkeypatching.
+explore_module = importlib.import_module("repro.arch.explore")
+from repro.errors import ReproError
+from repro.lang import parse_source
+from repro.sim import PlanError
+from repro.sim import batch as batch_module
+
+GAIN = """
+app gain;
+param g = 0.5;
+input i; output o;
+loop { o = mlt(g, i); }
+"""
+
+OPTIONS = CompileOptions(disk_cache=False)
+
+
+@pytest.fixture(scope="module")
+def gain_dfg():
+    return parse_source(GAIN)
+
+
+@pytest.fixture(scope="module")
+def gain_points(gain_dfg):
+    points = explore([gain_dfg], [Allocation(), Allocation(n_alu=2)],
+                     options=OPTIONS)
+    assert all(point.feasible for point in points)
+    return points
+
+
+def lanes_for(dfg, n_lanes=3, n_frames=5):
+    return [random_streams(dfg, n=n_frames, seed=70 + lane)
+            for lane in range(n_lanes)]
+
+
+class TestHappyPaths:
+    def test_list_stimuli_match_reference(self, gain_dfg, gain_points):
+        lanes = lanes_for(gain_dfg)
+        results = simulate_points(gain_dfg, gain_points, lanes,
+                                  options=OPTIONS, n_frames=5)
+        assert [r.ok for r in results] == [True, True]
+        expected = [run_reference(gain_dfg, lane, 5) for lane in lanes]
+        for result in results:
+            assert result.outputs == expected
+
+    def test_dict_stimulus_equals_single_lane_list(self, gain_dfg,
+                                                   gain_points):
+        shared = random_streams(gain_dfg, n=5, seed=3)
+        via_dict = simulate_points(gain_dfg, gain_points, shared,
+                                   options=OPTIONS, n_frames=5)
+        via_list = simulate_points(gain_dfg, gain_points, [shared],
+                                   options=OPTIONS, n_frames=5)
+        assert [r.outputs for r in via_dict] == [r.outputs for r in via_list]
+
+
+class TestInfeasiblePoints:
+    def test_carried_failures_short_circuit(self, gain_dfg, gain_points):
+        bad = ExplorationPoint(
+            allocation=Allocation(), schedule_lengths={}, n_opus=0,
+            failures={"gain": "rf_alu_p0 overflows", "other": "no route"})
+        results = simulate_points(gain_dfg, [bad],
+                                  lanes_for(gain_dfg), options=OPTIONS)
+        assert len(results) == 1
+        assert not results[0].ok
+        assert results[0].outputs == []
+        # Deterministic, sorted, app-labelled summary of every failure.
+        assert results[0].failure == \
+            "gain: rf_alu_p0 overflows; other: no route"
+
+    def test_mixed_feasible_and_infeasible_keep_order(self, gain_dfg,
+                                                      gain_points):
+        bad = ExplorationPoint(
+            allocation=Allocation(), schedule_lengths={}, n_opus=0,
+            failures={"gain": "infeasible"})
+        results = simulate_points(
+            gain_dfg, [gain_points[0], bad, gain_points[1]],
+            lanes_for(gain_dfg), options=OPTIONS, n_frames=5)
+        assert [r.ok for r in results] == [True, False, True]
+        assert results[0].outputs == results[2].outputs
+
+
+class TestCompileFailures:
+    def test_one_bad_candidate_does_not_sink_the_rest(
+            self, gain_dfg, gain_points, monkeypatch):
+        real = explore_module.intermediate_architecture
+        poison = gain_points[1].allocation
+
+        def flaky(dfgs, allocation=None, **kwargs):
+            if allocation == poison:
+                raise ReproError("synthetic core-synthesis failure")
+            return real(dfgs, allocation, **kwargs)
+
+        monkeypatch.setattr(explore_module,
+                            "intermediate_architecture", flaky)
+        results = simulate_points(gain_dfg, gain_points,
+                                  lanes_for(gain_dfg), options=OPTIONS,
+                                  n_frames=5)
+        assert results[0].ok
+        assert not results[1].ok
+        assert "synthetic core-synthesis failure" in results[1].failure
+        assert results[1].outputs == []
+
+
+class TestSimulationFallback:
+    def test_plan_error_falls_back_per_candidate(self, gain_dfg,
+                                                 gain_points, monkeypatch):
+        # run_programs (the stacked dict-stimulus path) dies wholesale;
+        # the fallback must still produce every candidate's outputs via
+        # run_batch one at a time.
+        def explode(*args, **kwargs):
+            raise PlanError("no shared structure")
+
+        monkeypatch.setattr(batch_module, "run_programs", explode)
+        shared = random_streams(gain_dfg, n=5, seed=9)
+        results = simulate_points(gain_dfg, gain_points, shared,
+                                  options=OPTIONS, n_frames=5)
+        expected = [run_reference(gain_dfg, shared, 5)]
+        assert [r.ok for r in results] == [True, True]
+        for result in results:
+            assert result.outputs == expected
+
+    def test_mid_batch_error_retries_each_candidate(self, gain_dfg,
+                                                    gain_points,
+                                                    monkeypatch):
+        real = batch_module.run_batch
+        calls = {"n": 0}
+
+        def flaky(*args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise ReproError("transient mid-batch failure")
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(batch_module, "run_batch", flaky)
+        lanes = lanes_for(gain_dfg)
+        results = simulate_points(gain_dfg, gain_points, lanes,
+                                  options=OPTIONS, n_frames=5)
+        expected = [run_reference(gain_dfg, lane, 5) for lane in lanes]
+        assert [r.ok for r in results] == [True, True]
+        for result in results:
+            assert result.outputs == expected
+        assert calls["n"] >= 3  # failed once, then per-candidate retries
+
+    def test_persistent_error_is_recorded_not_raised(self, gain_dfg,
+                                                     gain_points,
+                                                     monkeypatch):
+        def always(*args, **kwargs):
+            raise ReproError("engine is on fire")
+
+        monkeypatch.setattr(batch_module, "run_batch", always)
+        results = simulate_points(gain_dfg, gain_points,
+                                  lanes_for(gain_dfg), options=OPTIONS,
+                                  n_frames=5)
+        assert [r.ok for r in results] == [False, False]
+        for result in results:
+            assert "engine is on fire" in result.failure

@@ -595,3 +595,121 @@ class TestSingleFlagDeclaration:
             sub = actions[command]
             assert sub.get_default("opt") == defaults.opt, command
             assert sub.get_default("budget") == defaults.budget, command
+
+
+class TestEngineFlagAvailability:
+    """--engine numpy without numpy is a *usage* error (exit 2, with the
+    remedy named); --engine auto must silently fall back instead."""
+
+    def test_numpy_absent_is_a_usage_error(self, source_file, capsys,
+                                           monkeypatch):
+        from repro.sim import batch as batch_module
+
+        monkeypatch.setattr(batch_module, "NUMPY_AVAILABLE", False)
+        with pytest.raises(SystemExit) as info:
+            main(["run", source_file, "--core", "fir",
+                  "--input", "i=1,2,3", "--engine", "numpy"])
+        assert info.value.code == 2
+        err = capsys.readouterr().err
+        assert "numpy" in err
+        assert "pip install repro[batch]" in err
+        assert "--engine auto" in err
+        assert "Traceback" not in err
+
+    def test_run_image_shares_the_guard(self, source_file, tmp_path,
+                                        capsys, monkeypatch):
+        from repro.sim import batch as batch_module
+
+        image = tmp_path / "gain.json"
+        assert main(["compile", source_file, "--core", "fir",
+                     "--out", str(image)]) == 0
+        capsys.readouterr()
+        monkeypatch.setattr(batch_module, "NUMPY_AVAILABLE", False)
+        with pytest.raises(SystemExit) as info:
+            main(["run-image", str(image), "--input", "i=1,2",
+                  "--engine", "numpy"])
+        assert info.value.code == 2
+
+    def test_auto_falls_back_silently(self, source_file, capsys,
+                                      monkeypatch):
+        from repro.sim import batch as batch_module
+
+        monkeypatch.setattr(batch_module, "NUMPY_AVAILABLE", False)
+        assert main(["run", source_file, "--core", "fir",
+                     "--input", "i=1,2,3", "--engine", "auto"]) == 0
+        captured = capsys.readouterr()
+        assert "o: [" in captured.out
+        assert "numpy" not in captured.err
+
+    def test_numpy_present_is_accepted(self, source_file, capsys):
+        from repro.sim import NUMPY_AVAILABLE
+
+        if not NUMPY_AVAILABLE:
+            pytest.skip("numpy not installed")
+        assert main(["run", source_file, "--core", "fir",
+                     "--input", "i=1,2,3", "--engine", "numpy"]) == 0
+
+
+class TestFuzzCommand:
+    def test_clean_campaign_exits_zero(self, capsys):
+        assert main(["fuzz", "--core", "fir", "--count", "5",
+                     "--max-ops", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "5 cases" in out
+        assert "0 failures" in out
+
+    def test_injected_failure_reports_and_exits_one(self, tmp_path, capsys):
+        report_path = tmp_path / "fuzz_report.json"
+        code = main(["fuzz", "--core", "fir", "--count", "6",
+                     "--max-ops", "8", "--inject", "mult",
+                     "--report", str(report_path)])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "FAILURE seed=" in out
+        assert "replay: repro fuzz --core fir --seed" in out
+        assert "shrunk" in out
+        payload = json.loads(report_path.read_text())
+        assert payload["n_failures"] >= 1
+        failure = payload["failures"][0]
+        assert "mult" in failure["shrunk_source"]
+        assert failure["shrunk_nodes"] <= failure["n_nodes"]
+
+    def test_json_output(self, capsys):
+        assert main(["fuzz", "--count", "4", "--max-ops", "8",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n_cases"] == 4
+        assert payload["failures"] == []
+
+    def test_time_budget(self, capsys):
+        assert main(["fuzz", "--time", "0.01", "--max-ops", "8"]) == 0
+        assert "cases in" in capsys.readouterr().out
+
+    def test_bad_levels_rejected(self, capsys):
+        assert main(["fuzz", "--count", "1", "--levels", "0,9"]) == 1
+        assert "optimizer levels" in capsys.readouterr().err
+
+    def test_bad_engines_rejected(self, capsys):
+        assert main(["fuzz", "--count", "1", "--engines", "auto"]) == 1
+        assert "not a" in capsys.readouterr().err
+
+
+class TestCorpusCommand:
+    def test_report_written_and_clean(self, tmp_path, capsys):
+        out_path = tmp_path / "BENCH_corpus.json"
+        assert main(["corpus", "--count", "5", "--core", "fir",
+                     "--frames", "4", "--lanes", "2",
+                     "--out", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "mismatches: 0" in out
+        payload = json.loads(out_path.read_text())
+        assert payload["count"] == 5
+        assert payload["mismatches"] == 0
+        assert set(payload["compile"]) == {"O0", "O1", "O2"}
+
+    def test_json_output(self, capsys):
+        assert main(["corpus", "--count", "4", "--frames", "4",
+                     "--lanes", "2", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["count"] == 4
+        assert payload["failures"] == []

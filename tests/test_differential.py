@@ -14,13 +14,25 @@ or the machine model shows up as a stream mismatch.
 
 from __future__ import annotations
 
+import functools
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro import Q15, audio_core, Toolchain, fir_core, tiny_core
-from repro.apps import adaptive_core
+from stream_helpers import random_streams
+from repro import Q15, audio_core, Toolchain, fir_core, run_batch, tiny_core
+from repro.apps import (
+    adaptive_core,
+    audio_application,
+    audio_io_binding,
+    channel_frontend_application,
+    fir_application,
+    lms_application,
+    stress_application,
+)
 from repro.errors import ReproError
+from repro.gen import available_engines
 from repro.lang import DfgBuilder, run_reference
 
 # Operation vocabulary per core: (name, arity, needs_param_port).
@@ -122,6 +134,54 @@ class TestDifferential:
     def test_adaptive_core(self, dfg):
         roundtrip(dfg, adaptive_core())
 
+#: Every built-in application, its natural core and compile kwargs.
+BUILTIN_APPS = {
+    "audio": lambda: (audio_application(), audio_core(),
+                      dict(budget=64, io_binding=audio_io_binding())),
+    "fir": lambda: (fir_application([0.25, 0.5, 0.125, -0.0625, 0.3]),
+                    fir_core(), {}),
+    "lms": lambda: (lms_application(n_taps=2), adaptive_core(), {}),
+    "channel": lambda: (channel_frontend_application(), fir_core(), {}),
+    "stress": lambda: (stress_application(3), audio_core(), {}),
+}
+
+LEVELS = (0, 1, 2)
+N_FRAMES = 8
+N_LANES = 3
+
+
+@functools.lru_cache(maxsize=None)
+def builtin_compiled(name: str, level: int):
+    """One cold compile per (application, level), shared by all engines."""
+    dfg, core, kwargs = BUILTIN_APPS[name]()
+    io_binding = kwargs.pop("io_binding", None)
+    compiled = Toolchain(core, cache=None, opt=level, **kwargs).compile(
+        dfg, io_binding=io_binding)
+    return dfg, compiled
+
+
+class TestBuiltinAppEngineMatrix:
+    """Every built-in application × every -O level × every engine.
+
+    The reference interpretation of the *source* graph is the single
+    oracle: all (level, engine) pairs must be bit-identical to it, so
+    agreement across optimizer levels and across the scalar, decoded
+    and numpy engines follows transitively.
+    """
+
+    @pytest.mark.parametrize("engine", available_engines())
+    @pytest.mark.parametrize("level", LEVELS)
+    @pytest.mark.parametrize("name", sorted(BUILTIN_APPS))
+    def test_matches_reference(self, name, level, engine):
+        dfg, compiled = builtin_compiled(name, level)
+        lanes = [random_streams(dfg, n=N_FRAMES, seed=90 + lane)
+                 for lane in range(N_LANES)]
+        expected = [run_reference(dfg, lane, N_FRAMES) for lane in lanes]
+        actual = run_batch(compiled.binary, lanes, N_FRAMES, engine=engine)
+        assert actual == expected
+
+
+class TestDifferentialProperties:
     @given(random_application(allow_states=True, allow_mult=True),
            st.integers(min_value=1, max_value=20))
     @settings(max_examples=15, deadline=None)

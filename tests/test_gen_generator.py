@@ -1,0 +1,164 @@
+"""Tests for the seeded random-DFG generator (repro.gen.generator)."""
+
+from __future__ import annotations
+
+import pytest
+
+from stream_helpers import random_streams
+from repro import Q15, run_reference, tiny_core
+from repro.errors import ReproError
+from repro.gen import (
+    GenSpec,
+    case_seed,
+    generate_corpus,
+    generate_dfg,
+    op_vocabulary,
+)
+from repro.lang.dfg import NodeKind
+from repro.lang.emit import emit_source
+from repro.lang.parser import parse_source
+
+
+class TestVocabulary:
+    def test_fir_core_offers_mult_and_sub(self):
+        names = dict(op_vocabulary("fir"))
+        assert names["mult"] == 2
+        assert names["sub"] == 2
+        assert names["pass"] == 1
+
+    def test_audio_core_lacks_sub(self):
+        names = dict(op_vocabulary("audio"))
+        assert "sub" not in names
+        assert "add_clip" in names
+
+    def test_registered_core_resolves(self, registered_core):
+        registered_core("gen-test-tiny", tiny_core)
+        assert op_vocabulary("gen-test-tiny") == op_vocabulary(tiny_core())
+
+    def test_vocabulary_is_sorted_and_deterministic(self):
+        first, second = op_vocabulary("fir"), op_vocabulary("fir")
+        assert first == second == tuple(sorted(first))
+
+
+class TestGenerateDfg:
+    def test_pure_function_of_spec_and_seed(self):
+        spec = GenSpec()
+        a = emit_source(generate_dfg(spec, 42))
+        b = emit_source(generate_dfg(spec, 42))
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        spec = GenSpec()
+        sources = {emit_source(generate_dfg(spec, seed))
+                   for seed in range(8)}
+        assert len(sources) > 1
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_always_well_formed_with_reference_semantics(self, seed):
+        spec = GenSpec()
+        dfg = generate_dfg(spec, seed)
+        dfg.validate()
+        stimulus = random_streams(dfg, n=5, seed=seed)
+        outputs = run_reference(dfg, stimulus, 5, fmt=Q15)
+        assert set(outputs) == set(dfg.outputs)
+        assert all(len(stream) == 5 for stream in outputs.values())
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_emitted_source_reparses(self, seed):
+        dfg = generate_dfg(GenSpec(), seed)
+        reparsed = parse_source(emit_source(dfg))
+        stimulus = random_streams(dfg, n=4, seed=seed)
+        assert (run_reference(dfg, stimulus, 4)
+                == run_reference(reparsed, stimulus, 4))
+
+    def test_spec_bounds_are_respected(self):
+        spec = GenSpec(min_ops=2, max_ops=4, max_inputs=1, max_outputs=1,
+                       max_states=0)
+        for seed in range(10):
+            dfg = generate_dfg(spec, seed)
+            kinds = [node.kind for node in dfg.nodes]
+            assert kinds.count(NodeKind.OP) in (2, 3, 4)
+            assert len(dfg.inputs) == 1
+            assert len(dfg.outputs) == 1
+            assert NodeKind.DELAY not in kinds
+            assert NodeKind.STATE_WRITE not in kinds
+
+    def test_zero_density_means_no_coefficients(self):
+        spec = GenSpec(constant_density=0.0, mult_coefficient_bias=0.0)
+        for seed in range(10):
+            dfg = generate_dfg(spec, seed)
+            assert not dfg.params
+
+    def test_ops_come_from_the_core_vocabulary(self):
+        allowed = {name for name, _ in op_vocabulary("audio")}
+        for seed in range(10):
+            dfg = generate_dfg(GenSpec(), seed, core="audio")
+            used = {node.name for node in dfg.nodes
+                    if node.kind is NodeKind.OP}
+            assert used <= allowed
+
+    def test_pinned_ops_override_the_core(self):
+        spec = GenSpec(ops=(("add", 2),), constant_density=0.0,
+                       mult_coefficient_bias=0.0)
+        dfg = generate_dfg(spec, 7, core="fir")
+        used = {node.name for node in dfg.nodes if node.kind is NodeKind.OP}
+        assert used == {"add"}
+
+
+class TestGenSpecValidation:
+    @pytest.mark.parametrize("fields", [
+        dict(min_ops=0),
+        dict(min_ops=5, max_ops=4),
+        dict(max_inputs=0),
+        dict(max_outputs=0),
+        dict(max_states=-1),
+        dict(max_delay=0),
+        dict(constant_density=1.5),
+        dict(depth_bias=-0.1),
+        dict(operand_window=0),
+    ])
+    def test_bad_specs_rejected(self, fields):
+        with pytest.raises(ReproError):
+            GenSpec(**fields)
+
+    def test_dict_roundtrip(self):
+        spec = GenSpec(max_ops=9, constant_density=0.5,
+                       ops=(("add", 2), ("pass", 1)))
+        assert GenSpec.from_dict(spec.to_dict()) == spec
+
+    def test_case_seed_is_plain_offset(self):
+        assert case_seed(10, 0) == 10
+        assert case_seed(10, 5) == 15
+
+
+class TestGenerateCorpus:
+    def test_pinned_corpus_is_deterministic(self):
+        spec = GenSpec()
+        first = generate_corpus(spec, 8, seed=50, core="fir", levels=(0,))
+        second = generate_corpus(spec, 8, seed=50, core="fir", levels=(0,))
+        assert [app.seed for app in first] == [app.seed for app in second]
+        assert ([emit_source(app.dfg) for app in first]
+                == [emit_source(app.dfg) for app in second])
+
+    def test_compile_filter_records_cycles(self):
+        corpus = generate_corpus(GenSpec(), 4, seed=0, core="fir",
+                                 levels=(0, 2))
+        for app in corpus:
+            assert set(app.cycles) == {0, 2}
+            assert all(cycles > 0 for cycles in app.cycles.values())
+
+    def test_seeds_are_consecutive_case_seeds_with_gaps(self):
+        corpus = generate_corpus(GenSpec(), 6, seed=30, core="fir",
+                                 levels=(0,))
+        seeds = [app.seed for app in corpus]
+        assert seeds == sorted(seeds)
+        assert all(seed >= 30 for seed in seeds)
+
+    def test_budget_exhaustion_raises(self):
+        with pytest.raises(ReproError, match="attempts"):
+            generate_corpus(GenSpec(), 5, seed=0, core="fir",
+                            levels=(0,), max_attempts=1)
+
+    def test_bad_count_rejected(self):
+        with pytest.raises(ReproError, match="count"):
+            generate_corpus(GenSpec(), 0, seed=0)

@@ -13,10 +13,9 @@ randomly generated graphs at the default ``-O1``.
 
 from __future__ import annotations
 
-import random
-
 import pytest
 
+from stream_helpers import random_streams
 from repro import Q15, Toolchain, audio_core, fir_core, run_reference
 from repro.apps import (
     adaptive_core,
@@ -70,13 +69,8 @@ def compile_at(dfg, core, opt, kwargs):
         dfg, io_binding=io_binding)
 
 
-def random_streams(dfg, seed):
-    rng = random.Random(seed)
-    return {
-        port: [rng.randint(Q15.min_value, Q15.max_value)
-               for _ in range(N_FRAMES)]
-        for port in dfg.inputs
-    }
+def stimulus_for(dfg, seed):
+    return random_streams(dfg, n=N_FRAMES, seed=seed)
 
 
 @pytest.mark.parametrize("name", APP_NAMES)
@@ -86,7 +80,7 @@ def test_o2_matches_o0_and_reference(name, seed):
     baseline = compile_at(dfg, core, 0, kwargs)
     optimized = compile_at(dfg, core, 2, kwargs)
 
-    stimulus = random_streams(dfg, seed=seed)
+    stimulus = stimulus_for(dfg, seed=seed)
     expected = run_reference(dfg, stimulus)
     assert baseline.run(stimulus) == expected
     assert optimized.run(stimulus) == expected
@@ -102,5 +96,5 @@ def test_o2_matches_o0_and_reference(name, seed):
 def test_o1_matches_reference(name):
     dfg, core, kwargs = _app_catalog()[name]
     compiled = compile_at(dfg, core, 1, kwargs)
-    stimulus = random_streams(dfg, seed=7)
+    stimulus = stimulus_for(dfg, seed=7)
     assert compiled.run(stimulus) == run_reference(dfg, stimulus)

@@ -31,15 +31,9 @@ from repro.opt import (
 )
 from repro.report import optimization_report
 
+from stream_helpers import random_streams
+
 Q8_8 = FixedFormat(width=16, frac_bits=8)
-
-
-def random_streams(dfg, n=8, seed=0):
-    rng = random.Random(seed)
-    return {
-        port: [rng.randint(Q15.min_value, Q15.max_value) for _ in range(n)]
-        for port in dfg.inputs
-    }
 
 
 def assert_same_streams(original, optimized, fmt=Q15, n=8, seed=0):

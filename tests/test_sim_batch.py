@@ -19,8 +19,6 @@ produce.  The suite covers:
 
 from __future__ import annotations
 
-import random
-
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -45,21 +43,13 @@ from repro.sim import (
 )
 from repro.sim import batch as batch_module
 
+from stream_helpers import random_streams
 from test_pipelined_opu import FIR3, pipelined_core
 from test_sim_controller import ProgramBuilder, make_core, mux_index
 
 BATCH_ENGINES = ["decoded"] + (["numpy"] if NUMPY_AVAILABLE else [])
 
 OPTIONS = CompileOptions(disk_cache=False)
-
-
-def random_streams(ports, n_samples, seed):
-    rng = random.Random(seed)
-    return {
-        port: [rng.randint(Q15.min_value, Q15.max_value)
-               for _ in range(n_samples)]
-        for port in ports
-    }
 
 
 def scalar_oracle(program, lanes, n_frames=None):
