@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro import audio_core, Toolchain
+from repro import Toolchain, audio_core
 from repro.apps import audio_application, audio_io_binding
 from repro.core import ClassTable, InstructionSet, impose_instruction_set
 from repro.rtgen import generate_rts

@@ -13,7 +13,7 @@ merged cores are cheaper silicon; the schedule must grow well past the
 
 from __future__ import annotations
 
-from repro import audio_core, Toolchain
+from repro import Toolchain, audio_core
 from repro.apps import audio_application, audio_io_binding
 from repro.arch import MergeSpec
 

@@ -10,8 +10,8 @@ carrying the result, and the destination multiplexer selection.
 
 from __future__ import annotations
 
-from repro.arch import audio_core
 from repro.apps import audio_application, audio_io_binding
+from repro.arch import audio_core
 from repro.rtgen import generate_rts
 
 

@@ -14,7 +14,6 @@ from __future__ import annotations
 from repro.core import (
     ConflictGraph,
     InstructionSet,
-    closure,
     edge_per_clique_cover,
     exact_cover,
     greedy_cover,

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro import audio_core, Toolchain
+from repro import Toolchain, audio_core
 from repro.apps import stress_application
 
 

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from conftest import FIGURE9_NAMES, FIGURE9_ORDER, FIGURE9_PAPER
 
-from repro import audio_core, Toolchain
+from repro import Toolchain, audio_core
 from repro.apps import audio_application, audio_io_binding
 from repro.core import ClassTable
 from repro.report import occupation_chart, occupation_rows

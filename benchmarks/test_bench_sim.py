@@ -23,7 +23,7 @@ from pathlib import Path
 
 import pytest
 
-from repro import CompileOptions, Q15, Telemetry, Toolchain, use_telemetry
+from repro import Q15, CompileOptions, Telemetry, Toolchain, use_telemetry
 from repro.apps import fir_application
 from repro.sim import NUMPY_AVAILABLE, run_batch
 

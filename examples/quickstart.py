@@ -21,8 +21,8 @@ Run:  python examples/quickstart.py
 """
 
 from repro import (
-    CompileOptions,
     Q15,
+    CompileOptions,
     Telemetry,
     Toolchain,
     parse_source,

@@ -30,8 +30,19 @@ Observability: hand a :class:`Telemetry` to
 :func:`use_telemetry`) and every verb records per-stage spans, cache
 and subsystem counters, and progress events — see
 ``docs/observability.md``.
+
+Static analysis: ``Toolchain(..., verify="strict")`` checks invariants
+at every stage boundary (raising :class:`VerificationError` on the
+first broken artifact), and :func:`lint_program` audits an encoded
+image without simulating it — see ``docs/analysis.md``.
 """
 
+from .analyze import (
+    Finding,
+    Severity,
+    lint_program,
+    verify_state,
+)
 from .apps import adaptive_core
 from .arch import (
     Allocation,
@@ -53,7 +64,7 @@ from .arch import (
     simulate_points,
     tiny_core,
 )
-from .errors import OptionsError, ReproError
+from .errors import OptionsError, ReproError, VerificationError
 from .fixed import Q15, FixedFormat
 from .gen import (
     CorpusReport,
@@ -90,7 +101,7 @@ from .pipeline import (
 from .sim import run_batch, run_program, run_programs
 from .toolchain import Toolchain
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "Allocation",
@@ -106,6 +117,7 @@ __all__ = [
     "DfgBuilder",
     "DiskCache",
     "ExploreCache",
+    "Finding",
     "FixedFormat",
     "FuzzConfig",
     "FuzzReport",
@@ -116,10 +128,12 @@ __all__ = [
     "Q15",
     "RefinedSweep",
     "ReproError",
+    "Severity",
     "StageCache",
     "SweepSpec",
     "Telemetry",
     "Toolchain",
+    "VerificationError",
     "adaptive_core",
     "audio_core",
     "compile_application",
@@ -132,6 +146,7 @@ __all__ = [
     "generate_dfg",
     "get_core",
     "intermediate_architecture",
+    "lint_program",
     "list_cores",
     "optimize",
     "pareto_front",
@@ -149,6 +164,7 @@ __all__ = [
     "simulate_points",
     "tiny_core",
     "use_telemetry",
+    "verify_state",
     "write_chrome_trace",
     "__version__",
 ]

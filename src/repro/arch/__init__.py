@@ -66,7 +66,7 @@ from .serialize import (
     load_core,
 )
 from .storage import RegisterFile
-from .validate import validate_datapath
+from .validate import datapath_findings, validate_datapath
 
 __all__ = [
     "ARCHITECTURE_FAILURE",
@@ -128,5 +128,6 @@ __all__ = [
     "tiny_core",
     "unregister_core",
     "tiny_datapath",
+    "datapath_findings",
     "validate_datapath",
 ]

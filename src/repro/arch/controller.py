@@ -13,7 +13,7 @@ The audio core of section 7 uses "a stripped version of the controller
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..errors import ArchitectureError
 

@@ -16,7 +16,7 @@ constant unit PRG_C).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..errors import ArchitectureError
 

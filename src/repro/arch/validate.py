@@ -4,23 +4,52 @@
 generation becomes possible.  This means that we define a set of rules
 for the datapath, the controller and the instruction set."
 
-The datapath rules encoded here are the ones the RT model relies on
-(figure 2): every RT starts with operands from register files, runs one
-operation on one OPU and ends in a destination register reached through
-a buffer, a bus and an optional multiplexer.  A datapath violating them
-cannot express its transfers as RTs, so we reject it before RT
-generation instead of failing obscurely later.
+The datapath rules are the ones the RT model relies on (figure 2):
+every RT starts with operands from register files, runs one operation
+on one OPU and ends in a destination register reached through a buffer,
+a bus and an optional multiplexer.  A datapath violating them cannot
+express its transfers as RTs, so we reject it before RT generation
+instead of failing obscurely later.
+
+The rules themselves live in :func:`repro.analyze.verify_datapath`
+and report through the shared :class:`repro.analyze.Finding` schema
+(severity, ``arch.*`` code, location) — the same schema ``repro
+check`` uses.  :func:`validate_datapath` remains as the historical
+entry point: it raises on error findings and returns the warnings as
+bare strings.  New code should prefer :func:`datapath_findings`.
 """
 
 from __future__ import annotations
 
 from ..errors import ArchitectureError
 from .datapath import Datapath
-from .opu import OpuKind
+
+
+def datapath_findings(dp: Datapath) -> list:
+    """Check the style rules, returning structured findings.
+
+    Returns
+    -------
+    list of :class:`repro.analyze.Finding`
+        Error findings mark datapaths that cannot express RTs; warning
+        findings mark dead structure (e.g. a register file nothing
+        writes).
+    """
+    # Imported lazily: repro.analyze's verifiers import the arch
+    # package, which imports this module while initializing.
+    from ..analyze.verifiers import verify_datapath
+
+    return verify_datapath(dp)
 
 
 def validate_datapath(dp: Datapath) -> list[str]:
-    """Check the style rules; raise on violation, return warnings.
+    """Legacy wrapper over :func:`datapath_findings`; raise on errors,
+    return warnings as bare strings.
+
+    Deprecated spelling (kept working, no warning emitted: core
+    construction calls it on every ``CoreSpec``): new code should use
+    :func:`datapath_findings` and get severities, codes and locations
+    instead of parsing message strings.
 
     Raises
     ------
@@ -32,59 +61,10 @@ def validate_datapath(dp: Datapath) -> list[str]:
     list of str
         Non-fatal warnings, e.g. register files nothing can write.
     """
-    errors: list[str] = []
-    warnings: list[str] = []
-
-    if not dp.opus:
-        errors.append("datapath has no OPUs")
-
-    for opu in dp.opus.values():
-        arity = max(op.arity for op in opu.operations.values())
-        for port in opu.ports[:arity]:
-            if port.register_file is None and not port.accepts_immediate:
-                errors.append(
-                    f"port {port.name} is neither fed by a register file nor "
-                    f"an immediate field (rule: all operands originate from "
-                    f"register files)"
-                )
-        if opu.produces_result and opu.bus is None:
-            errors.append(
-                f"OPU {opu.name!r} produces results but drives no bus "
-                f"(rule: results leave through a buffer onto a bus)"
-            )
-        if opu.produces_result and opu.bus is not None and not opu.bus.sinks:
-            warnings.append(
-                f"bus {opu.bus.name!r} of OPU {opu.name!r} reaches no "
-                f"register file; its results are unusable"
-            )
-        if opu.kind is OpuKind.OUTPUT and opu.bus is not None:
-            errors.append(f"output port block {opu.name!r} must not drive a bus")
-        if opu.kind is OpuKind.INPUT and any(
-            p.register_file is not None for p in opu.ports
-        ):
-            errors.append(f"input port block {opu.name!r} must not read register files")
-
-    for rf in dp.register_files.values():
-        if not rf.readers:
-            warnings.append(f"register file {rf.name!r} feeds no OPU port")
-        if not rf.writers:
-            warnings.append(f"register file {rf.name!r} is never written")
-
-    for mux in dp.muxes.values():
-        if len(mux.inputs) < 2:
-            warnings.append(
-                f"mux {mux.name!r} has {len(mux.inputs)} input(s); a mux in "
-                f"front of a single writer is redundant"
-            )
-        if len(set(b.name for b in mux.inputs)) != len(mux.inputs):
-            errors.append(f"mux {mux.name!r} has duplicate bus inputs")
-
-    for bus in dp.buses.values():
-        if bus.driver is None:
-            errors.append(f"bus {bus.name!r} has no driving OPU")
-
+    findings = datapath_findings(dp)
+    errors = [f.message for f in findings if f.is_error]
     if errors:
         raise ArchitectureError(
             "datapath style violations:\n  - " + "\n  - ".join(errors)
         )
-    return warnings
+    return [f.message for f in findings if not f.is_error]

@@ -9,6 +9,8 @@ without writing code.
     python -m repro explore app1.dsp app2.dsp --mults 1-2 --alus 1,2 --jobs 4
     python -m repro explore app1.dsp app2.dsp --rf-sizes 8-16 --merges none,alu-operands --refine
     python -m repro run app.dsp --core fir --input x=0.5,-0.25,0.125
+    python -m repro check app.dsp --core audio
+    python -m repro check --image program.json --json
     python -m repro fuzz --core fir --time 120 --report fuzz_report.json
     python -m repro corpus --count 200 --out BENCH_corpus.json
     python -m repro inspect-core --core audio
@@ -558,6 +560,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         shrink=not args.no_shrink,
         spec=_gen_spec_from_args(args),
         inject=args.inject,
+        lint=not args.no_lint,
     )
     progress = None
     if args.progress:
@@ -574,7 +577,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         print(json.dumps(report.to_dict(), indent=2))
     else:
         print(f"fuzz: core={report.core} seed={report.seed} "
-              f"levels={','.join(str(l) for l in report.levels)} "
+              f"levels={','.join(str(level) for level in report.levels)} "
               f"engines={','.join(report.engines)}")
         print(f"{report.n_cases} cases in {report.seconds:.2f}s: "
               f"{report.n_ok} ok, {report.n_infeasible} infeasible, "
@@ -667,6 +670,57 @@ def cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_check(args: argparse.Namespace) -> int:
+    from .analyze import lint_program, verify_state
+
+    if args.image is not None and args.source is not None:
+        raise ReproError("give a source file or --image, not both")
+    if args.image is None and args.source is None:
+        raise ReproError("nothing to check: give a source file or --image")
+    obs = command_telemetry(args)
+    if args.image is not None:
+        program = load_program(Path(args.image).read_text())
+        with use_telemetry(obs):
+            findings = lint_program(program)
+        subject = args.image
+    else:
+        # Compile with verification off: the point of `check` is to
+        # report every finding at once, not to stop at the first bad
+        # stage boundary the way `--verify strict` does.
+        options = CompileOptions.from_args(args)
+        if options.disk_cache:
+            toolchain = Toolchain(args.core, options, telemetry=obs)
+        else:
+            toolchain = Toolchain(args.core, options, telemetry=obs,
+                                  cache=None)
+        source = Path(args.source).read_text()
+        with use_telemetry(obs):
+            state = toolchain.run_pipeline(source)
+            findings = verify_state(state)
+        subject = args.source
+    emit_telemetry(args, obs)
+    n_errors = sum(1 for f in findings if f.is_error)
+    n_warnings = len(findings) - n_errors
+    if args.json:
+        print(json.dumps({
+            "subject": subject,
+            "ok": n_errors == 0,
+            "errors": n_errors,
+            "warnings": n_warnings,
+            "findings": [f.to_dict() for f in findings],
+        }, indent=2))
+    else:
+        for finding in findings:
+            print(finding.render())
+        tally = (f"{n_errors} error{'s' if n_errors != 1 else ''}, "
+                 f"{n_warnings} warning{'s' if n_warnings != 1 else ''}")
+        if findings:
+            print(f"check: {subject}: {tally}")
+        else:
+            print(f"check: {subject}: clean ({tally})")
+    return 1 if n_errors else 0
+
+
 def cmd_inspect_core(args: argparse.Namespace) -> int:
     core = resolve_core(args.core)
     table = ClassTable.from_core(core) if core.class_defs else ClassTable.auto(core)
@@ -705,7 +759,8 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("source")
     c.add_argument("--core", default="audio")
     CompileOptions.add_to_parser(c, include=(
-        "budget", "opt", "cover", "mode", "repeat", "stop_after", "cache"))
+        "budget", "opt", "cover", "mode", "repeat", "stop_after", "verify",
+        "cache"))
     c.add_argument("--listing", action="store_true")
     c.add_argument("--occupation", action="store_true")
     c.add_argument("--gantt", action="store_true")
@@ -839,8 +894,12 @@ def build_parser() -> argparse.ArgumentParser:
     f.add_argument("--no-shrink", action="store_true",
                    help="report failures unminimized")
     f.add_argument("--inject", default=None, metavar="OP",
-                   help="plant an artificial decoded-engine defect on "
-                        "graphs containing OP (harness self-test)")
+                   help="plant an artificial image defect on graphs "
+                        "containing OP (harness self-test; the lint "
+                        "oracle must flag it without simulating)")
+    f.add_argument("--no-lint", action="store_true",
+                   help="skip the machine-code lint oracle (differential "
+                        "simulation only)")
     f.add_argument("--report", default=None, metavar="FILE",
                    help="write the JSON crash report to FILE")
     f.add_argument("--json", action="store_true",
@@ -880,6 +939,24 @@ def build_parser() -> argparse.ArgumentParser:
     g.add_argument("--json", action="store_true",
                    help="machine-readable output")
     g.set_defaults(handler=cmd_corpus)
+
+    h = sub.add_parser(
+        "check",
+        help="static analysis: verify every pipeline artifact and lint "
+             "the encoded image, without simulating",
+    )
+    h.add_argument("source", nargs="?", default=None,
+                   help="application source file to compile and check")
+    h.add_argument("--image", default=None, metavar="FILE",
+                   help="lint a saved microcode image instead of "
+                        "compiling a source file")
+    h.add_argument("--core", default="audio")
+    CompileOptions.add_to_parser(h, include=(
+        "budget", "opt", "cover", "mode", "repeat", "cache"))
+    h.add_argument("--json", action="store_true",
+                   help="machine-readable findings")
+    add_telemetry_flags(h)
+    h.set_defaults(handler=cmd_check)
 
     i = sub.add_parser("run-image", help="simulate a saved microcode image")
     i.add_argument("image")

@@ -14,7 +14,7 @@ slots are free.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..arch.controller import CtrlOp
 from ..arch.library import CoreSpec

@@ -91,3 +91,16 @@ class EncodingError(ReproError):
 
 class SimulationError(ReproError):
     """The core simulator hit an inconsistent machine state."""
+
+
+class VerificationError(ReproError):
+    """A stage verifier found an illegal pipeline artifact.
+
+    Raised by ``Toolchain`` when compiling under ``verify=boundaries``
+    or ``verify=strict``; carries the full finding list so callers can
+    report structured diagnostics instead of parsing the message.
+    """
+
+    def __init__(self, message: str, findings=()):
+        super().__init__(message)
+        self.findings = list(findings)

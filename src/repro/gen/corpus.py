@@ -26,7 +26,7 @@ from ..fixed import FixedFormat
 from ..lang.reference import run_reference
 from ..pipeline.session import StageCache
 from .fuzz import available_engines, random_stimulus
-from .generator import GenSpec, GeneratedApp, generate_corpus
+from .generator import GeneratedApp, GenSpec, generate_corpus
 
 #: Report schema version (bump when the JSON shape changes).
 CORPUS_REPORT_VERSION = 1
@@ -93,6 +93,7 @@ def run_corpus(
     engines: tuple[str, ...] | None = None,
     n_frames: int = 8,
     n_lanes: int = 4,
+    verify: str = "off",
 ) -> CorpusReport:
     """Materialize, batch-compile and differentially simulate a corpus.
 
@@ -100,6 +101,11 @@ def run_corpus(
     except the wall-clock figures.  Raises only on corpus-generation
     exhaustion; per-application compile or simulation failures land in
     ``report.failures`` and mismatches in ``report.mismatches``.
+
+    ``verify`` is threaded into :class:`CompileOptions` — ``"strict"``
+    runs the stage verifiers and the machine-code lint on every corpus
+    compile, so a failed invariant surfaces as a compile failure line
+    instead of (at best) a downstream simulation mismatch.
     """
     from ..sim.batch import run_batch
     from ..toolchain import Toolchain
@@ -123,7 +129,8 @@ def run_corpus(
     # are findings, not noise).
     binaries: list = []
     for level in levels:
-        toolchain = Toolchain(resolved, cache=StageCache(), opt=level)
+        toolchain = Toolchain(resolved, cache=StageCache(), opt=level,
+                              verify=verify)
         result = toolchain.compile_many(dfgs, names=names)
         level_binaries = []
         for app, entry in zip(corpus, result.entries):

@@ -19,15 +19,25 @@ failure still reproduces", and every finding carries its case seed:
 ``repro fuzz --seed <case seed> --count 1`` regenerates graph,
 stimulus and mismatch exactly.
 
-``inject=`` plants an artificial defect (the decoded engine's first
-output sample is perturbed whenever the graph contains the named
-operation).  That is the harness's self-test: CI proves end-to-end
-that a real miscompile *would* be caught, shrunk and reported, without
-shipping one.
+Since PR 9 the harness also carries a third, simulation-free oracle:
+the machine-code lint of :mod:`repro.analyze.lint` runs over every
+compiled image before any engine does (``lint=True``, the default).
+A case whose image fails lint while the differential simulation stays
+clean is reported as its own crash kind, ``status="lint"`` — a
+verifier/simulator disagreement, i.e. a bug in exactly one of the two.
+
+``inject=`` plants an artificial defect whenever the graph contains
+the named operation.  That is the harness's self-test: with the lint
+oracle enabled the defect is planted in a *copy of the encoded image*
+(a destination field latching a bus on which nothing matures) and must
+be flagged by the lint pass alone, without simulation; with
+``lint=False`` it falls back to perturbing the decoded engine's first
+output sample, proving the differential path end-to-end instead.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import random
 import time
 from dataclasses import dataclass, field
@@ -77,13 +87,17 @@ class FuzzConfig:
     spec: GenSpec = field(default_factory=GenSpec)
     #: Operation name that triggers the planted self-test defect.
     inject: str | None = None
+    #: Run the machine-code lint over every compiled image
+    #: (``repro fuzz --no-lint`` disables it).
+    lint: bool = True
 
 
 @dataclass
 class CaseResult:
     """What one generated case did under the differential matrix."""
 
-    status: str                    # "ok" | "infeasible" | "mismatch" | "error"
+    #: "ok" | "infeasible" | "mismatch" | "error" | "lint"
+    status: str
     detail: str | None = None
     #: Levels that compiled (infeasible levels are normal: optimization
     #: changes register pressure, so feasibility may differ by level).
@@ -91,7 +105,7 @@ class CaseResult:
 
     @property
     def failed(self) -> bool:
-        return self.status in ("mismatch", "error")
+        return self.status in ("mismatch", "error", "lint")
 
 
 @dataclass
@@ -190,6 +204,31 @@ def _inject_defect(outputs: list[dict[str, list[int]]],
     return corrupted
 
 
+def _inject_image_defect(binary):
+    """The lint oracle's planted bug: a copy of the image whose IDLE
+    word asserts a write-enable, latching a bus on which nothing
+    matures (``mc.bus-hazard``).  The original binary is untouched, so
+    the differential simulation stays green — only the lint pass can
+    see the defect."""
+    fmt = binary.format
+    dp = binary.core.datapath
+    victim = next((rf for rf in dp.register_files.values() if rf.writers),
+                  None)
+    if victim is None:
+        return None
+    fields = fmt.decode(binary.words[0])
+    fields[f"{victim.name}.wr_en"] = 1
+    words = list(binary.words)
+    words[0] = fmt.encode(fields)
+    return dataclasses.replace(binary, words=words)
+
+
+def _lint_errors(binary) -> list:
+    from ..analyze import lint_program
+
+    return [f for f in lint_program(binary) if f.is_error]
+
+
 def run_case(
     dfg: Dfg,
     core: CoreSpec | str,
@@ -200,16 +239,19 @@ def run_case(
     n_lanes: int = 3,
     stimulus_seed: int = 0,
     inject: str | None = None,
+    lint: bool = True,
 ) -> CaseResult:
     """One application through the full differential matrix.
 
-    Compiles ``dfg`` at every level that routes onto ``core``, runs
-    each binary over the stimulus batch on every engine, and compares
-    all outputs against the reference interpretation of the source
-    graph.  Returns ``infeasible`` when no level compiles (the normal
-    fate of some random graphs on small cores), ``mismatch`` on the
-    first differential disagreement, ``error`` when a compiled binary's
-    simulation raises.
+    Compiles ``dfg`` at every level that routes onto ``core``, lints
+    each image (``lint=True``), runs each binary over the stimulus
+    batch on every engine, and compares all outputs against the
+    reference interpretation of the source graph.  Returns
+    ``infeasible`` when no level compiles (the normal fate of some
+    random graphs on small cores), ``mismatch`` on the first
+    differential disagreement, ``error`` when a compiled binary's
+    simulation raises, and ``lint`` when the static lint flags an image
+    the simulation cannot fault — a verifier/simulator disagreement.
     """
     from ..sim.batch import run_batch
     from ..toolchain import Toolchain
@@ -233,22 +275,56 @@ def run_case(
     levels_compiled = tuple(level for level, _ in compiled)
 
     planted = inject is not None and _contains_op(dfg, inject)
+
+    # The simulation-free oracle: lint every image before any engine
+    # runs.  A planted defect goes into a corrupted *copy* and must be
+    # caught right here, with no simulation at all; organic lint errors
+    # are held back and classified against the simulators below.
+    organic_lint: str | None = None
+    if lint:
+        for level, binary in compiled:
+            target = _inject_image_defect(binary) if planted else binary
+            if target is None:
+                continue
+            errors = _lint_errors(target)
+            if errors:
+                detail = (f"-O{level} lint: {errors[0].code}: "
+                          f"{errors[0].message}")
+                if planted:
+                    return CaseResult(
+                        status="lint",
+                        detail=f"{detail} (planted image defect, caught "
+                               f"without simulation)",
+                        levels_compiled=levels_compiled)
+                if organic_lint is None:
+                    organic_lint = detail
+
     for level, binary in compiled:
         for engine in engines:
             try:
                 actual = run_batch(binary, stimulus, n_frames, engine=engine)
             except ReproError as exc:
+                detail = f"-O{level} {engine}: {type(exc).__name__}: {exc}"
+                if organic_lint is not None:
+                    detail += f"; {organic_lint}"
                 return CaseResult(
-                    status="error",
-                    detail=f"-O{level} {engine}: {type(exc).__name__}: {exc}",
+                    status="error", detail=detail,
                     levels_compiled=levels_compiled)
-            if planted and engine == "decoded":
+            if planted and not lint and engine == "decoded":
                 actual = _inject_defect(actual, fmt)
             if actual != expected:
+                detail = _describe_mismatch(level, engine, expected, actual)
+                if organic_lint is not None:
+                    detail += f"; {organic_lint}"
                 return CaseResult(
-                    status="mismatch",
-                    detail=_describe_mismatch(level, engine, expected, actual),
+                    status="mismatch", detail=detail,
                     levels_compiled=levels_compiled)
+    if organic_lint is not None:
+        return CaseResult(
+            status="lint",
+            detail=f"{organic_lint} (differential simulation is clean: "
+                   f"verifier/simulator disagreement)",
+            levels_compiled=levels_compiled)
     return CaseResult(status="ok", levels_compiled=levels_compiled)
 
 
@@ -311,7 +387,7 @@ def fuzz(config: FuzzConfig, progress=None) -> FuzzReport:
         result = run_case(
             dfg, resolved, levels=config.levels, engines=engines,
             n_frames=config.n_frames, n_lanes=config.n_lanes,
-            stimulus_seed=seed, inject=config.inject)
+            stimulus_seed=seed, inject=config.inject, lint=config.lint)
         report.n_cases += 1
         obs.count("fuzz.cases")
         if result.status == "ok":
@@ -341,14 +417,14 @@ def _minimized(dfg: Dfg, seed: int, result: CaseResult, config: FuzzConfig,
         replay = run_case(
             candidate, core, levels=config.levels, engines=engines,
             n_frames=config.n_frames, n_lanes=config.n_lanes,
-            stimulus_seed=seed, inject=config.inject)
+            stimulus_seed=seed, inject=config.inject, lint=config.lint)
         return replay.status == result.status
 
     shrunk = shrink_dfg(dfg, still_fails, max_attempts=config.shrink_attempts)
     replay = run_case(
         shrunk, core, levels=config.levels, engines=engines,
         n_frames=config.n_frames, n_lanes=config.n_lanes,
-        stimulus_seed=seed, inject=config.inject)
+        stimulus_seed=seed, inject=config.inject, lint=config.lint)
     failure.shrunk_source = emit_source(shrunk)
     failure.shrunk_detail = replay.detail
     failure.shrunk_nodes = len(shrunk.nodes)

@@ -10,7 +10,7 @@ frontend's semantics.
 from __future__ import annotations
 
 from ..errors import SemanticError
-from .dfg import Dfg, Node, NodeKind
+from .dfg import Dfg, NodeKind
 
 
 def emit_source(dfg: Dfg) -> str:

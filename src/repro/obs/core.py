@@ -67,6 +67,12 @@ COUNTERS: dict[str, str] = {
                   "lane",
     "sim.batch_width": "stimulus/candidate lanes entering the simulator "
                        "(1 per scalar run)",
+    "verify.checks": "stage-boundary verifier passes run by the pipeline "
+                     "(verify=boundaries/strict)",
+    "verify.findings": "diagnostics produced by the stage verifiers and "
+                       "the machine-code lint",
+    "fuzz.cases": "generated applications exercised by the fuzz harness",
+    "fuzz.failures": "fuzz cases that mismatched, crashed or failed lint",
 }
 
 

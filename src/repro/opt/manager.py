@@ -23,7 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..errors import ReproError
-from ..fixed import FixedFormat, Q15
+from ..fixed import Q15, FixedFormat
 from ..lang.dfg import Dfg
 from .passes import (
     AlgebraicSimplifyPass,

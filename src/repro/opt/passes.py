@@ -34,7 +34,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace as _dc_replace
 
 from ..arch.opu import OpuKind
-from ..fixed import FixedFormat, Q15
+from ..fixed import Q15, FixedFormat
 from ..lang.dfg import Dfg, Node, NodeKind
 
 #: Operations whose operands the optimizer may reorder.  This is a

@@ -45,6 +45,12 @@ COVER_ALGORITHMS = ("greedy", "exact", "edge")
 #: Program execution modes the assembler can emit.
 MODES = ("loop", "once", "repeat")
 
+#: Stage-boundary verification levels (:mod:`repro.analyze`).
+#: ``off`` = trust the pipeline; ``boundaries`` = run the stage
+#: verifiers after every boundary; ``strict`` = boundaries plus the
+#: machine-code lint of the final image.
+VERIFY_LEVELS = ("off", "boundaries", "strict")
+
 #: Bump when the fingerprint's composition changes, so cache keys from
 #: older checkouts can never collide with newer ones.
 OPTIONS_FINGERPRINT_VERSION = 1
@@ -96,6 +102,9 @@ class CompileOptions:
     seed          scheduler jitter seed
     stop_after    partial compilation: stop after this stage
                   (``--stop-after``)
+    verify        stage-boundary verification: off/boundaries/strict
+                  (``--verify``; read-only checks, never enters the
+                  fingerprint)
     cache_dir     persistent stage-cache directory, ``None`` = the
                   ``$REPRO_CACHE_DIR`` / ``~/.cache/repro`` default
                   (``--cache-dir``)
@@ -112,6 +121,7 @@ class CompileOptions:
     restarts: int = 0
     seed: int = 0
     stop_after: str | None = None
+    verify: str = "off"
     cache_dir: str | None = None
     disk_cache: bool = True
 
@@ -150,6 +160,10 @@ class CompileOptions:
             raise OptionsError(
                 f"unknown stage {self.stop_after!r}: expected one of "
                 f"{', '.join(_stage_names())}")
+        if self.verify not in VERIFY_LEVELS:
+            raise OptionsError(
+                f"verify must be one of {VERIFY_LEVELS}, "
+                f"got {self.verify!r}")
 
     # ------------------------------------------------------------------
     # Value semantics
@@ -247,7 +261,8 @@ class CompileOptions:
     def add_to_parser(
         parser: argparse.ArgumentParser,
         include: Iterable[str] = ("opt", "budget", "cover", "mode",
-                                  "repeat", "stop_after", "cache"),
+                                  "repeat", "stop_after", "verify",
+                                  "cache"),
     ) -> None:
         """Install the compile-option flags on an argparse parser.
 
@@ -284,6 +299,7 @@ class CompileOptions:
             mode=getattr(args, "mode", defaults.mode),
             repeat=getattr(args, "repeat", defaults.repeat),
             stop_after=getattr(args, "stop_after", None) or None,
+            verify=getattr(args, "verify", defaults.verify),
             cache_dir=getattr(args, "cache_dir", None),
             disk_cache=not getattr(args, "no_disk_cache", True),
         )
@@ -347,6 +363,15 @@ def _add_stop_after(parser: argparse.ArgumentParser) -> None:
              "per-stage fingerprints")
 
 
+def _add_verify(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--verify", default=_DEFAULTS.verify, choices=list(VERIFY_LEVELS),
+        help="stage-boundary verification: run the repro.analyze "
+             "invariant checks after each stage (boundaries) and lint "
+             "the encoded image too (strict); see docs/analysis.md "
+             f"(default {_DEFAULTS.verify})")
+
+
 def _add_cache(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--cache-dir", default=None, metavar="DIR",
@@ -359,7 +384,7 @@ def _add_cache(parser: argparse.ArgumentParser) -> None:
 
 #: Flag group name -> installer; the order flags appear in ``--help``.
 _FLAG_GROUP_ORDER = ("budget", "opt", "cover", "mode", "repeat",
-                     "stop_after", "cache")
+                     "stop_after", "verify", "cache")
 _FLAG_GROUPS = {
     "opt": _add_opt,
     "budget": _add_budget,
@@ -367,5 +392,6 @@ _FLAG_GROUPS = {
     "mode": _add_mode,
     "repeat": _add_repeat,
     "stop_after": _add_stop_after,
+    "verify": _add_verify,
     "cache": _add_cache,
 }

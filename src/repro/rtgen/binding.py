@@ -10,9 +10,8 @@ budget is tight.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-from ..arch.datapath import Datapath
 from ..arch.library import CoreSpec
 from ..arch.opu import Opu, OpuKind
 from ..errors import BindingError

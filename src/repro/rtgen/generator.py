@@ -31,15 +31,15 @@ describes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..arch.datapath import Datapath, Route
 from ..arch.library import CoreSpec
 from ..arch.opu import Operation, Opu
 from ..errors import RoutingError
 from ..fixed import FixedFormat
-from ..obs import current_telemetry
 from ..lang.dfg import Dfg, Node, NodeKind
+from ..obs import current_telemetry
 from .binding import Binding, bind
 from .memory import MemoryLayout, RomLayout
 from .program import LoopCarry, RTProgram

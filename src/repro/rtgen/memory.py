@@ -29,7 +29,7 @@ scheduler needs no intra-iteration memory ordering edges.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..errors import RoutingError
 from ..lang.dfg import Dfg, StateSpec

@@ -35,10 +35,7 @@ from __future__ import annotations
 
 import enum
 import itertools
-from dataclasses import dataclass, field, replace
-
-from ..arch.datapath import Route
-from ..arch.opu import Operation, Opu
+from dataclasses import dataclass
 
 
 class OperandKind(enum.Enum):

@@ -22,7 +22,6 @@ from dataclasses import dataclass
 from ..errors import SchedulingError
 from ..rtgen.rt import RT
 from .dependence import DependenceGraph, compute_priorities
-from .schedule import Schedule
 
 
 @dataclass

@@ -19,7 +19,6 @@ from dataclasses import dataclass, field
 from ..errors import RegisterPressureError
 from ..obs import current_telemetry
 from ..rtgen.program import RTProgram
-from ..rtgen.rt import RT
 from .schedule import Schedule
 
 

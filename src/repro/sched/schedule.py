@@ -2,11 +2,11 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..errors import SchedulingError
 from ..rtgen.rt import RT
-from .dependence import DependenceGraph, Edge
+from .dependence import DependenceGraph
 
 
 class ReservationTable:

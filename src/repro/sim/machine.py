@@ -23,7 +23,7 @@ Machine model (figures 3 and 4)
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..arch.controller import CtrlOp
 from ..arch.opu import OpuKind

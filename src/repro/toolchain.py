@@ -185,6 +185,7 @@ class Toolchain:
                 if self.cache is None:
                     stage.execute(state)
                     state.completed.append(stage.name)
+                    self._verify_boundary(stage.name, state, obs)
                 else:
                     key = stage.key(state)
                     state.fingerprints[stage.name] = key
@@ -209,9 +210,32 @@ class Toolchain:
                             state.cache_hits[stage.name] = False
                             self.cache.put(key, state.artifacts, shared)
                     state.completed.append(stage.name)
+                    self._verify_boundary(stage.name, state, obs)
                 if stage.name == self.options.stop_after:
                     break
         return state
+
+    def _verify_boundary(self, stage_name: str, state: CompileState,
+                         obs: Telemetry) -> None:
+        """Run the stage verifier behind ``options.verify``.
+
+        Cache-restored stages are verified exactly like executed ones —
+        a poisoned cache entry is precisely the kind of corruption a
+        verifier exists to catch.  Error findings raise
+        :class:`~repro.errors.VerificationError`; warnings only count.
+        """
+        if self.options.verify == "off":
+            return
+        from .analyze import enforce, verify_stage
+
+        findings = verify_stage(stage_name, state,
+                                strict=self.options.verify == "strict")
+        if findings is None:
+            return
+        obs.count("verify.checks")
+        if findings:
+            obs.count("verify.findings", len(findings))
+        enforce(findings, f"after stage {stage_name!r}")
 
     # ------------------------------------------------------------------
     # Verbs

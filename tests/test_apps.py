@@ -3,7 +3,7 @@ exact reproduction of the figure-9 resource profile."""
 
 import pytest
 
-from repro import Q15, audio_core, Toolchain, fir_core
+from repro import Q15, Toolchain, audio_core, fir_core
 from repro.apps import (
     AudioAppSpec,
     adaptive_core,

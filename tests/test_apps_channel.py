@@ -4,7 +4,7 @@ import math
 
 import pytest
 
-from repro import Q15, audio_core, Toolchain, fir_core, run_reference
+from repro import Q15, Toolchain, audio_core, fir_core, run_reference
 from repro.apps import channel_frontend_application
 from repro.arch import Allocation, intermediate_architecture
 from repro.core import ConflictGraph, InstructionSet, compatible_pairs

@@ -9,21 +9,21 @@ than sink the whole sweep.
 
 from __future__ import annotations
 
-import pytest
-
-from stream_helpers import random_streams
-from repro import CompileOptions, run_reference, simulate_points
 import importlib
 
-from repro.arch import Allocation, ExplorationPoint, explore
+import pytest
 
-# The package re-exports the explore *function* under the same name as
-# its defining module; reach the module itself for monkeypatching.
-explore_module = importlib.import_module("repro.arch.explore")
+from repro import CompileOptions, run_reference, simulate_points
+from repro.arch import Allocation, ExplorationPoint, explore
 from repro.errors import ReproError
 from repro.lang import parse_source
 from repro.sim import PlanError
 from repro.sim import batch as batch_module
+from stream_helpers import random_streams
+
+# The package re-exports the explore *function* under the same name as
+# its defining module; reach the module itself for monkeypatching.
+explore_module = importlib.import_module("repro.arch.explore")
 
 GAIN = """
 app gain;

@@ -713,3 +713,68 @@ class TestCorpusCommand:
         payload = json.loads(capsys.readouterr().out)
         assert payload["count"] == 4
         assert payload["failures"] == []
+
+
+class TestCheckCommand:
+    def test_clean_source_exits_zero(self, source_file, capsys):
+        assert main(["check", source_file, "--core", "fir"]) == 0
+        out = capsys.readouterr().out
+        assert "clean" in out
+        assert "0 errors" in out
+
+    def test_clean_image_exits_zero(self, source_file, tmp_path, capsys):
+        image = tmp_path / "prog.json"
+        main(["compile", source_file, "--core", "fir", "--out", str(image)])
+        capsys.readouterr()
+        assert main(["check", "--image", str(image)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_corrupted_image_exits_one(self, source_file, tmp_path, capsys):
+        import dataclasses
+
+        from repro.encode import dump_program, load_program
+
+        image = tmp_path / "prog.json"
+        main(["compile", source_file, "--core", "fir", "--out", str(image)])
+        capsys.readouterr()
+        binary = load_program(image.read_text())
+        fmt = binary.format
+        victim = next(rf for rf in binary.core.datapath.register_files.values()
+                      if rf.writers)
+        fields = fmt.decode(binary.words[0])
+        fields[f"{victim.name}.wr_en"] = 1
+        words = list(binary.words)
+        words[0] = fmt.encode(fields)
+        bad = tmp_path / "bad.json"
+        bad.write_text(dump_program(dataclasses.replace(binary, words=words)))
+        assert main(["check", "--image", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "mc.bus-hazard" in out
+        assert "1 error" in out
+
+    def test_json_output_shape(self, source_file, capsys):
+        assert main(["check", source_file, "--core", "fir", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["errors"] == 0
+        assert payload["findings"] == []
+
+    def test_source_and_image_are_exclusive(self, source_file, capsys):
+        assert main(["check", source_file, "--image", "x.json"]) == 1
+        assert "not both" in capsys.readouterr().err
+
+    def test_requires_a_subject(self, capsys):
+        assert main(["check"]) == 1
+        assert "nothing to check" in capsys.readouterr().err
+
+
+class TestVerifyFlag:
+    def test_compile_accepts_verify_strict(self, source_file, capsys):
+        assert main(["compile", source_file, "--core", "fir",
+                     "--verify", "strict", "--no-disk-cache"]) == 0
+        assert "application  : gain" in capsys.readouterr().out
+
+    def test_fuzz_no_lint_flag_accepted(self, capsys):
+        assert main(["fuzz", "--core", "fir", "--count", "3",
+                     "--max-ops", "8", "--no-lint"]) == 0
+        assert "0 failures" in capsys.readouterr().out

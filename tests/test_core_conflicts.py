@@ -176,7 +176,6 @@ class TestSection63Example:
     def test_s_and_x_never_together(self):
         from repro.rtgen import RT, ResourceUse
 
-        graph = example_graph()
         cover = PAPER_COVER
         # Build three bare RTs of classes S, U and X with no physical
         # resource overlap at all.

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import Q15, audio_core, Toolchain, run_reference
+from repro import Q15, Toolchain, audio_core, run_reference
 from repro.arch import MergeSpec
 from repro.core import apply_merges, merged_register_file_sizes
 from repro.errors import ArchitectureError

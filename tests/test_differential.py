@@ -20,8 +20,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from stream_helpers import random_streams
-from repro import Q15, audio_core, Toolchain, fir_core, run_batch, tiny_core
+from repro import Q15, Toolchain, audio_core, fir_core, run_batch, tiny_core
 from repro.apps import (
     adaptive_core,
     audio_application,
@@ -34,6 +33,8 @@ from repro.apps import (
 from repro.errors import ReproError
 from repro.gen import available_engines
 from repro.lang import DfgBuilder, run_reference
+
+from stream_helpers import random_streams
 
 # Operation vocabulary per core: (name, arity, needs_param_port).
 TINY_OPS = [("add", 2), ("sub", 2), ("pass", 1)]

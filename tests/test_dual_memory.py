@@ -6,7 +6,7 @@ import pytest
 from repro import Q15, Toolchain, run_reference
 from repro.apps import stress_application
 from repro.arch import Allocation, intermediate_architecture
-from repro.lang import DfgBuilder, parse_source
+from repro.lang import parse_source
 from repro.rtgen import bind, generate_rts
 
 TWO_STATE = """
@@ -108,6 +108,5 @@ class TestEndToEnd:
         # Remove acu_1 pairing by giving both RAM port files to acu_0 is
         # architectural surgery; instead verify the binder's contract
         # directly on a core with fewer ACUs.
-        from repro.arch import Datapath
         binding = bind(dfg, core)
         assert len(set(binding.ram_acu.values())) == len(binding.ram_acu)

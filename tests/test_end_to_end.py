@@ -7,7 +7,6 @@ is executed on the cycle-accurate core simulator.  Its output streams
 must equal the reference interpreter's bit-exactly.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -2,9 +2,11 @@
 
 The acceptance bar for the generator/fuzz subsystem: a pinned corpus of
 ``REPRO_CORPUS_COUNT`` (default 200) generated applications compiles at
-every optimizer level and passes differential simulation on every
-available engine with zero mismatches.  The count is env-overridable so
-local iteration can shrink it without touching the test.
+every optimizer level — under ``verify="strict"``, so every stage
+verifier and the machine-code lint run on every compile — and passes
+differential simulation on every available engine with zero mismatches.
+The count is env-overridable so local iteration can shrink it without
+touching the test.
 """
 
 from __future__ import annotations
@@ -22,7 +24,7 @@ CORPUS_COUNT = int(os.environ.get("REPRO_CORPUS_COUNT", "200"))
 @pytest.fixture(scope="module")
 def corpus_report():
     return run_corpus(CORPUS_COUNT, seed=0, core="fir",
-                      n_frames=6, n_lanes=3)
+                      n_frames=6, n_lanes=3, verify="strict")
 
 
 class TestPinnedCorpus:

@@ -1,9 +1,12 @@
 """Tests for the differential fuzz harness (repro.gen.fuzz + shrink).
 
 The harness cannot be trusted on green runs alone, so the suite plants
-an artificial defect (``inject="mult"`` perturbs the decoded engine on
+an artificial defect (``inject="mult"`` corrupts the compiled image on
 graphs containing a ``mult``) and proves the full chain — detection,
-seed replay, greedy shrinking — end to end.
+seed replay, greedy shrinking — end to end.  With the lint oracle on
+(the default) the planted defect must be caught *without simulating*;
+with ``lint=False`` the legacy decoded-engine perturbation covers the
+differential path.
 """
 
 from __future__ import annotations
@@ -53,7 +56,8 @@ class TestRunCase:
     def test_injected_defect_names_the_decoded_engine(self):
         spec = GenSpec(ops=(("mult", 2),), min_ops=1, max_ops=2)
         dfg = generate_dfg(spec, 0, core="fir")
-        result = run_case(dfg, "fir", stimulus_seed=0, inject="mult")
+        result = run_case(dfg, "fir", stimulus_seed=0, inject="mult",
+                          lint=False)
         assert result.status == "mismatch"
         assert "decoded" in result.detail
 
@@ -104,7 +108,7 @@ class TestFuzzCampaign:
 
 class TestInjectedFailure:
     CONFIG = FuzzConfig(core="fir", seed=0, count=6, spec=SMALL,
-                        inject="mult", shrink_attempts=80)
+                        inject="mult", shrink_attempts=80, lint=False)
 
     def test_detected_shrunk_and_replayable(self):
         report = fuzz(self.CONFIG)
@@ -125,7 +129,7 @@ class TestInjectedFailure:
         # reproduces the identical finding.
         replay = fuzz(FuzzConfig(core="fir", seed=failure.seed, count=1,
                                  spec=SMALL, inject="mult",
-                                 shrink_attempts=80))
+                                 shrink_attempts=80, lint=False))
         assert len(replay.failures) == 1
         assert replay.failures[0].detail == failure.detail
         assert replay.failures[0].shrunk_source == failure.shrunk_source
@@ -137,9 +141,40 @@ class TestInjectedFailure:
 
     def test_no_shrink_leaves_failures_unminimized(self):
         report = fuzz(FuzzConfig(core="fir", seed=0, count=6, spec=SMALL,
-                                 inject="mult", shrink=False))
+                                 inject="mult", shrink=False, lint=False))
         assert not report.ok
         assert all(f.shrunk_source is None for f in report.failures)
+
+
+class TestLintOracle:
+    """The simulation-free third oracle (``repro.analyze.lint_program``)."""
+
+    def test_planted_defect_caught_without_simulation(self):
+        spec = GenSpec(ops=(("mult", 2),), min_ops=1, max_ops=2)
+        dfg = generate_dfg(spec, 0, core="fir")
+        result = run_case(dfg, "fir", stimulus_seed=0, inject="mult")
+        assert result.status == "lint"
+        assert result.failed
+        assert "without simulation" in result.detail
+        assert "mc.bus-hazard" in result.detail
+
+    def test_lint_campaign_flags_planted_defects(self):
+        report = fuzz(FuzzConfig(core="fir", seed=0, count=6, spec=SMALL,
+                                 inject="mult", shrink=False))
+        assert not report.ok
+        assert report.failures
+        assert all(f.status == "lint" for f in report.failures)
+
+    def test_clean_campaign_with_lint_oracle_is_green(self):
+        report = fuzz(FuzzConfig(core="fir", seed=11, count=6, spec=SMALL))
+        assert report.ok
+
+    def test_lint_false_restores_differential_only_harness(self):
+        spec = GenSpec(ops=(("mult", 2),), min_ops=1, max_ops=2)
+        dfg = generate_dfg(spec, 0, core="fir")
+        result = run_case(dfg, "fir", stimulus_seed=0, inject="mult",
+                          lint=False)
+        assert result.status == "mismatch"
 
 
 class TestShrinker:

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import pytest
 
-from stream_helpers import random_streams
 from repro import Q15, run_reference, tiny_core
 from repro.errors import ReproError
 from repro.gen import (
@@ -17,6 +16,8 @@ from repro.gen import (
 from repro.lang.dfg import NodeKind
 from repro.lang.emit import emit_source
 from repro.lang.parser import parse_source
+
+from stream_helpers import random_streams
 
 
 class TestVocabulary:

@@ -13,15 +13,14 @@ paths.
 import pytest
 
 from repro import (
+    Q15,
     BatchSession,
     CompileOptions,
     CompileSession,
-    Q15,
     StageCache,
     Toolchain,
     audio_core,
     compile_application,
-    run_reference,
 )
 from repro.errors import OptionsError
 from repro.pipeline import DiskCache

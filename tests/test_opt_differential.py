@@ -15,8 +15,7 @@ from __future__ import annotations
 
 import pytest
 
-from stream_helpers import random_streams
-from repro import Q15, Toolchain, audio_core, fir_core, run_reference
+from repro import Toolchain, audio_core, fir_core, run_reference
 from repro.apps import (
     adaptive_core,
     audio_application,
@@ -27,6 +26,8 @@ from repro.apps import (
     lms_application,
     stress_application,
 )
+
+from stream_helpers import random_streams
 
 N_FRAMES = 12
 

@@ -536,7 +536,6 @@ class TestConsumerIndex:
 
         dfg = self.build()
         first = dfg.consumer_index()
-        output = next(n for n in dfg.nodes if n.kind is NodeKind.OUTPUT)
         dfg.outputs.append("y2")
         dfg.nodes.append(Node(id=len(dfg.nodes), kind=NodeKind.OUTPUT,
                               name="y2", args=(0,)))

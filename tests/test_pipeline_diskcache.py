@@ -13,8 +13,7 @@ import concurrent.futures
 
 import pytest
 
-from repro import Q15, Toolchain, audio_core, run_reference, tiny_core
-from repro.errors import ReproError
+from repro import Q15, Toolchain, audio_core, run_reference
 from repro.pipeline import (
     ARTIFACT_VERSIONS,
     STAGE_EXECUTIONS,
@@ -333,7 +332,8 @@ class TestEviction:
     def test_reads_refresh_recency(self, tmp_path):
         one_entry = len(serialize({"payload": "x" * 1000}, {}))
         disk = DiskCache(tmp_path, max_bytes=2 * one_entry + 8)
-        import os, time
+        import os
+        import time
         disk.put("aa" + "0" * 62, {"payload": "x" * 1000})
         disk.put("bb" + "0" * 62, {"payload": "x" * 1000})
         # Backdate 'aa', then read it: the read must refresh it so the

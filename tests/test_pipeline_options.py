@@ -2,9 +2,9 @@
 
 import pytest
 
-from repro import Q15, audio_core, Toolchain, run_reference, tiny_core
+from repro import Q15, Toolchain, audio_core, run_reference, tiny_core
 from repro.arch import MergeSpec
-from repro.errors import BudgetExceededError, ReproError
+from repro.errors import BudgetExceededError
 from repro.lang import parse_source
 
 SOURCE = """

@@ -18,14 +18,15 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro import (
-    CompileOptions,
     Q15,
+    CompileOptions,
     Toolchain,
     audio_core,
     run_reference,
     tiny_core,
 )
 from repro.errors import OptionsError
+from repro.lang import parse_source
 from repro.options import SEMANTIC_FIELDS
 from repro.pipeline import (
     PIPELINE_STAGES,
@@ -36,7 +37,6 @@ from repro.pipeline import (
     core_fingerprint,
     dfg_fingerprint,
 )
-from repro.lang import parse_source
 
 SOURCE = """
 app opts;

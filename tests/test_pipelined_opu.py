@@ -7,11 +7,10 @@ dependence delays, destination fields landing one word later, and the
 simulator's in-flight result queue.
 """
 
-import pytest
 
 from repro import Q15, Toolchain, run_reference
 from repro.arch import ControllerSpec, CoreSpec, Datapath, Operation, OpuKind
-from repro.lang import DfgBuilder, parse_source
+from repro.lang import parse_source
 from repro.rtgen import generate_rts
 from repro.sched import build_dependence_graph, list_schedule
 

@@ -6,7 +6,6 @@ import importlib.util
 import json
 from pathlib import Path
 
-import pytest
 
 TOOL = (Path(__file__).resolve().parent.parent
         / "tools" / "check_profile_regression.py")

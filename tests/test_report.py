@@ -1,6 +1,6 @@
 """Tests for the reporting package (figure-9 chart, tables, Gantt)."""
 
-from repro import audio_core, Toolchain
+from repro import Toolchain, audio_core
 from repro.arch import Allocation, ExplorationPoint
 from repro.core import ClassTable, ConflictGraph, InstructionSet, greedy_cover
 from repro.lang import parse_source

@@ -12,7 +12,6 @@ from repro.sched import (
     ExecutionInterval,
     build_dependence_graph,
     exact_schedule,
-    exclusive_groups_by_opu,
     execution_intervals,
     hall_window_check,
     list_schedule,
@@ -98,7 +97,6 @@ class TestHallCheck:
         assert hall_window_check([])
 
     def test_agrees_with_matching(self):
-        import itertools
         cases = [
             [ExecutionInterval(a, b) for a, b in case]
             for case in [

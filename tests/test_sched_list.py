@@ -53,7 +53,6 @@ def treble_setup(impose=True):
 class TestDependence:
     def test_raw_edges_connect_producers_to_readers(self):
         _, program, graph = treble_setup(impose=False)
-        producers = program.producers()
         for edge in graph.edges:
             if edge.kind is EdgeKind.RAW:
                 produced = {d.value for d in edge.src.destinations}

@@ -1,6 +1,5 @@
 """Property-based scheduler tests over randomised filter networks."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

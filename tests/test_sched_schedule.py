@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import SchedulingError
-from repro.rtgen import RT, Destination, Operand, ResourceUse
+from repro.rtgen import RT, ResourceUse
 from repro.sched import DependenceGraph, ReservationTable, Schedule
 from repro.sched.dependence import Edge, EdgeKind
 

@@ -23,10 +23,9 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro import CompileOptions, Q15, Telemetry, Toolchain, use_telemetry
+from repro import CompileOptions, Telemetry, Toolchain, use_telemetry
 from repro.apps import fir_application, lms_application
-from repro.arch import ControllerSpec, CoreSpec, CtrlOp, tiny_datapath
-from repro.encode import CTRL_OPCODES
+from repro.arch import CtrlOp
 from repro.encode.assembler import EncodedProgram
 from repro.errors import SimulationError
 from repro.sim import (
@@ -418,6 +417,6 @@ class TestToolchainIntegration:
         toolchain = Toolchain("fir", OPTIONS)
         app = fir_application([0.25, 0.5, 0.25])
         lanes = [random_streams(["x"], 6, seed=20 + s) for s in range(4)]
-        outputs = toolchain.run(app, [dict(l) for l in lanes])
+        outputs = toolchain.run(app, [dict(lane) for lane in lanes])
         program = toolchain.compile(app).binary
         assert outputs == scalar_oracle(program, lanes)

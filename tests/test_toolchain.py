@@ -5,12 +5,11 @@
 import pytest
 
 from repro import (
-    CompileOptions,
     Q15,
+    CompileOptions,
     SweepSpec,
     Toolchain,
     audio_core,
-    fir_core,
     get_core,
     list_cores,
     register_core,

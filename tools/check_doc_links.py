@@ -9,10 +9,14 @@ images (``[text](target)``), and checks that:
   target) name a heading that actually exists, using GitHub's
   heading-slug rules.
 
-It also checks that the telemetry counter table in
-``docs/observability.md`` matches the canonical ``repro.obs.COUNTERS``
-dict exactly — every counter the code can emit is documented, and no
-documented counter has been removed from the code.
+It also checks two code/doc lockstep tables:
+
+* the telemetry counter table in ``docs/observability.md`` matches the
+  canonical ``repro.obs.COUNTERS`` dict exactly — every counter the
+  code can emit is documented, and no documented counter has been
+  removed from the code;
+* the diagnostic-code table in ``docs/analysis.md`` matches
+  ``repro.analyze.CHECK_CODES`` the same way.
 
 External schemes (``http://``, ``https://``, ``mailto:``) are ignored
 — this guards the repository's own docs tree, not the internet.
@@ -158,6 +162,47 @@ def check_counter_table(root: Path, problems: list[str]) -> None:
         )
 
 
+#: ``| `dfg.edge-cycle` | ... |`` rows of the analysis doc (codes may
+#: contain hyphens, unlike counter names).
+CODE_ROW = re.compile(r"^\|\s*`([a-z]+\.[a-z0-9-]+)`\s*\|")
+
+
+def documented_codes(doc: Path) -> set[str]:
+    """Check codes listed in the analysis doc's tables."""
+    names: set[str] = set()
+    for line in doc.read_text(encoding="utf-8").splitlines():
+        match = CODE_ROW.match(line)
+        if match:
+            names.add(match.group(1))
+    return names
+
+
+def check_code_table(root: Path, problems: list[str]) -> None:
+    """``docs/analysis.md`` tables == ``repro.analyze.CHECK_CODES``."""
+    doc = root / "docs" / "analysis.md"
+    src = root / "src"
+    if not doc.is_file() or not (src / "repro" / "analyze").is_dir():
+        return
+    sys.path.insert(0, str(src))
+    try:
+        from repro.analyze import CHECK_CODES
+    finally:
+        sys.path.pop(0)
+    documented = documented_codes(doc)
+    canonical = set(CHECK_CODES)
+    shown = doc.relative_to(root)
+    for name in sorted(canonical - documented):
+        problems.append(
+            f"{shown}: check code {name!r} (repro.analyze.CHECK_CODES) is "
+            f"missing from the diagnostic tables"
+        )
+    for name in sorted(documented - canonical):
+        problems.append(
+            f"{shown}: documented check code {name!r} does not exist in "
+            f"repro.analyze.CHECK_CODES"
+        )
+
+
 def main(argv: list[str]) -> int:
     root = Path(argv[1]).resolve() if len(argv) > 1 else \
         Path(__file__).resolve().parent.parent
@@ -167,6 +212,7 @@ def main(argv: list[str]) -> int:
     for path in files:
         check_file(path, root, anchor_cache, problems)
     check_counter_table(root, problems)
+    check_code_table(root, problems)
     if problems:
         print(f"{len(problems)} broken doc link(s):")
         for problem in problems:
