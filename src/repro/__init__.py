@@ -91,24 +91,37 @@ from .options import CompileOptions
 from .pipeline import (
     BatchResult,
     BatchSession,
+    CacheBackend,
     CompiledProgram,
     CompileSession,
     CompileState,
     DiskCache,
+    MemoryBackend,
     StageCache,
+    backend_stats,
     compile_application,
+    open_backend,
+)
+from .serve import (
+    CompileServer,
+    ServeClient,
+    ServerConfig,
+    run_worker,
+    start_in_thread,
 )
 from .sim import run_batch, run_program, run_programs
 from .toolchain import Toolchain
 
-__version__ = "1.9.0"
+__version__ = "1.10.0"
 
 __all__ = [
     "Allocation",
     "BatchResult",
     "BatchSession",
+    "CacheBackend",
     "CandidateSimulation",
     "CompileOptions",
+    "CompileServer",
     "CompileSession",
     "CompileState",
     "CompiledProgram",
@@ -122,12 +135,15 @@ __all__ = [
     "FuzzConfig",
     "FuzzReport",
     "GenSpec",
+    "MemoryBackend",
     "OptReport",
     "OptionsError",
     "PassManager",
     "Q15",
     "RefinedSweep",
     "ReproError",
+    "ServeClient",
+    "ServerConfig",
     "Severity",
     "StageCache",
     "SweepSpec",
@@ -136,6 +152,7 @@ __all__ = [
     "VerificationError",
     "adaptive_core",
     "audio_core",
+    "backend_stats",
     "compile_application",
     "current_telemetry",
     "explore",
@@ -148,6 +165,7 @@ __all__ = [
     "intermediate_architecture",
     "lint_program",
     "list_cores",
+    "open_backend",
     "optimize",
     "pareto_front",
     "parse_source",
@@ -159,9 +177,11 @@ __all__ = [
     "run_program",
     "run_programs",
     "run_reference",
+    "run_worker",
     "set_telemetry",
     "shrink_dfg",
     "simulate_points",
+    "start_in_thread",
     "tiny_core",
     "use_telemetry",
     "verify_state",

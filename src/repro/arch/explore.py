@@ -549,6 +549,13 @@ class ExploreCache:
     def __len__(self) -> int:
         return len(self._points)
 
+    def __bool__(self) -> bool:
+        # An *empty* memo is still a memo: without this, __len__ makes
+        # a fresh ExploreCache falsy and `cache or ExploreCache()`
+        # silently drops a configured (e.g. disk-backed) empty cache —
+        # the exact PR-4 --refine bug.  Pinned by regression test.
+        return True
+
     @staticmethod
     def _copy(point: ExplorationPoint) -> ExplorationPoint:
         return ExplorationPoint(
@@ -733,12 +740,13 @@ def explore(
     with ``explore.candidates``/``explore.cache_hits`` counters
     tracking evaluations vs memo hits.
     """
-    from ..pipeline import DiskCache, dfg_fingerprint, fingerprint
+    from ..pipeline import dfg_fingerprint, fingerprint
+    from ..pipeline.backend import open_backend
 
     options = _sweep_options(options, budget, opt_level)
     budget, opt_level = options.budget, options.opt
     if cache is None and cache_dir is not None:
-        cache = ExploreCache(disk=DiskCache(cache_dir))
+        cache = ExploreCache(disk=open_backend(cache_dir))
 
     optimized = list(dfgs) if preoptimized else [
         optimize_machine_independent(dfg, level=opt_level)[0] for dfg in dfgs
@@ -869,12 +877,12 @@ def explore_refined(
     ``progress`` is forwarded to both phases' :func:`explore` calls
     (each phase reports its own ``done``/``total``).
     """
-    from ..pipeline import DiskCache
+    from ..pipeline.backend import open_backend
 
     options = _sweep_options(options, budget, opt_level)
     budget, opt_level = options.budget, options.opt
     if cache is None:
-        cache = ExploreCache(disk=DiskCache(cache_dir)) \
+        cache = ExploreCache(disk=open_backend(cache_dir)) \
             if cache_dir is not None else ExploreCache()
     if axes is None:
         axes = pareto_axes(spec)

@@ -15,6 +15,10 @@ without writing code.
     python -m repro corpus --count 200 --out BENCH_corpus.json
     python -m repro inspect-core --core audio
     python -m repro run-image program.json --input x=100,200
+    python -m repro serve --port 8750 --workers 4 --cache /var/cache/repro
+    python -m repro worker http://build-host:8750 --name lab-2
+    python -m repro cache stats --cache-dir /var/cache/repro --json
+    python -m repro cache gc --max-bytes 100000000 --min-age 600
     python -m repro profile --app audio -n 5 --out BENCH_compile_profile.json
     python -m repro compile app.dsp --timings --trace trace.json
 
@@ -77,7 +81,7 @@ from .obs import (
     write_profile,
 )
 from .options import CompileOptions
-from .pipeline import PIPELINE_STAGES, DiskCache, StageCache
+from .pipeline import PIPELINE_STAGES, StageCache, open_backend
 from .report import (
     batch_report,
     class_table_report,
@@ -372,7 +376,7 @@ def cmd_explore(args: argparse.Namespace) -> int:
     dfgs = [parse_source(Path(source).read_text()) for source in args.sources]
     spec = sweep_spec_from_args(args)
     axes = pareto_axes(spec)
-    cache = (ExploreCache(disk=DiskCache(options.cache_dir))
+    cache = (ExploreCache(disk=open_backend(options.cache_dir))
              if options.disk_cache else None)
     progress = None
     if args.progress:
@@ -721,6 +725,108 @@ def cmd_check(args: argparse.Namespace) -> int:
     return 1 if n_errors else 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .pipeline import default_cache_dir
+    from .serve import CompileServer, ServerConfig
+
+    if args.no_cache:
+        cache = None
+    elif args.cache is not None:
+        cache = args.cache
+    else:
+        cache = str(default_cache_dir())
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        executor=args.executor,
+        max_queue=args.queue,
+        job_timeout=args.timeout if args.timeout > 0 else None,
+        rate_limit=args.rate,
+        rate_burst=args.burst,
+        cache=cache,
+        cores=frozenset(args.cores.split(",")) if args.cores else None,
+    )
+    server = CompileServer(config)
+
+    async def main() -> None:
+        await server.start()
+        mode = (f"{config.workers} {config.executor} workers"
+                if config.workers else "pull mode (waiting for workers)")
+        print(f"repro serve: http://{config.host}:{server.port} "
+              f"[{mode}] cache={cache or 'off'}", file=sys.stderr)
+        await server.serve_forever()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        print("repro serve: stopped", file=sys.stderr)
+    return 0
+
+
+def cmd_worker(args: argparse.Namespace) -> int:
+    import socket
+
+    from .serve import run_worker
+
+    name = args.name or f"{socket.gethostname()}-{os.getpid()}"
+    print(f"repro worker {name!r}: pulling from {args.server}",
+          file=sys.stderr)
+    try:
+        completed = run_worker(args.server, name=name, poll=args.poll,
+                               max_jobs=args.max_jobs,
+                               max_idle=args.max_idle)
+    except KeyboardInterrupt:
+        print("repro worker: stopped", file=sys.stderr)
+        return 0
+    print(f"repro worker {name!r}: {completed} jobs completed",
+          file=sys.stderr)
+    return 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    from .pipeline import backend_stats
+
+    obs = command_telemetry(args)
+    with use_telemetry(obs):
+        backend = open_backend(args.cache_dir)
+        if args.action == "stats":
+            payload = backend_stats(backend)
+        elif args.action == "gc":
+            removed = backend.gc(args.max_bytes, min_age=args.min_age)
+            payload = {"removed": removed, **backend_stats(backend)}
+        elif args.action == "verify":
+            report = backend.verify()
+            payload = {**report.to_dict(), **backend_stats(backend)}
+        else:  # clear
+            removed = backend.clear()
+            payload = {"removed": removed, **backend_stats(backend)}
+    emit_telemetry(args, obs)
+    if args.json:
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(f"cache        : {payload['backend']} at "
+          f"{payload.get('location', '?')}")
+    print(f"entries      : {payload['entries']} "
+          f"({payload['bytes']} bytes"
+          + (f", bound {payload['max_bytes']}" if payload.get("max_bytes")
+             else "") + ")")
+    if args.action == "gc":
+        print(f"gc           : {payload['removed']} entries removed")
+    elif args.action == "clear":
+        print(f"clear        : {payload['removed']} entries removed")
+    elif args.action == "verify":
+        state = ("clean" if payload["clean"]
+                 else f"{payload['corrupt']} corrupt, "
+                      f"{payload['version_skew']} version-skewed dropped")
+        print(f"verify       : {payload['checked']} checked, {state}")
+    if args.action == "verify" and not payload["clean"]:
+        return 1
+    return 0
+
+
 def cmd_inspect_core(args: argparse.Namespace) -> int:
     core = resolve_core(args.core)
     table = ClassTable.from_core(core) if core.class_defs else ClassTable.auto(core)
@@ -967,6 +1073,85 @@ def build_parser() -> argparse.ArgumentParser:
                    type=engine_argument,
                    help="simulator engine (default auto)")
     i.set_defaults(handler=cmd_run_image)
+
+    s = sub.add_parser(
+        "serve",
+        help="compile-as-a-service: an HTTP/JSON server over the "
+             "toolchain (see docs/serving.md)",
+    )
+    s.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default 127.0.0.1)")
+    s.add_argument("--port", type=int, default=8750,
+                   help="bind port; 0 picks an ephemeral one "
+                        "(default 8750)")
+    s.add_argument("--workers", type=int, default=2,
+                   help="local worker slots; 0 switches to pull mode "
+                        "where `repro worker` processes claim jobs "
+                        "(default 2)")
+    s.add_argument("--executor", default="process",
+                   choices=("process", "thread"),
+                   help="local worker executor (default process)")
+    s.add_argument("--queue", type=int, default=64,
+                   help="pending-job bound; beyond it submissions get "
+                        "503 (default 64)")
+    s.add_argument("--timeout", type=float, default=120.0,
+                   metavar="SECONDS",
+                   help="per-job wall-clock limit; 0 disables "
+                        "(default 120)")
+    s.add_argument("--rate", type=float, default=None, metavar="PER_SEC",
+                   help="submissions/second/peer; beyond it submissions "
+                        "get 429 (default: unlimited)")
+    s.add_argument("--burst", type=int, default=10,
+                   help="rate-limit burst allowance (default 10)")
+    s.add_argument("--cache", default=None, metavar="SPEC",
+                   help="cache backend every job shares: a directory or "
+                        "memory:<name> (default: the standard cache dir)")
+    s.add_argument("--no-cache", action="store_true",
+                   help="serve without a shared cache backend")
+    s.add_argument("--cores", default=None, metavar="NAMES",
+                   help="restrict served cores, e.g. audio,fir "
+                        "(default: every registered core)")
+    s.set_defaults(handler=cmd_serve)
+
+    w = sub.add_parser(
+        "worker",
+        help="pull-mode compile worker: claim queued jobs from a "
+             "`repro serve --workers 0` server",
+    )
+    w.add_argument("server", help="server URL, e.g. http://host:8750")
+    w.add_argument("--name", default=None,
+                   help="worker name for claims (default host-pid)")
+    w.add_argument("--poll", type=float, default=0.5, metavar="SECONDS",
+                   help="idle polling interval (default 0.5)")
+    w.add_argument("--max-jobs", type=int, default=None,
+                   help="exit after this many jobs (default: run forever)")
+    w.add_argument("--max-idle", type=float, default=None,
+                   metavar="SECONDS",
+                   help="exit after this long without work "
+                        "(default: run forever)")
+    w.set_defaults(handler=cmd_worker)
+
+    a = sub.add_parser(
+        "cache",
+        help="cache-backend administration: stats, gc, verify, clear",
+    )
+    a.add_argument("action", choices=("stats", "gc", "verify", "clear"),
+                   help="stats: describe the store; gc: bound it; "
+                        "verify: integrity-check every entry; clear: "
+                        "drop everything")
+    CompileOptions.add_to_parser(a, include=("cache_dir",))
+    a.add_argument("--max-bytes", type=int, default=None,
+                   help="gc: evict LRU entries until the store fits "
+                        "(default: the backend's own bound)")
+    a.add_argument("--min-age", type=float, default=0.0,
+                   metavar="SECONDS",
+                   help="gc: never evict entries younger than this — "
+                        "protects stages of in-flight compiles "
+                        "(default 0)")
+    a.add_argument("--json", action="store_true",
+                   help="machine-readable output")
+    add_telemetry_flags(a)
+    a.set_defaults(handler=cmd_cache)
 
     k = sub.add_parser("inspect-core", help="describe a core")
     k.add_argument("--core", default="audio")

@@ -73,6 +73,18 @@ COUNTERS: dict[str, str] = {
                        "the machine-code lint",
     "fuzz.cases": "generated applications exercised by the fuzz harness",
     "fuzz.failures": "fuzz cases that mismatched, crashed or failed lint",
+    "cache.gc_removed": "backend entries deleted by an admin gc pass "
+                        "(repro cache gc, POST /v1/cache/gc)",
+    "cache.verify_failures": "backend entries dropped by an integrity "
+                             "pass (corrupt or version-skewed)",
+    "serve.requests": "HTTP requests handled by the compile server",
+    "serve.jobs": "compile jobs accepted (submit and batch)",
+    "serve.jobs_completed": "jobs that finished with a compiled artifact",
+    "serve.jobs_failed": "jobs that finished with a compile error",
+    "serve.timeouts": "jobs cancelled by the per-job wall-clock timeout",
+    "serve.rejections": "requests refused before queuing (queue full, "
+                        "rate limited, malformed, unknown core)",
+    "serve.claims": "queued jobs handed to pull-mode remote workers",
 }
 
 

@@ -55,6 +55,14 @@ VERIFY_LEVELS = ("off", "boundaries", "strict")
 #: older checkouts can never collide with newer ones.
 OPTIONS_FINGERPRINT_VERSION = 1
 
+#: The JSON *wire* schema version :meth:`CompileOptions.to_dict` emits
+#: and :meth:`CompileOptions.from_dict` accepts.  Bump on any breaking
+#: change to the serialized shape (renamed field, changed meaning): a
+#: newer client talking to an older server — or a stale batch manifest
+#: replayed against a newer checkout — then fails loudly with an
+#: :class:`OptionsError` instead of silently misreading the payload.
+OPTIONS_SCHEMA_VERSION = 1
+
 #: The fields that determine compiled output (and therefore enter the
 #: fingerprint).  ``stop_after``/``cache_dir``/``disk_cache`` are
 #: excluded by design: a partial compile's stage keys must equal the
@@ -173,14 +181,30 @@ class CompileOptions:
         return dataclasses.replace(self, **changes)
 
     def to_dict(self) -> dict[str, Any]:
-        """Plain JSON-able dict of every field — the one options schema
-        JSON consumers (``batch --json``, ``explore --json``) see."""
-        return dataclasses.asdict(self)
+        """Plain JSON-able dict of every field plus the wire-schema
+        stamp — the one options schema JSON consumers (``batch
+        --json``, ``explore --json``, the serve wire protocol) see."""
+        payload = {"schema_version": OPTIONS_SCHEMA_VERSION}
+        payload.update(dataclasses.asdict(self))
+        return payload
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "CompileOptions":
         """Inverse of :meth:`to_dict`; missing fields take their
-        defaults, unknown fields are an error (typo safety)."""
+        defaults, unknown fields are an error (typo safety).
+
+        ``schema_version`` is optional (a pre-stamp payload reads as
+        the current version) but when present must match
+        :data:`OPTIONS_SCHEMA_VERSION` — a payload written by an
+        incompatible wire schema is refused with a clear error, never
+        half-read.
+        """
+        data = dict(data)
+        version = data.pop("schema_version", OPTIONS_SCHEMA_VERSION)
+        if version != OPTIONS_SCHEMA_VERSION:
+            raise OptionsError(
+                f"unsupported options schema_version {version!r} "
+                f"(this build speaks version {OPTIONS_SCHEMA_VERSION})")
         known = {f.name for f in dataclasses.fields(cls)}
         unknown = sorted(set(data) - known)
         if unknown:
@@ -372,19 +396,26 @@ def _add_verify(parser: argparse.ArgumentParser) -> None:
              f"(default {_DEFAULTS.verify})")
 
 
-def _add_cache(parser: argparse.ArgumentParser) -> None:
+def _add_cache_dir(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
-        "--cache-dir", default=None, metavar="DIR",
-        help="persistent stage-cache directory (default $REPRO_CACHE_DIR "
-             "or ~/.cache/repro)")
+        "--cache-dir", default=None, metavar="SPEC",
+        help="persistent-cache backend spec: a directory (default "
+             "$REPRO_CACHE_DIR or ~/.cache/repro) or memory:<name> "
+             "for a process-shared in-memory backend")
+
+
+def _add_cache(parser: argparse.ArgumentParser) -> None:
+    _add_cache_dir(parser)
     parser.add_argument(
         "--no-disk-cache", action="store_true",
-        help="do not read or write the on-disk stage cache")
+        help="do not read or write the persistent stage cache")
 
 
 #: Flag group name -> installer; the order flags appear in ``--help``.
+#: ``cache_dir`` is the backend-spec flag alone — what admin verbs
+#: (``repro cache``) expose without the compile-facing ``--no-disk-cache``.
 _FLAG_GROUP_ORDER = ("budget", "opt", "cover", "mode", "repeat",
-                     "stop_after", "verify", "cache")
+                     "stop_after", "verify", "cache", "cache_dir")
 _FLAG_GROUPS = {
     "opt": _add_opt,
     "budget": _add_budget,
@@ -394,4 +425,5 @@ _FLAG_GROUPS = {
     "stop_after": _add_stop_after,
     "verify": _add_verify,
     "cache": _add_cache,
+    "cache_dir": _add_cache_dir,
 }

@@ -53,7 +53,18 @@ from .artifacts import (
     dfg_fingerprint,
     fingerprint,
 )
-from .diskcache import DiskCache, DiskCacheStats, default_cache_dir
+from .backend import (
+    CacheBackend,
+    MemoryBackend,
+    backend_stats,
+    open_backend,
+)
+from .diskcache import (
+    DiskCache,
+    DiskCacheStats,
+    VerifyReport,
+    default_cache_dir,
+)
 from .program import CompiledProgram
 from .session import (
     BatchEntry,
@@ -70,6 +81,7 @@ __all__ = [
     "BatchEntry",
     "BatchResult",
     "BatchSession",
+    "CacheBackend",
     "CacheStats",
     "CompileRequest",
     "CompileSession",
@@ -77,6 +89,10 @@ __all__ = [
     "CompiledProgram",
     "DiskCache",
     "DiskCacheStats",
+    "MemoryBackend",
+    "VerifyReport",
+    "backend_stats",
+    "open_backend",
     "PIPELINE_STAGES",
     "PIPELINE_VERSION",
     "STAGE_EXECUTIONS",

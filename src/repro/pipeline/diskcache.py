@@ -48,9 +48,10 @@ import os
 import pickle
 import tempfile
 import threading
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any
+from typing import Any, Iterable
 
 from ..obs import current_telemetry
 from .artifacts import PIPELINE_VERSION
@@ -98,13 +99,17 @@ def serialize(obj: Any, schema: dict[str, int] | None = None) -> bytes:
     return _MAGIC + len(header).to_bytes(4, "little") + header + payload
 
 
-def deserialize(blob: bytes, expected_schema: dict[str, int] | None = None) -> Any:
+def deserialize(blob: bytes, expected_schema: dict[str, int] | None = None,
+                any_schema: bool = False) -> Any:
     """Unwrap an envelope; raise :class:`CacheEntryError` on any defect.
 
     ``expected_schema`` maps artifact-type name to the version the
     *current* code writes; the entry is usable when every type it
     actually contains matches (an entry never has to contain every
-    known type — a partial compile stores a prefix).
+    known type — a partial compile stores a prefix).  ``any_schema``
+    skips that per-artifact comparison (format/pipeline skew still
+    raises) — the integrity pass of :meth:`DiskCache.verify` asks
+    "can this entry ever be served", not "by my artifact versions".
     """
     if blob[:4] != _MAGIC:
         raise CacheEntryError("bad magic")
@@ -126,10 +131,11 @@ def deserialize(blob: bytes, expected_schema: dict[str, int] | None = None) -> A
     stored_schema = header.get("schema") or {}
     if not isinstance(stored_schema, dict):
         raise CacheEntryError("schema is not an object")
-    expected = expected_schema or {}
-    for name, version in stored_schema.items():
-        if expected.get(name) != version:
-            raise CacheVersionError(f"artifact {name!r} v{version}")
+    if not any_schema:
+        expected = expected_schema or {}
+        for name, version in stored_schema.items():
+            if expected.get(name) != version:
+                raise CacheVersionError(f"artifact {name!r} v{version}")
     payload = blob[8 + header_len:]
     if hashlib.sha256(payload).hexdigest() != header.get("payload_sha256"):
         raise CacheEntryError("payload digest mismatch")
@@ -137,6 +143,50 @@ def deserialize(blob: bytes, expected_schema: dict[str, int] | None = None) -> A
         return pickle.loads(payload)
     except Exception as exc:  # noqa: BLE001 — any unpickling defect is a miss
         raise CacheEntryError(f"unpicklable payload: {exc}") from None
+
+
+def deserialize_envelope_only(blob: bytes) -> None:
+    """Integrity-check an envelope without pinning an artifact schema.
+
+    Raises :class:`CacheEntryError` on corruption (bad magic, truncated
+    header, digest mismatch, unpicklable payload) and
+    :class:`CacheVersionError` on format/pipeline skew — exactly the
+    split a backend's :meth:`~DiskCache.verify` reports.
+    """
+    deserialize(blob, expected_schema=None, any_schema=True)
+
+
+@dataclass
+class VerifyReport:
+    """The outcome of a backend integrity pass (``repro cache verify``).
+
+    ``ok`` entries deserialized cleanly; ``corrupt`` ones could not be
+    read back (and were dropped); ``version_skew`` entries are intact
+    but written by a different pipeline/format version (dropped too —
+    the current code can never serve them).
+    """
+
+    checked: int = 0
+    ok: int = 0
+    corrupt: int = 0
+    version_skew: int = 0
+    #: fingerprints of the dropped entries, for the admin report
+    dropped: list[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """True when every entry read back."""
+        return self.checked == self.ok
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "checked": self.checked,
+            "ok": self.ok,
+            "clean": self.clean,
+            "corrupt": self.corrupt,
+            "version_skew": self.version_skew,
+            "dropped": list(self.dropped),
+        }
 
 
 @dataclass
@@ -201,6 +251,21 @@ class DiskCache:
 
     def __len__(self) -> int:
         return len(self._entries())
+
+    def __bool__(self) -> bool:
+        """Always ``True``: an *empty* cache is still a cache.
+
+        Without this, ``__len__`` makes a fresh cache falsy, and code
+        like ``cache or DiskCache()`` silently replaces a configured
+        empty cache — the PR-4 ``--refine`` bug class.  Explicit
+        ``is None`` tests are still the idiom; this makes the
+        truthiness shortcut safe too.
+        """
+        return True
+
+    def keys(self) -> list[str]:
+        """Every fingerprint currently stored (sorted)."""
+        return sorted(path.stem for path in self._entries())
 
     def size_bytes(self) -> int:
         """Total bytes currently stored (best effort under concurrency)."""
@@ -308,12 +373,97 @@ class DiskCache:
         if over_bound:
             self._evict()
 
-    def clear(self) -> None:
-        """Delete every entry (the directory itself is kept)."""
+    def clear(self) -> int:
+        """Delete every entry (the directory itself is kept); returns
+        the number of entries removed."""
+        removed = 0
         for path in self._entries():
             self._drop(path)
+            removed += 1
         with self._lock:
             self._size_estimate = 0
+        return removed
+
+    # -- admin (the ``repro cache`` verb and the serve endpoints) ------
+
+    def delete(self, key: str) -> bool:
+        """Remove one entry; True when it existed."""
+        path = self.path_for(key)
+        existed = path.is_file()
+        self._drop(path)
+        return existed
+
+    def gc(self, max_bytes: int | None = None, *,
+           min_age: float = 0.0, pinned: Iterable[str] = ()) -> int:
+        """Bound the store to ``max_bytes`` (default: the configured
+        bound), least-recently-used first; returns entries removed.
+
+        ``min_age`` protects entries younger than that many seconds —
+        the in-flight guard: a compile currently writing its stage
+        snapshots keeps them until it finishes, so an admin ``gc``
+        racing live traffic cannot evict artifacts a running job is
+        about to read back.  ``pinned`` names fingerprints that are
+        never removed regardless of age (a server pins the stage keys
+        of queued/running jobs).
+        """
+        bound = self.max_bytes if max_bytes is None else max_bytes
+        keep = set(pinned)
+        now = time.time()
+        stamped = []
+        total = 0
+        for path in self._entries():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            stamped.append((stat.st_mtime, stat.st_size, path))
+            total += stat.st_size
+        removed = 0
+        obs = current_telemetry()
+        for mtime, size, path in sorted(stamped):
+            if total <= bound:
+                break
+            if path.stem in keep or now - mtime < min_age:
+                continue
+            self._drop(path)
+            with self._lock:
+                self.stats.evictions += 1
+            obs.count("diskcache.eviction")
+            removed += 1
+            total -= size
+        with self._lock:
+            self._size_estimate = total
+        if removed:
+            obs.count("cache.gc_removed", removed)
+        return removed
+
+    def verify(self) -> VerifyReport:
+        """Read back every entry; drop (and report) the unusable ones.
+
+        Corrupt entries can never be served; version-skewed ones can
+        never be served *by this checkout* — both are removed so the
+        store holds only entries a compile could actually restore.
+        """
+        report = VerifyReport()
+        obs = current_telemetry()
+        for path in sorted(self._entries()):
+            report.checked += 1
+            try:
+                deserialize_envelope_only(path.read_bytes())
+            except CacheVersionError:
+                report.version_skew += 1
+                report.dropped.append(path.stem)
+                self._drop(path)
+                obs.count("cache.verify_failures")
+                continue
+            except (CacheEntryError, OSError):
+                report.corrupt += 1
+                report.dropped.append(path.stem)
+                self._drop(path)
+                obs.count("cache.verify_failures")
+                continue
+            report.ok += 1
+        return report
 
     # -- eviction ------------------------------------------------------
 

@@ -45,6 +45,7 @@ from ..lang.dfg import Dfg
 from ..obs import current_telemetry
 from ..options import CompileOptions
 from .artifacts import CompileState, artifact_schema
+from .backend import CacheBackend
 from .diskcache import DiskCache
 from .stages import PIPELINE_STAGES
 
@@ -72,8 +73,11 @@ class StageCache:
     :meth:`get` deep-copy so cached state is immutable from the
     outside.
 
-    ``disk`` layers a persistent :class:`DiskCache` underneath: a
-    memory miss consults the store (a disk hit hydrates the memory
+    ``disk`` layers a persistent backend underneath — any
+    :class:`~repro.pipeline.backend.CacheBackend` (the local-directory
+    :class:`DiskCache`, the in-process
+    :class:`~repro.pipeline.backend.MemoryBackend`, a remote store): a
+    memory miss consults the store (a backend hit hydrates the memory
     tier), and every store is written through, so the artifacts survive
     the process.
 
@@ -87,7 +91,7 @@ class StageCache:
     """
 
     def __init__(self, max_entries: int = 256,
-                 disk: DiskCache | None = None):
+                 disk: "CacheBackend | None" = None):
         if max_entries < 1:
             raise ValueError("max_entries must be >= 1")
         self.max_entries = max_entries
@@ -98,6 +102,16 @@ class StageCache:
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    def __bool__(self) -> bool:
+        """Always ``True``: an *empty* cache is still a cache.
+
+        ``__len__`` alone makes a fresh cache falsy, so shortcuts like
+        ``cache or StageCache()`` silently dropped a configured empty
+        cache (the PR-4 ``--refine`` bug).  Pinned by regression test;
+        ``is None`` remains the way to ask "is caching disabled".
+        """
+        return True
 
     def get(self, key: str, shared: dict[int, Any]) -> dict[str, Any] | None:
         """Return a private copy of the snapshot under ``key``, or None.

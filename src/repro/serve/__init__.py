@@ -1,0 +1,55 @@
+"""Compile-as-a-service: the ``repro serve`` subsystem.
+
+An asyncio HTTP/JSON front-end over :class:`repro.toolchain.Toolchain`
+— submit sources over the wire, poll or stream job progress, share
+compiled artifacts through a pluggable cache backend, and scale out
+with pull-mode ``repro worker`` processes.  Standard library only.
+
+See ``docs/serving.md`` for the protocol and operations guide.
+
+    from repro.serve import ServerConfig, ServeClient, start_in_thread
+
+    with start_in_thread(ServerConfig(cache="memory:demo",
+                                      executor="thread")) as handle:
+        client = ServeClient(handle.url)
+        job = client.submit(source_text, "audio")
+        result = client.wait(job["id"])
+"""
+
+from __future__ import annotations
+
+from .client import ServeClient, ServeClientError, run_worker
+from .jobs import Job, JobStore, QueueFullError, UnknownJobError
+from .protocol import (
+    TERMINAL_STATES,
+    WIRE_VERSION,
+    ProtocolError,
+    parse_compile_request,
+)
+from .server import (
+    CompileServer,
+    ServerConfig,
+    ServerHandle,
+    start_in_thread,
+)
+from .workers import WorkerPool, execute_compile_job
+
+__all__ = [
+    "CompileServer",
+    "Job",
+    "JobStore",
+    "ProtocolError",
+    "QueueFullError",
+    "ServeClient",
+    "ServeClientError",
+    "ServerConfig",
+    "ServerHandle",
+    "TERMINAL_STATES",
+    "UnknownJobError",
+    "WIRE_VERSION",
+    "WorkerPool",
+    "execute_compile_job",
+    "parse_compile_request",
+    "run_worker",
+    "start_in_thread",
+]

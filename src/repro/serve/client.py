@@ -1,0 +1,231 @@
+"""The synchronous client for the compile service, plus the worker loop.
+
+:class:`ServeClient` speaks the server's JSON protocol over plain
+:mod:`http.client` — one connection per request (the server closes
+after every response anyway), no dependencies, usable from tests, the
+CLI and ``tools/serve_smoke.py`` alike.  Server-side refusals surface
+as :class:`ServeClientError` carrying the server's message and status.
+
+:func:`run_worker` is the ``repro worker`` engine: claim a queued job
+over ``/v1/work/claim``, compile it with the very same
+:func:`~repro.serve.workers.execute_compile_job` the server's local
+pools run, report back over ``/v1/work/{id}/complete``.  Artifacts are
+shared through the cache backend, not the wire: when the worker's
+options point at the same store as the server's other workers (the
+server stamps its cache spec into every job payload), a stage one
+worker computed is a disk hit for the next.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Iterator
+from urllib.parse import urlsplit
+
+from ..errors import ReproError
+from ..options import CompileOptions
+from .protocol import TERMINAL_STATES, WIRE_VERSION
+
+
+class ServeClientError(ReproError):
+    """A request the server refused (carries the HTTP status)."""
+
+    def __init__(self, message: str, status: int = 0):
+        super().__init__(message)
+        self.status = status
+
+
+class ServeClient:
+    """A synchronous handle on one compile server."""
+
+    def __init__(self, url: str, timeout: float = 30.0):
+        split = urlsplit(url if "//" in url else f"http://{url}")
+        if split.scheme not in ("", "http"):
+            raise ServeClientError(
+                f"only http:// servers are supported, got {url!r}")
+        self.host = split.hostname or "127.0.0.1"
+        self.port = split.port or 80
+        self.timeout = timeout
+
+    def _connect(self, timeout: float | None = None):
+        return http.client.HTTPConnection(
+            self.host, self.port,
+            timeout=self.timeout if timeout is None else timeout)
+
+    def request(self, method: str, path: str,
+                body: dict[str, Any] | None = None,
+                timeout: float | None = None) -> dict[str, Any]:
+        """One JSON round-trip; non-2xx raises :class:`ServeClientError`
+        with the server's message."""
+        conn = self._connect(timeout)
+        try:
+            payload = None
+            headers = {}
+            if body is not None:
+                stamped = {"wire_version": WIRE_VERSION, **body}
+                payload = json.dumps(stamped).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+        except (OSError, http.client.HTTPException) as exc:
+            raise ServeClientError(
+                f"cannot reach {self.host}:{self.port}: {exc}") from None
+        finally:
+            conn.close()
+        try:
+            decoded = json.loads(raw.decode("utf-8")) if raw else {}
+        except json.JSONDecodeError:
+            raise ServeClientError(
+                f"non-JSON response (HTTP {response.status})",
+                response.status) from None
+        if response.status >= 400:
+            raise ServeClientError(
+                decoded.get("error", f"HTTP {response.status}"),
+                response.status)
+        decoded["_status"] = response.status
+        return decoded
+
+    # -- the service API -----------------------------------------------
+
+    def health(self) -> dict[str, Any]:
+        return self.request("GET", "/v1/health")
+
+    def stats(self) -> dict[str, Any]:
+        return self.request("GET", "/v1/stats")
+
+    def submit(self, source: str, core: str,
+               options: CompileOptions | dict[str, Any] | None = None,
+               io_binding: dict[str, str] | None = None,
+               name: str | None = None) -> dict[str, Any]:
+        """Submit one compile; returns the queued job rendering."""
+        if isinstance(options, CompileOptions):
+            options = options.to_dict()
+        return self.request("POST", "/v1/jobs", {
+            "source": source, "core": core, "options": options or {},
+            "io_binding": io_binding, "name": name})
+
+    def submit_batch(self,
+                     requests: list[dict[str, Any]]) -> list[dict[str, Any]]:
+        """Submit many compiles atomically; returns the job renderings."""
+        normalized = []
+        for entry in requests:
+            entry = dict(entry)
+            if isinstance(entry.get("options"), CompileOptions):
+                entry["options"] = entry["options"].to_dict()
+            normalized.append(entry)
+        return self.request("POST", "/v1/batch",
+                            {"jobs": normalized})["jobs"]
+
+    def job(self, job_id: str, wait: float | None = None) -> dict[str, Any]:
+        """Job status; ``wait`` long-polls up to that many seconds."""
+        suffix = f"?wait={wait}" if wait else ""
+        poll_timeout = self.timeout + (wait or 0)
+        return self.request("GET", f"/v1/jobs/{job_id}{suffix}",
+                            timeout=poll_timeout)
+
+    def result(self, job_id: str) -> dict[str, Any]:
+        """The full job rendering, result included (202 → not done yet,
+        signalled by a non-terminal ``state``)."""
+        return self.request("GET", f"/v1/jobs/{job_id}/result")
+
+    def wait(self, job_id: str, timeout: float = 120.0) -> dict[str, Any]:
+        """Long-poll a job to a terminal state and return its result
+        rendering; raises on timeout."""
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise ServeClientError(
+                    f"job {job_id} still running after {timeout}s")
+            status = self.job(job_id, wait=min(10.0, remaining))
+            if status["state"] in TERMINAL_STATES:
+                return self.result(job_id)
+
+    def events(self, job_id: str,
+               timeout: float = 120.0) -> Iterator[dict[str, Any]]:
+        """The job's NDJSON transition stream, decoded record by record
+        (ends when the job reaches a terminal state)."""
+        conn = self._connect(timeout)
+        try:
+            conn.request("GET", f"/v1/jobs/{job_id}/events")
+            response = conn.getresponse()
+            if response.status >= 400:
+                raw = response.read()
+                try:
+                    message = json.loads(raw).get("error", "")
+                except json.JSONDecodeError:
+                    message = raw.decode("utf-8", "replace")
+                raise ServeClientError(message or f"HTTP {response.status}",
+                                       response.status)
+            for line in response:
+                line = line.strip()
+                if line:
+                    yield json.loads(line.decode("utf-8"))
+        finally:
+            conn.close()
+
+    def cache_stats(self) -> dict[str, Any]:
+        return self.request("GET", "/v1/cache/stats")
+
+    def cache_gc(self, max_bytes: int | None = None,
+                 min_age: float = 0.0) -> dict[str, Any]:
+        return self.request("POST", "/v1/cache/gc",
+                            {"max_bytes": max_bytes, "min_age": min_age})
+
+    # -- pull mode -----------------------------------------------------
+
+    def claim(self, worker: str) -> dict[str, Any] | None:
+        """Claim one queued job; None when the queue is empty."""
+        return self.request("POST", "/v1/work/claim",
+                            {"worker": worker})["job"]
+
+    def complete(self, job_id: str, worker: str,
+                 report: dict[str, Any]) -> dict[str, Any]:
+        return self.request("POST", f"/v1/work/{job_id}/complete",
+                            {"worker": worker, "report": report})
+
+
+def run_worker(url: str, name: str = "worker", poll: float = 0.5,
+               max_jobs: int | None = None,
+               max_idle: float | None = None,
+               on_job=None) -> int:
+    """The ``repro worker`` loop: claim → compile → report, forever.
+
+    Returns the number of jobs completed.  Stops after ``max_jobs``
+    jobs, after ``max_idle`` seconds without work, or when the server
+    goes away after having been reachable (a drained smoke run ends
+    itself instead of spinning).
+    """
+    from .workers import execute_compile_job
+
+    client = ServeClient(url)
+    completed = 0
+    idle_since = time.monotonic()
+    while max_jobs is None or completed < max_jobs:
+        try:
+            claimed = client.claim(name)
+        except ServeClientError:
+            if completed or (max_idle is not None
+                             and time.monotonic() - idle_since > max_idle):
+                break
+            raise
+        if claimed is None:
+            if (max_idle is not None
+                    and time.monotonic() - idle_since > max_idle):
+                break
+            time.sleep(poll)
+            continue
+        report = execute_compile_job(claimed["payload"])
+        if on_job is not None:
+            on_job(claimed["id"], report)
+        try:
+            client.complete(claimed["id"], name, report)
+        except ServeClientError:
+            # Stale lease or vanished server; the job is no longer ours.
+            pass
+        completed += 1
+        idle_since = time.monotonic()
+    return completed

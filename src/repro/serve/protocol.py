@@ -1,0 +1,148 @@
+"""The compile-service wire protocol: versioned JSON requests and jobs.
+
+PR 5 made every compile input serializable — source text travels as a
+string, cores as registered names (:mod:`repro.arch.registry`), options
+as the :meth:`~repro.options.CompileOptions.to_dict` schema — so the
+protocol here is thin: validate a JSON payload into typed inputs, and
+render a :class:`~repro.serve.jobs.Job` back out as JSON.
+
+Every request body carries ``wire_version`` (optional on the way in;
+stamped on every response).  An unknown version is refused with a
+clear 400 before any field is interpreted, exactly like
+``CompileOptions.from_dict`` refuses an unknown ``schema_version`` —
+the two stamps version different layers (the envelope vs the options
+payload inside it) and evolve independently.
+
+A compile request::
+
+    {
+      "wire_version": 1,
+      "source": "app fir ...",         # DSP source text (required)
+      "core": "audio",                  # registered core name (required)
+      "options": {...},                 # CompileOptions.to_dict(), optional
+      "io_binding": {"x": "ram0"},      # optional
+      "name": "fir8"                    # optional label
+    }
+
+A job rendering (status, result polling and batch entries share it)::
+
+    {
+      "wire_version": 1,
+      "id": "j-000001", "name": "fir8", "core": "audio",
+      "state": "done",                  # queued/running/done/failed/...
+      "options": {...},
+      "submitted": 1723110000.0, "seconds": 0.42,
+      "result": {"n_cycles": 23, "cache": {...}, "program": {...}},
+      "error": null
+    }
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..arch.registry import list_cores
+from ..errors import ReproError
+from ..options import CompileOptions
+
+#: Bump on any breaking change to the request/response envelope.
+WIRE_VERSION = 1
+
+#: Job lifecycle states.  ``queued`` → ``running`` → one terminal state.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+TIMEOUT = "timeout"
+CANCELLED = "cancelled"
+
+#: States a job can never leave.
+TERMINAL_STATES = frozenset({DONE, FAILED, TIMEOUT, CANCELLED})
+
+
+class ProtocolError(ReproError):
+    """A request payload is malformed; the message is client-facing."""
+
+
+def check_wire_version(payload: dict[str, Any]) -> None:
+    """Refuse a payload stamped with a version this build cannot speak
+    (a missing stamp reads as the current version)."""
+    version = payload.get("wire_version", WIRE_VERSION)
+    if version != WIRE_VERSION:
+        raise ProtocolError(
+            f"unsupported wire_version {version!r} "
+            f"(this server speaks version {WIRE_VERSION})")
+
+
+def parse_compile_request(
+    payload: Any,
+    allowed_cores: frozenset[str] | None = None,
+    max_source_bytes: int = 1 << 20,
+) -> dict[str, Any]:
+    """Validate one compile-request payload into typed job inputs.
+
+    Returns ``{"source", "core", "options", "io_binding", "name"}``
+    with ``options`` a validated :class:`CompileOptions`.  Raises
+    :class:`ProtocolError` with a client-facing message on any defect
+    — nothing half-validated ever reaches the queue.
+
+    Cores are *registered names only*: a service must not let a request
+    name an arbitrary server-side file path the way the CLI's
+    ``--core`` may.  ``allowed_cores`` narrows the registry further
+    (the ``--cores`` server flag).
+    """
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"request body must be a JSON object, got "
+            f"{type(payload).__name__}")
+    check_wire_version(payload)
+    source = payload.get("source")
+    if not isinstance(source, str) or not source.strip():
+        raise ProtocolError("'source' must be a non-empty string")
+    if len(source.encode("utf-8")) > max_source_bytes:
+        raise ProtocolError(
+            f"source exceeds the {max_source_bytes}-byte limit")
+    core = payload.get("core")
+    if not isinstance(core, str):
+        raise ProtocolError("'core' must be a registered core name")
+    known = frozenset(list_cores())
+    served = known if allowed_cores is None else (known & allowed_cores)
+    if core not in served:
+        raise ProtocolError(
+            f"unknown core {core!r} (served: {', '.join(sorted(served))})")
+    raw_options = payload.get("options") or {}
+    if not isinstance(raw_options, dict):
+        raise ProtocolError("'options' must be an object "
+                            "(CompileOptions.to_dict schema)")
+    try:
+        options = CompileOptions.from_dict(raw_options)
+    except ReproError as exc:
+        raise ProtocolError(f"bad options: {exc}") from None
+    io_binding = payload.get("io_binding")
+    if io_binding is not None and not (
+            isinstance(io_binding, dict)
+            and all(isinstance(k, str) and isinstance(v, str)
+                    for k, v in io_binding.items())):
+        raise ProtocolError("'io_binding' must map port names to "
+                            "memory names")
+    name = payload.get("name")
+    if name is not None and not isinstance(name, str):
+        raise ProtocolError("'name' must be a string")
+    return {"source": source, "core": core, "options": options,
+            "io_binding": io_binding, "name": name}
+
+
+def job_payload(source: str, core: str, options: CompileOptions,
+                io_binding: dict[str, str] | None,
+                name: str | None) -> dict[str, Any]:
+    """The JSON-able execution payload a worker (local pool or remote
+    puller) receives — the inverse of :func:`parse_compile_request`,
+    minus the validation it no longer needs."""
+    return {
+        "wire_version": WIRE_VERSION,
+        "source": source,
+        "core": core,
+        "options": options.to_dict(),
+        "io_binding": io_binding,
+        "name": name,
+    }

@@ -38,7 +38,7 @@ from .lang.dfg import Dfg
 from .obs import Telemetry, current_telemetry, use_telemetry
 from .options import CompileOptions
 from .pipeline.artifacts import CompileRequest, CompileState
-from .pipeline.diskcache import DiskCache
+from .pipeline.backend import open_backend
 from .pipeline.program import CompiledProgram
 from .pipeline.session import (
     _DEFAULT_CACHE,
@@ -110,7 +110,10 @@ class Toolchain:
 
     def _default_cache(self) -> StageCache:
         if self.options.disk_cache:
-            return StageCache(disk=DiskCache(self.options.cache_dir))
+            # cache_dir is a *backend spec*: a directory path (or None
+            # for the default DiskCache placement), or "memory:<name>"
+            # for a process-shared in-memory backend.
+            return StageCache(disk=open_backend(self.options.cache_dir))
         return StageCache()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

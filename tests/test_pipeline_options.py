@@ -1,11 +1,30 @@
 """Tests for Toolchain's options and artifact integrity."""
 
-import pytest
+import json
 
-from repro import Q15, Toolchain, audio_core, run_reference, tiny_core
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import (
+    CompileOptions,
+    Q15,
+    Toolchain,
+    audio_core,
+    run_reference,
+    tiny_core,
+)
 from repro.arch import MergeSpec
-from repro.errors import BudgetExceededError
+from repro.errors import BudgetExceededError, OptionsError
 from repro.lang import parse_source
+from repro.options import (
+    COVER_ALGORITHMS,
+    MODES,
+    OPT_LEVELS,
+    OPTIONS_SCHEMA_VERSION,
+    VERIFY_LEVELS,
+)
+from repro.pipeline import STAGE_NAMES
 
 SOURCE = """
 app opts;
@@ -66,6 +85,65 @@ class TestOptions:
         compiled = Toolchain(audio_core(), cache=None) \
             .compile(SOURCE, merges=merges)
         assert compiled.run(stimulus()) == run_reference(compiled.dfg, stimulus())
+
+
+#: Every field with its full legal domain — a new field added to
+#: CompileOptions without a strategy here still round-trips (it takes
+#: its default), but extending the strategy keeps the wire schema
+#: honest over the whole space.
+options_strategy = st.builds(
+    CompileOptions,
+    opt=st.sampled_from(OPT_LEVELS),
+    budget=st.one_of(st.none(), st.integers(min_value=1, max_value=4096)),
+    cover=st.sampled_from(COVER_ALGORITHMS),
+    mode=st.sampled_from(MODES),
+    repeat=st.integers(min_value=1, max_value=64),
+    restarts=st.integers(min_value=0, max_value=8),
+    seed=st.integers(min_value=-(2 ** 31), max_value=2 ** 31),
+    stop_after=st.one_of(st.none(), st.sampled_from(STAGE_NAMES)),
+    verify=st.sampled_from(VERIFY_LEVELS),
+    cache_dir=st.one_of(st.none(), st.text(min_size=1, max_size=20)),
+    disk_cache=st.booleans(),
+)
+
+
+class TestWireSchema:
+    """The versioned to_dict/from_dict JSON schema (the serve wire)."""
+
+    @given(options_strategy)
+    def test_roundtrip_through_actual_json(self, options):
+        # Through real json.dumps/loads — the wire, not just dict
+        # identity: this is what travels in POST /v1/jobs bodies and
+        # batch manifests.
+        wire = json.dumps(options.to_dict())
+        assert CompileOptions.from_dict(json.loads(wire)) == options
+
+    @given(options_strategy)
+    def test_every_payload_is_stamped(self, options):
+        payload = options.to_dict()
+        assert payload["schema_version"] == OPTIONS_SCHEMA_VERSION
+
+    def test_unknown_schema_version_is_refused(self):
+        payload = CompileOptions().to_dict()
+        payload["schema_version"] = OPTIONS_SCHEMA_VERSION + 1
+        with pytest.raises(OptionsError, match="schema_version"):
+            CompileOptions.from_dict(payload)
+
+    def test_error_names_both_versions(self):
+        with pytest.raises(OptionsError) as info:
+            CompileOptions.from_dict({"schema_version": 99})
+        assert "99" in str(info.value)
+        assert str(OPTIONS_SCHEMA_VERSION) in str(info.value)
+
+    def test_unstamped_payload_reads_as_current(self):
+        # Pre-stamp payloads (older manifests) still load.
+        assert CompileOptions.from_dict({"budget": 64}) == \
+            CompileOptions(budget=64)
+
+    def test_unknown_fields_still_refused(self):
+        with pytest.raises(OptionsError, match="unknown option field"):
+            CompileOptions.from_dict(
+                {"schema_version": OPTIONS_SCHEMA_VERSION, "budgett": 3})
 
 
 class TestArtifacts:
